@@ -1,0 +1,141 @@
+"""Dual-media operation (§1, §3.4): the injector core on Fibre Channel.
+
+"The current board has interfaces for Myrinet and FibreChannel ... the
+injection logic is general and not customized to any one network."  The
+benchmark drives FC frames through the tap (8b/10b decode -> the same
+FIFO injector -> 8b/10b encode), measures frame throughput, and checks
+the corruption semantics carry over (CRC-32 fix-up vs detection).
+"""
+
+from benchmarks.conftest import record_result, scaled_ps
+from repro.core import FaultInjectorDevice
+from repro.core.faults import replace_bytes
+from repro.fc import FcFrame, FcFrameHeader, FcInjectorTap, FcPort
+from repro.fc.encoding import Decoder8b10b, Encoder8b10b
+from repro.fc.node import connect_fc
+from repro.hw.registers import MatchMode
+from repro.sim import Simulator
+from repro.sim.timebase import MS
+
+
+def _run_fc(frames: int, fault=None):
+    sim = Simulator()
+    device = FaultInjectorDevice(sim, medium="fibre-channel")
+    tap = FcInjectorTap(sim, device)
+    a = FcPort(sim, "a", 0x010101)
+    b = FcPort(sim, "b", 0x020202)
+    connect_fc(sim, a, b, tap=tap)
+    if fault is not None:
+        device.configure("R", fault)
+    got = []
+    b.on_frame(lambda frame: got.append(frame.payload))
+    header = FcFrameHeader(d_id=0x020202, s_id=0x010101, type=0x08)
+    for seq in range(frames):
+        a.send_frame(FcFrame(header=header, payload=b"fc data payload %04d"
+                             % seq))
+    sim.run_for(scaled_ps(20 * MS))
+    return got, b, tap
+
+
+def test_fc_passthrough_throughput(benchmark):
+    got, port, _tap = benchmark.pedantic(
+        lambda: _run_fc(frames=100), rounds=1, iterations=1
+    )
+    assert len(got) == 100
+    assert port.crc_errors == 0
+    assert port.stats["disparity_errors"] == 0
+    record_result(
+        "fc_dual_media",
+        f"FC pass-through: 100/100 frames through the injector tap, "
+        f"0 CRC-32 errors, 0 disparity errors, "
+        f"{port.r_rdy_sent} R_RDY credits returned",
+    )
+
+
+def test_fc_corruption_with_crc32_fixup(benchmark):
+    fault = replace_bytes(b"data", b"DATA", match_mode=MatchMode.ON,
+                          crc_fixup=True)
+    got, port, tap = benchmark.pedantic(
+        lambda: _run_fc(frames=50, fault=fault), rounds=1, iterations=1
+    )
+    assert len(got) == 50
+    assert all(payload.startswith(b"fc DATA") for payload in got)
+    assert tap.frames_crc_fixed == 50
+    assert port.crc_errors == 0
+
+
+def test_fc_corruption_detected_without_fixup(benchmark):
+    fault = replace_bytes(b"data", b"DATA", match_mode=MatchMode.ON,
+                          crc_fixup=False)
+    got, port, _tap = benchmark.pedantic(
+        lambda: _run_fc(frames=50, fault=fault), rounds=1, iterations=1
+    )
+    assert got == []
+    assert port.crc_errors == 50
+
+
+def test_8b10b_codec_throughput(benchmark):
+    data = bytes(range(256)) * 8
+
+    def run():
+        encoder = Encoder8b10b()
+        decoder = Decoder8b10b()
+        for code in encoder.encode_stream(data):
+            decoder.decode(code)
+        return decoder
+
+    decoder = benchmark(run)
+    assert decoder.code_errors == 0
+
+
+def test_fc_sequence_loss_amplification(benchmark):
+    """Class 3 sequences amplify a single frame fault into whole-payload
+    loss: the series reports the amplification factor per frame count."""
+    from repro.fc import SequenceReassembler, SequenceSender
+    from repro.sim.timebase import MS as _MS
+
+    def run():
+        rows = []
+        for frames_per_seq in (1, 4, 8, 16):
+            sim = Simulator()
+            device = FaultInjectorDevice(sim, medium="fibre-channel")
+            tap = FcInjectorTap(sim, device)
+            a = FcPort(sim, "a", 1, bb_credit=8)
+            b = FcPort(sim, "b", 2, bb_credit=8)
+            connect_fc(sim, a, b, tap=tap)
+            sender = SequenceSender(a, s_id=1, frame_payload=64)
+            delivered = []
+            reassembler = SequenceReassembler(
+                sim, b, lambda s, p: delivered.append(p),
+                timeout_ps=3 * _MS,
+            )
+            payload = bytes(
+                (i % 251) for i in range(64 * frames_per_seq)
+            )
+            # Kill exactly one frame of the first sequence.
+            device.configure("R", replace_bytes(
+                payload[:4], b"\xde\xad\xbe\xef",
+                match_mode=MatchMode.ONCE,
+            ))
+            sender.send(2, payload)   # victim
+            sender.send(2, payload)   # control
+            sim.run_for(scaled_ps(15 * _MS))
+            rows.append((frames_per_seq, len(delivered),
+                         reassembler.sequences_timed_out,
+                         b.crc_errors))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["FC class 3 loss amplification: 1 corrupted frame kills the "
+             "whole sequence",
+             "frames/seq  delivered  timed_out  frame_crc_errors  "
+             "payload_bytes_lost_per_fault"]
+    for frames, delivered, timed_out, crc_errors in rows:
+        lines.append(f"{frames:>10}  {delivered:>9}  {timed_out:>9}  "
+                     f"{crc_errors:>16}  {64 * frames:>10}")
+        assert delivered == 1          # only the control sequence arrives
+        assert crc_errors == 1         # exactly one frame was hit
+        # Multi-frame victims open an assembly that must age out; a
+        # single-frame victim vanishes before reassembly ever starts.
+        assert timed_out == (1 if frames > 1 else 0)
+    record_result("fc_sequence_amplification", "\n".join(lines))

@@ -1,0 +1,85 @@
+"""Figure 9 — the Myrinet slack buffer.
+
+Sweeps fill/drain cycles across the high- and low-water marks and
+measures the buffer's throughput; asserts the hysteresis behaviour the
+flow-control results depend on (STOP at high water, GO at low water,
+drops only past capacity).
+"""
+
+from benchmarks.conftest import record_result
+from repro.myrinet.slack import QueueSlackBuffer, RateDrainedSlackBuffer
+from repro.myrinet.symbols import data_symbol
+from repro.sim import Simulator
+
+SYMBOL = data_symbol(0x5A)
+
+
+def test_fig9_watermark_hysteresis(benchmark):
+    def run():
+        events = []
+        buffer = QueueSlackBuffer(capacity=1024, high_water=512,
+                                  low_water=192,
+                                  on_backpressure=events.append)
+        for _cycle in range(100):
+            while not buffer.pressured:
+                buffer.push(SYMBOL)
+            while buffer.pressured:
+                buffer.pop()
+        return buffer, events
+
+    buffer, events = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert buffer.stop_crossings == 100
+    assert buffer.go_crossings == 100
+    assert buffer.symbols_dropped == 0
+    assert events == [True, False] * 100
+    record_result(
+        "fig9_slack_buffer",
+        "Figure 9 slack buffer: 100 fill/drain cycles, "
+        f"{buffer.stop_crossings} STOP crossings at high water (512), "
+        f"{buffer.go_crossings} GO crossings at low water (192), "
+        "0 drops below capacity",
+    )
+
+
+def test_fig9_overflow_only_past_capacity(benchmark):
+    def run():
+        buffer = QueueSlackBuffer(capacity=1024, high_water=512,
+                                  low_water=192)
+        for _index in range(2048):
+            buffer.push(SYMBOL)
+        return buffer
+
+    buffer = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert buffer.occupancy == 1024
+    assert buffer.symbols_dropped == 1024
+
+
+def test_fig9_rate_drained_buffer_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        crossings = []
+        buffer = RateDrainedSlackBuffer(
+            sim, drain_period_ps=25_000, capacity=1024, high_water=512,
+            low_water=192, on_backpressure=crossings.append,
+        )
+        for _burst in range(200):
+            buffer.push_burst(128)
+            sim.run_for(2_000_000)  # 2 us between bursts: drains 80
+        sim.run()
+        return buffer, crossings
+
+    buffer, crossings = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert buffer.stop_crossings >= 1
+    assert buffer.go_crossings >= 1
+
+
+def test_push_pop_throughput(benchmark):
+    buffer = QueueSlackBuffer(capacity=4096, high_water=2048, low_water=512)
+
+    def run():
+        for _index in range(1000):
+            buffer.push(SYMBOL)
+        for _index in range(1000):
+            buffer.pop()
+
+    benchmark(run)

@@ -1,0 +1,50 @@
+"""§4.3.2 — Myrinet packet type and source route corruption.
+
+* mapping packets (0x0005) corrupted -> the node is removed from the
+  network until the next mapping round restores it;
+* data packets (0x0004) corrupted -> dropped as unrecognized; internal
+  structures (routing tables) unchanged;
+* source route MSB set at the destination -> consumed and handled as an
+  error, without incident;
+* misrouted packets -> expected losses, never accepted by the wrong
+  node, no error propagation.
+"""
+
+from benchmarks.conftest import record_result
+from repro.nftape.paper import sec432_packet_types
+
+
+def test_sec432_packet_type_corruption(benchmark):
+    table = benchmark.pedantic(sec432_packet_types, rounds=1, iterations=1)
+    record_result("sec432_packet_types", table.render())
+
+    rows = {r["target"]: r for r in table.rows}
+    results = {r["target"]: res
+               for r, res in zip(table.rows, table.results)}
+
+    # Mapping corruption: removed, tables updated, restored next round.
+    mapping = rows["mapping packet (0x0005)"]["observed"]
+    assert "node removed=True" in mapping
+    assert "back next round=True" in mapping
+
+    # Data corruption: drops without structural damage or misdelivery.
+    data = results["data packet (0x0004)"]
+    assert data.total_host_counter("unknown_type_drops") > 0
+    assert data.active_misdeliveries == 0
+    assert "routing tables intact=True" in rows["data packet (0x0004)"]["observed"]
+
+    # Route MSB: consume errors, nothing else.
+    msb = results["source route MSB at destination"]
+    assert msb.host_stats["pc"]["consume_errors"] > 0
+    assert msb.active_misdeliveries == 0
+    assert msb.corrupted_deliveries == 0
+
+    # Misrouting: losses but never acceptance by the wrong node.
+    wrong_host = results["route-to-wrong-host"]
+    assert wrong_host.messages_lost > 0
+    assert wrong_host.total_host_counter("misaddressed_drops") > 0
+    assert wrong_host.active_misdeliveries == 0
+
+    dead_port = results["route-to-dead-port"]
+    assert dead_port.total_switch_counter("routing_errors") > 0
+    assert dead_port.active_misdeliveries == 0

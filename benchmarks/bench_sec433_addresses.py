@@ -1,0 +1,58 @@
+"""§4.3.3 and Figure 11 — physical (48-bit) address corruption.
+
+Four campaigns:
+
+* destination address corrupted with a stale CRC -> dropped, received by
+  neither node;
+* a node's own address corrupted (CRC fixed) -> unreachable, drops all
+  traffic as misaddressed, but still answers mapping;
+* address corrupted to the CONTROLLER's -> the mapper sees another
+  controller; address-keyed routing tables are damaged and
+  controller-bound traffic lands on the impostor (Figure 11);
+* address corrupted to a non-existent one -> the map simply updates, as
+  if the machine were replaced.
+"""
+
+from benchmarks.conftest import record_result
+from repro.nftape.paper import sec433_addresses
+
+
+def test_sec433_address_corruption(benchmark):
+    table, artifacts = benchmark.pedantic(sec433_addresses, rounds=1,
+                                          iterations=1)
+    fig11 = (
+        "--- Figure 11: before ---\n"
+        + "\n".join(artifacts["fig11_before"])
+        + "\n--- Figure 11: after (corrupted rounds) ---\n"
+        + "\n\n".join(artifacts["fig11_after"])
+    )
+    record_result("sec433_addresses", table.render() + "\n\n" + fig11)
+
+    results = {r["campaign"]: res
+               for r, res in zip(table.rows, table.results)}
+    rows = {r["campaign"]: r for r in table.rows}
+
+    # (a) stale CRC: dropped at the destination's CRC check.
+    dest = results["destination address, stale CRC"]
+    assert dest.total_host_counter("crc_errors") > 0
+    assert dest.active_misdeliveries == 0
+    assert dest.messages_lost > 0
+
+    # (b) own address: everything misaddressed, mapping intact.
+    own = rows["node's own address (valid CRC)"]["observed"]
+    assert "delivered to pc=0" in own
+    assert "still answers mapping=True" in own
+
+    # (c) controller conflict: detected, and routing damaged.
+    conflict = rows["address = controller's address"]["observed"]
+    assert "conflict rounds=" in conflict
+    assert "misrouted to impostor=20/20" in conflict
+
+    # (d) non-existent address: replaced in the map, old one unroutable.
+    ghost = rows["address = non-existent address"]["observed"]
+    assert "new address=True" in ghost
+    assert "still routable=False" in ghost
+
+    # Figure 11 artifacts exist and show the duplicated address.
+    assert artifacts["fig11_before"]
+    assert any("CONFLICT" in text for text in artifacts["fig11_after"])

@@ -1,0 +1,34 @@
+"""§4.3.4 — UDP address/checksum corruption.
+
+"Because the checksum is 16 bits, this can be done by swapping bits that
+are 16 bits apart.  In our case, we corrupted a UDP packet consisting of
+the string 'Have a lot of fun' to read instead 'veHa a lot of fun'.  The
+checksum was unable to detect this ... When the corruption did not
+satisfy the checksum, the packets were dropped."
+"""
+
+from benchmarks.conftest import record_result
+from repro.hostsim import internet_checksum
+from repro.nftape.paper import sec434_udp_checksum
+
+
+def test_sec434_udp_checksum(benchmark):
+    table = benchmark.pedantic(sec434_udp_checksum, rounds=1, iterations=1)
+    record_result("sec434_udp_checksum", table.render())
+
+    rows = {r["corruption"]: r for r in table.rows}
+    swap = rows["16-bit-apart swap"]
+    plain = rows["plain corruption"]
+
+    # The swap is checksum-invisible: every corrupted message delivered.
+    assert swap["delivered"] == swap["sent"]
+    assert swap["corrupted_delivered"] == swap["sent"]
+    assert swap["checksum_drops"] == 0
+
+    # Plain corruption: all caught by the checksum.
+    assert plain["delivered"] == 0
+    assert plain["checksum_drops"] == plain["sent"]
+
+    # The underlying invariant, straight from the paper's example.
+    assert internet_checksum(b"Have a lot of fun") == \
+        internet_checksum(b"veHa a lot of fun")

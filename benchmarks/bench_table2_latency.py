@@ -1,0 +1,42 @@
+"""Table 2 — latency added by inserting the device in the data path.
+
+Regenerates the paper's five ping-pong experiments (2M small UDP packets
+each on hardware; scaled here) with and without the injector in the data
+path.  The paper's finding: the added latency is sub-1.4 us, of the same
+order as cable propagation, and largely "lost in the granularity caused
+by the computer's interrupt handler" — per-packet times stay ~235 us.
+"""
+
+from benchmarks.conftest import bench_scale, record_result
+from repro.nftape.paper import PAPER_TABLE2, _run_pingpong, table2_latency
+
+
+def test_table2_added_latency(benchmark):
+    exchanges = max(100, int(600 * bench_scale()))
+    table = benchmark.pedantic(
+        lambda: table2_latency(exchanges=exchanges, experiments=5),
+        rounds=1, iterations=1,
+    )
+    record_result("table2_latency", table.render())
+
+    added = [
+        row.results if False else float(r["added_ns"])
+        for row, r in zip(table.results, table.rows)
+    ]
+    # Shape: the device adds sub-2us latency in every experiment, the
+    # same order as the paper's 75..1407 ns band, and the absolute
+    # per-packet times are ~235 us as in the paper.
+    for row in table.rows:
+        added_ns = float(row["added_ns"])
+        without_ns = float(row["without_ns"])
+        assert -500 < added_ns < 2_500
+        assert 230_000 < without_ns < 242_000
+
+
+def test_single_pingpong_run_benchmark(benchmark):
+    """Wall-clock cost of one scaled latency experiment."""
+    result = benchmark.pedantic(
+        lambda: _run_pingpong(True, seed=5, exchanges=100),
+        rounds=1, iterations=1,
+    )
+    assert result > 0

@@ -1,0 +1,60 @@
+"""Table 4 — the control-symbol corruption campaign.
+
+All nine mask/replacement pairs over a full-capacity network, with the
+injector duty-cycled by the campaign runner.  The paper's loss band is
+7-15%; the benchmark asserts the mechanism-level shape:
+
+* STOP-mask rows lose messages through receiver-side overflow
+  ("buffer overflows");
+* GAP-mask rows lose messages through merged packets
+  ("misinterpretation of packet tails and headers");
+* every observed fault is passive (§4.4);
+* GO-mask rows measure LOWER loss than the paper's 10-14% — under the
+  literal short-timeout semantics a lost GO is masked by the
+  16-character-period decay.  This deviation is expected and documented
+  in EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import record_result, scaled_ps
+from repro.nftape.paper import table4_control_symbols
+from repro.sim.timebase import MS
+
+
+def test_table4_control_symbol_corruption(benchmark):
+    table = benchmark.pedantic(
+        lambda: table4_control_symbols(duration_ps=scaled_ps(12 * MS)),
+        rounds=1, iterations=1,
+    )
+    record_result("table4_control_symbols", table.render())
+
+    rows = {(r["mask"], r["replacement"]): r for r in table.rows}
+    results = {
+        (r["mask"], r["replacement"]): result
+        for r, result in zip(table.rows, table.results)
+    }
+
+    def loss(mask, replacement):
+        return results[(mask, replacement)].loss_rate
+
+    # STOP rows: overflow losses in the paper's band (within 2x).
+    for replacement in ("IDLE", "GAP", "GO"):
+        assert 0.03 < loss("STOP", replacement) < 0.30, (
+            "STOP", replacement, loss("STOP", replacement))
+
+    # GAP rows: merge losses, closest to the paper (9-11%).
+    for replacement in ("GO", "IDLE", "STOP"):
+        assert 0.05 < loss("GAP", replacement) < 0.25, (
+            "GAP", replacement, loss("GAP", replacement))
+
+    # GO rows: documented deviation — lower loss than STOP/GAP rows.
+    for replacement in ("IDLE", "GAP", "STOP"):
+        assert loss("GO", replacement) < loss("STOP", "IDLE")
+
+    # Every row's faults were passive (§4.4).
+    for row in table.rows:
+        assert row["fault_class"] == "passive" or row["injections"] == 0
+
+    # Injections actually happened on the STOP/GAP rows.
+    for mask in ("STOP", "GAP"):
+        for replacement in ("GO", "IDLE") if mask == "STOP" else ("GO",):
+            assert results[(mask, replacement)].injections > 0

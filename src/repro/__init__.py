@@ -1,0 +1,43 @@
+"""repro — reproduction of "An Adaptive Architecture for Monitoring and
+Failure Analysis of High-Speed Networks" (Floering, Brothers, Kalbarczyk,
+Iyer; DSN 2002).
+
+The package simulates the paper's FPGA-based in-path fault injector and
+every substrate it depends on: a symbol-level Myrinet LAN, a Fibre Channel
+medium, host protocol stacks, and an NFTAPE-style campaign framework.
+
+Quickstart::
+
+    from repro import Simulator, build_paper_testbed
+
+    sim = Simulator()
+    network = build_paper_testbed(sim)
+    network.settle()
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.sim import DeterministicRng, Simulator
+from repro.core import FaultInjectorDevice, InjectorSession
+from repro.myrinet import (
+    HostInterface,
+    MyrinetNetwork,
+    MyrinetPacket,
+    MyrinetSwitch,
+    build_paper_testbed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "DeterministicRng",
+    "FaultInjectorDevice",
+    "InjectorSession",
+    "HostInterface",
+    "MyrinetNetwork",
+    "MyrinetPacket",
+    "MyrinetSwitch",
+    "build_paper_testbed",
+    "__version__",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro list
+    python -m repro run table2 sec434
+    python -m repro run all --scale 0.5 --out report.md
+    python -m repro synthesis
+
+Each experiment regenerates one of the paper's tables/figures (the same
+code paths the benchmarks drive) and prints it; ``--out`` additionally
+collects everything into a text or markdown report via
+:class:`repro.nftape.report.CampaignReport`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.nftape.report import CampaignReport
+from repro.nftape.results import ResultTable
+from repro.sim.timebase import MS
+
+#: Registry: name -> (description, runner).  Runners take a scale factor
+#: and return (tables, notes).
+Runner = Callable[[float], Tuple[List[ResultTable], List[str]]]
+
+
+def _scaled(base_ms: float, scale: float) -> int:
+    return max(1 * MS, int(base_ms * scale * MS))
+
+
+def _run_table1(scale: float):
+    from repro.hw.synthesis import format_report, synthesis_report
+    table = ResultTable("Table 1 — synthesis (see text form below)")
+    return [table], [format_report(synthesis_report())]
+
+
+def _run_table2(scale: float):
+    from repro.nftape.paper import table2_latency
+    exchanges = max(100, int(600 * scale))
+    return [table2_latency(exchanges=exchanges, experiments=5)], []
+
+
+def _run_sec35(scale: float):
+    from repro.nftape.paper import sec35_passthrough
+    return [sec35_passthrough(duration_ps=_scaled(10, scale))], []
+
+
+def _run_table4(scale: float):
+    from repro.nftape.paper import table4_control_symbols
+    return [table4_control_symbols(duration_ps=_scaled(12, scale))], []
+
+
+def _run_sec431(scale: float):
+    from repro.nftape.paper import sec431_throughput
+    return [sec431_throughput(duration_ps=_scaled(15, scale))], []
+
+
+def _run_sec432(scale: float):
+    from repro.nftape.paper import sec432_packet_types
+    return [sec432_packet_types()], []
+
+
+def _run_sec433(scale: float):
+    from repro.nftape.paper import sec433_addresses
+    table, artifacts = sec433_addresses()
+    notes = (
+        ["Figure 11 — before:"] + artifacts["fig11_before"]
+        + ["Figure 11 — after (corrupted rounds):"] + artifacts["fig11_after"]
+    )
+    return [table], notes
+
+
+def _run_sec434(scale: float):
+    from repro.nftape.paper import sec434_udp_checksum
+    return [sec434_udp_checksum()], []
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
+    "table1": ("FPGA synthesis results", _run_table1),
+    "table2": ("added latency of the device in the data path", _run_table2),
+    "sec35": ("pass-through transparency", _run_sec35),
+    "table4": ("control-symbol corruption campaign (slow)", _run_table4),
+    "sec431": ("throughput under flow-control faults (slow)", _run_sec431),
+    "sec432": ("packet type and source route corruption", _run_sec432),
+    "sec433": ("physical address corruption + Figure 11", _run_sec433),
+    "sec434": ("UDP checksum corruption", _run_sec434),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Adaptive Architecture for Monitoring and "
+            "Failure Analysis of High-Speed Networks' (DSN 2002): run the "
+            "paper's experiments on the simulated test bed."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list the available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment names, or 'all'")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="duration scale factor (default 1.0)")
+    run.add_argument("--out", default=None,
+                     help="write a combined report (.md or .txt)")
+
+    sub.add_parser("synthesis", help="print the Table 1 synthesis estimate")
+    return parser
+
+
+def _list_experiments() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments:"]
+    for name, (description, _runner) in EXPERIMENTS.items():
+        lines.append(f"  {name:<{width}}  {description}")
+    lines.append(f"  {'all':<{width}}  every experiment in order")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        print(_list_experiments())
+        return 0
+
+    if args.command == "synthesis":
+        from repro.hw.synthesis import format_report, synthesis_report
+        print(format_report(synthesis_report()))
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(_list_experiments(), file=sys.stderr)
+        return 2
+
+    report = CampaignReport("DSN 2002 reproduction — experiment report")
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"== {name}: {description}")
+        tables, notes = runner(args.scale)
+        for table in tables:
+            print(table.render())
+            report.add_table(table)
+        for note in notes:
+            print(note)
+            report.add_note(note)
+        print()
+    if args.out:
+        target = report.write(args.out)
+        print(f"report written to {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

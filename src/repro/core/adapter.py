@@ -1,0 +1,294 @@
+"""Second-generation media adapters (paper footnote 1).
+
+"We are currently working on a second generation device that abstracts
+the interface logic away from the injector logic and allows much more
+flexibility in this regard."
+
+This module is that second generation: a :class:`MediaAdapter` turns one
+medium's line alphabet into the injector's 9-bit character alphabet and
+back, and :class:`SecondGenerationDevice` composes an adapter with the
+medium-independent injector/fix-up/monitoring core.  Adding a network
+means writing an adapter — no injector changes, exactly the flexibility
+the footnote promises.
+
+Two adapters ship:
+
+* :class:`MyrinetAdapter` — the Myrinet line alphabet *is* the injector
+  alphabet (the MyriPHY delivers 9-bit symbols), so this adapter is the
+  identity plus the Myrinet CRC-8 fix-up stage;
+* :class:`FibreChannelAdapter` — 8b/10b decode/encode with running
+  disparity per direction plus the FC CRC-32 fix-up (the FCPHY logic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.fc.crc32 import crc32
+from repro.fc.encoding import Decoder8b10b, Encoder8b10b
+from repro.fc.ordered_sets import classify_word, is_eof, is_sof
+from repro.core.crcfix import CrcFixupStage
+from repro.core.device import DIRECTIONS
+from repro.hw.injector import DEFAULT_PIPELINE_DEPTH, FifoInjector
+from repro.hw.registers import InjectorConfig
+from repro.myrinet.link import Channel, Link
+from repro.myrinet.symbols import Symbol, control_symbol, data_symbol
+from repro.sim.kernel import Simulator
+
+
+class MediaAdapter(Protocol):
+    """Interface logic for one medium (one instance per device)."""
+
+    #: Human-readable medium name.
+    medium: str
+
+    def decode(self, direction: str, line_items: List) -> List[Symbol]:
+        """Line alphabet -> injector characters (PHY receive)."""
+
+    def encode(self, direction: str, symbols: List[Symbol]) -> List:
+        """Injector characters -> line alphabet (PHY transmit)."""
+
+    def fixup(self, direction: str, symbols: List[Symbol], dirty: bool,
+              enabled: bool) -> List[Symbol]:
+        """Medium-specific CRC recomputation for dirtied frames."""
+
+
+class MyrinetAdapter:
+    """Identity PHY plus the Myrinet CRC-8 fix-up."""
+
+    medium = "myrinet"
+
+    def __init__(self) -> None:
+        self._fixup: Dict[str, CrcFixupStage] = {
+            d: CrcFixupStage() for d in DIRECTIONS
+        }
+
+    def decode(self, direction: str, line_items: List) -> List[Symbol]:
+        return line_items
+
+    def encode(self, direction: str, symbols: List[Symbol]) -> List:
+        return symbols
+
+    def fixup(self, direction: str, symbols: List[Symbol], dirty: bool,
+              enabled: bool) -> List[Symbol]:
+        stage = self._fixup[direction]
+        if not enabled and stage.idle:
+            return symbols
+        return stage.feed(symbols, enabled, dirty)
+
+
+class _FcDirection:
+    def __init__(self) -> None:
+        self.decoder = Decoder8b10b()
+        self.encoder = Encoder8b10b()
+        self.word: List[Symbol] = []
+        self.in_frame = False
+        self.content: List[Symbol] = []
+        self.frame_dirty = False
+
+
+#: An intentionally invalid 10-bit group emitted when an injection
+#: produces an unencodable character.
+FC_INVALID_CODE_GROUP = 0b1111110000
+
+_K28_5_SYMBOL = control_symbol(0xBC)
+
+
+class FibreChannelAdapter:
+    """8b/10b PHY pair plus the FC CRC-32 fix-up."""
+
+    medium = "fibre-channel"
+
+    def __init__(self) -> None:
+        self._dirs: Dict[str, _FcDirection] = {
+            d: _FcDirection() for d in DIRECTIONS
+        }
+        self.encode_failures = 0
+        self.frames_crc_fixed = 0
+
+    def decode(self, direction: str, line_items: List) -> List[Symbol]:
+        state = self._dirs[direction]
+        symbols: List[Symbol] = []
+        for code in line_items:
+            decoded = state.decoder.decode(code)
+            if decoded is None:
+                continue
+            value, is_k = decoded
+            symbols.append(
+                control_symbol(value) if is_k else data_symbol(value)
+            )
+        return symbols
+
+    def encode(self, direction: str, symbols: List[Symbol]) -> List:
+        state = self._dirs[direction]
+        codes: List[int] = []
+        for symbol in symbols:
+            try:
+                codes.append(
+                    state.encoder.encode(symbol.value, not symbol.is_data)
+                )
+            except EncodingError:
+                self.encode_failures += 1
+                codes.append(FC_INVALID_CODE_GROUP)
+        return codes
+
+    def fixup(self, direction: str, symbols: List[Symbol], dirty: bool,
+              enabled: bool) -> List[Symbol]:
+        state = self._dirs[direction]
+        if dirty:
+            state.frame_dirty = True
+        if not enabled and not state.in_frame and not state.word:
+            return symbols
+        out: List[Symbol] = []
+        for symbol in symbols:
+            if state.word:
+                state.word.append(symbol)
+                if len(state.word) == 4:
+                    self._finish_word(state, out, enabled)
+                continue
+            if symbol == _K28_5_SYMBOL:
+                state.word = [symbol]
+                continue
+            if state.in_frame:
+                state.content.append(symbol)
+            else:
+                out.append(symbol)
+        return out
+
+    def _finish_word(self, state: _FcDirection, out: List[Symbol],
+                     enabled: bool) -> None:
+        word = state.word
+        state.word = []
+        characters = tuple((s.value, not s.is_data) for s in word)
+        ordered_set = classify_word(characters)
+        if ordered_set is not None and is_sof(ordered_set):
+            out.extend(word)
+            state.in_frame = True
+            state.content = []
+            return
+        if ordered_set is not None and is_eof(ordered_set) and state.in_frame:
+            content = state.content
+            state.in_frame = False
+            state.content = []
+            if enabled and state.frame_dirty and len(content) >= 4:
+                body = bytes(s.value for s in content[:-4] if s.is_data)
+                fixed = crc32(body).to_bytes(4, "big")
+                content = content[:-4] + [data_symbol(b) for b in fixed]
+                self.frames_crc_fixed += 1
+            state.frame_dirty = False
+            out.extend(content)
+            out.extend(word)
+            return
+        if state.in_frame and ordered_set is None:
+            out.extend(state.content)
+            state.in_frame = False
+            state.content = []
+        out.extend(word)
+
+
+class SecondGenerationDevice:
+    """The footnote-1 device: injector core + pluggable interface logic.
+
+    Attaches to link segments exactly like
+    :class:`~repro.core.device.FaultInjectorDevice`; the line alphabet is
+    whatever the adapter handles (Myrinet symbols, FC 10-bit groups, or a
+    future medium's).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        adapter: MediaAdapter,
+        name: str = "fi2",
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        char_period_ps: int = 12_500,
+    ) -> None:
+        self._sim = sim
+        self.adapter = adapter
+        self.name = name
+        self.pipeline_depth = pipeline_depth
+        self._char_period_ps = char_period_ps
+        self._injectors: Dict[str, FifoInjector] = {
+            d: FifoInjector(name=f"{name}:{d}", pipeline_depth=pipeline_depth)
+            for d in DIRECTIONS
+        }
+        self._tx: Dict[str, Optional[Channel]] = {"left": None, "right": None}
+        self._channel_direction: Dict[int, str] = {}
+        self.bursts_forwarded = 0
+
+    # -- wiring (same contract as the first-generation device) ----------
+
+    def attach_left(self, link: Link, side: str) -> None:
+        self._attach("left", link, side)
+
+    def attach_right(self, link: Link, side: str) -> None:
+        self._attach("right", link, side)
+
+    def _attach(self, where: str, link: Link, side: str) -> None:
+        if self._tx[where] is not None:
+            raise ConfigurationError(f"{self.name} {where} already attached")
+        if side == "a":
+            tx = link.attach_a(self)
+            rx = link.b_to_a
+        elif side == "b":
+            tx = link.attach_b(self)
+            rx = link.a_to_b
+        else:
+            raise ConfigurationError(f"link side must be 'a' or 'b': {side!r}")
+        self._tx[where] = tx
+        self._channel_direction[id(rx)] = "R" if where == "left" else "L"
+        self._char_period_ps = link.char_period_ps
+
+    # -- configuration ---------------------------------------------------
+
+    def injector(self, direction: str) -> FifoInjector:
+        try:
+            return self._injectors[direction]
+        except KeyError:
+            raise ConfigurationError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            ) from None
+
+    def configure(self, direction: str, config: InjectorConfig) -> None:
+        self.injector(direction).configure(config)
+
+    def device_reset(self) -> None:
+        for injector in self._injectors.values():
+            injector.reset()
+
+    def monitor_summary(self, direction: str) -> str:
+        """MO command (no capture memory on this prototype)."""
+        return "cap=0 sdram=0 drop=0"
+
+    @property
+    def pipeline_latency_ps(self) -> int:
+        return self.pipeline_depth * self._char_period_ps
+
+    # -- data path ---------------------------------------------------------
+
+    def on_burst(self, burst: List, channel: Channel) -> None:
+        direction = self._channel_direction.get(id(channel))
+        if direction is None:
+            raise ConfigurationError(f"{self.name}: unknown channel")
+        out_channel = (
+            self._tx["right"] if direction == "R" else self._tx["left"]
+        )
+        if out_channel is None:
+            raise ConfigurationError(f"{self.name}: output not attached")
+
+        symbols = self.adapter.decode(direction, list(burst))
+        injector = self._injectors[direction]
+        before = injector.injections
+        processed = injector.process_burst(symbols)
+        dirty = injector.injections > before
+        fixed = self.adapter.fixup(direction, processed, dirty,
+                                   injector.config.crc_fixup)
+        line_items = self.adapter.encode(direction, fixed)
+        self.bursts_forwarded += 1
+        if line_items:
+            self._sim.schedule(
+                self.pipeline_latency_ps,
+                lambda: out_channel.send(line_items),
+                label=f"{self.name}:{direction}:out",
+            )

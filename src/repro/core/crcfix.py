@@ -1,0 +1,92 @@
+"""Streaming CRC-8 recalculation (paper §3.2, "Real-time triggering").
+
+"The FPGA uses a local state-based trigger to look for a particular
+pattern in the header of a packet and inject a random fault in the
+payload while recalculating the correct CRC value to transmit
+immediately before the end-of-frame (EOF) character."
+
+A Myrinet frame's CRC is its last data symbol before the terminating
+GAP, so the stage holds back exactly one data symbol: when the next
+symbol turns out to be the GAP, the held symbol *was* the CRC and — if
+an injection dirtied the frame — is replaced with the CRC recomputed
+over the (possibly corrupted) bytes actually forwarded.  Clean frames
+pass through byte-identical, so upstream corruption syndromes are never
+laundered accidentally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.myrinet.crc8 import crc8_update
+from repro.myrinet.symbols import GAP, Symbol, data_symbol, decode_control
+
+
+class CrcFixupStage:
+    """One direction's CRC fix-up pipeline stage."""
+
+    def __init__(self) -> None:
+        self._held: Optional[Symbol] = None
+        self._crc = 0
+        self._frame_dirty = False
+        self.frames_fixed = 0
+        self.frames_passed = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no frame is in flight (safe to bypass the stage)."""
+        return self._held is None and not self._frame_dirty
+
+    def mark_dirty(self) -> None:
+        """Note that the current frame was modified by an injection."""
+        self._frame_dirty = True
+
+    def feed(self, symbols: List[Symbol], enabled: bool,
+             dirty: bool = False) -> List[Symbol]:
+        """Run a burst through the stage.
+
+        ``enabled`` is the injector's crc_fixup register; ``dirty``
+        marks that an injection fired somewhere in this burst.  With the
+        stage disabled and idle the burst passes through untouched.
+        """
+        if dirty:
+            self._frame_dirty = True
+        if not enabled and self.idle:
+            return symbols
+        out: List[Symbol] = []
+        for symbol in symbols:
+            if symbol.is_data:
+                if self._held is not None:
+                    out.append(self._held)
+                    self._crc = crc8_update(self._crc, self._held.value)
+                self._held = symbol
+                continue
+            if decode_control(symbol.value) is GAP:
+                self._close_frame(out, enabled)
+                out.append(symbol)
+            else:
+                # STOP/GO/IDLE pass through without disturbing the frame.
+                out.append(symbol)
+        return out
+
+    def _close_frame(self, out: List[Symbol], enabled: bool) -> None:
+        if self._held is not None:
+            if enabled and self._frame_dirty:
+                out.append(data_symbol(self._crc))
+                self.frames_fixed += 1
+            else:
+                out.append(self._held)
+                self.frames_passed += 1
+        self._held = None
+        self._crc = 0
+        self._frame_dirty = False
+
+    def flush(self) -> List[Symbol]:
+        """Emit any held symbol unchanged (device reset)."""
+        out: List[Symbol] = []
+        if self._held is not None:
+            out.append(self._held)
+        self._held = None
+        self._crc = 0
+        self._frame_dirty = False
+        return out

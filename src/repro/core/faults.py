@@ -1,0 +1,175 @@
+"""Fault models (paper §3.1, §3.2).
+
+"The injector can be reconfigured by an external system at any time ...
+allowing support for any combination of fault modes including bit flip,
+forcing zero, and forcing one."  Each function here builds the
+:class:`~repro.hw.registers.InjectorConfig` realizing one fault model;
+the configs are loaded either programmatically or over the serial link.
+
+Patterns are right-aligned in the compare window: the last byte of the
+pattern is the *most recent* symbol (lane 0), so the trigger asserts on
+the cycle the pattern completes and the matched bytes are still queued
+in the FIFO.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.registers import (
+    SEGMENT_LANES,
+    CorruptMode,
+    InjectorConfig,
+    MatchMode,
+    pattern_for_bytes,
+)
+from repro.myrinet.symbols import Symbol
+
+_MASK32 = 0xFFFF_FFFF
+
+
+def _aligned_value(raw: bytes) -> int:
+    value = 0
+    for byte in raw:
+        value = (value << 8) | byte
+    return value
+
+
+def replace_bytes(
+    match: bytes,
+    replacement: bytes,
+    match_mode: MatchMode = MatchMode.ONCE,
+    crc_fixup: bool = False,
+) -> InjectorConfig:
+    """Replace a matched byte string with another of the same length.
+
+    This is the paper's "typical injection scenario": match 0x1818,
+    replace with 0x1918 (§3.3).
+    """
+    if len(match) != len(replacement):
+        raise ConfigurationError(
+            "replacement must be the same length as the match pattern"
+        )
+    compare_data, compare_mask = pattern_for_bytes(match)
+    corrupt_data = _aligned_value(replacement)
+    return InjectorConfig(
+        match_mode=match_mode,
+        compare_data=compare_data,
+        compare_mask=compare_mask,
+        corrupt_mode=CorruptMode.REPLACE,
+        corrupt_data=corrupt_data,
+        corrupt_mask=compare_mask,
+        crc_fixup=crc_fixup,
+    )
+
+
+def toggle_bits(
+    match: bytes,
+    toggle: bytes,
+    match_mode: MatchMode = MatchMode.ONCE,
+    crc_fixup: bool = False,
+) -> InjectorConfig:
+    """XOR a toggle vector into the matched window (corrupt mode toggle).
+
+    ``toggle`` is right-aligned like the match pattern; set bits are
+    flipped in the stream.
+    """
+    compare_data, compare_mask = pattern_for_bytes(match)
+    return InjectorConfig(
+        match_mode=match_mode,
+        compare_data=compare_data,
+        compare_mask=compare_mask,
+        corrupt_mode=CorruptMode.TOGGLE,
+        corrupt_data=_aligned_value(toggle),
+        crc_fixup=crc_fixup,
+    )
+
+
+def bit_flip(
+    match: bytes,
+    bit_index: int,
+    match_mode: MatchMode = MatchMode.ONCE,
+    crc_fixup: bool = False,
+) -> InjectorConfig:
+    """Flip one bit of the matched region (SEU-style transient).
+
+    ``bit_index`` counts from bit 0 of the most recent byte; it must lie
+    within the matched pattern.
+    """
+    if not 0 <= bit_index < 8 * len(match):
+        raise ConfigurationError(
+            f"bit index {bit_index} outside the {len(match)}-byte pattern"
+        )
+    compare_data, compare_mask = pattern_for_bytes(match)
+    return InjectorConfig(
+        match_mode=match_mode,
+        compare_data=compare_data,
+        compare_mask=compare_mask,
+        corrupt_mode=CorruptMode.TOGGLE,
+        corrupt_data=1 << bit_index,
+        crc_fixup=crc_fixup,
+    )
+
+
+def force_zero(
+    match: bytes,
+    affected: bytes,
+    match_mode: MatchMode = MatchMode.ONCE,
+    crc_fixup: bool = False,
+) -> InjectorConfig:
+    """Force the bits selected by ``affected`` to logic zero."""
+    compare_data, compare_mask = pattern_for_bytes(match)
+    return InjectorConfig(
+        match_mode=match_mode,
+        compare_data=compare_data,
+        compare_mask=compare_mask,
+        corrupt_mode=CorruptMode.REPLACE,
+        corrupt_data=0,
+        corrupt_mask=_aligned_value(affected),
+        crc_fixup=crc_fixup,
+    )
+
+
+def force_one(
+    match: bytes,
+    affected: bytes,
+    match_mode: MatchMode = MatchMode.ONCE,
+    crc_fixup: bool = False,
+) -> InjectorConfig:
+    """Force the bits selected by ``affected`` to logic one."""
+    compare_data, compare_mask = pattern_for_bytes(match)
+    return InjectorConfig(
+        match_mode=match_mode,
+        compare_data=compare_data,
+        compare_mask=compare_mask,
+        corrupt_mode=CorruptMode.REPLACE,
+        corrupt_data=_MASK32,
+        corrupt_mask=_aligned_value(affected),
+        crc_fixup=crc_fixup,
+    )
+
+
+def control_symbol_swap(
+    source: Symbol,
+    target: Symbol,
+    match_mode: MatchMode = MatchMode.ON,
+) -> InjectorConfig:
+    """Corrupt one control symbol into another (Table 4 campaigns).
+
+    Matches a single *control* symbol (the D/C lane bit participates, so
+    data bytes with the same value never trigger) and replaces both its
+    value and, if needed, its D/C bit.
+    """
+    if source.is_data or target.is_data:
+        raise ConfigurationError("control_symbol_swap needs control symbols")
+    return InjectorConfig(
+        match_mode=match_mode,
+        compare_data=source.value,
+        compare_mask=0xFF,
+        compare_ctl=0x0,       # lane 0 must be a control symbol
+        compare_ctl_mask=0x1,
+        corrupt_mode=CorruptMode.REPLACE,
+        corrupt_data=target.value,
+        corrupt_mask=0xFF,
+        corrupt_ctl=0x0,       # stays a control symbol
+        corrupt_ctl_mask=0x1,
+    )

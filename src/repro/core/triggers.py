@@ -1,0 +1,52 @@
+"""Trigger construction helpers (paper §3.2, "Real-time triggering").
+
+The injector triggers on data patterns seen in real time on the network.
+These helpers translate protocol-level intents — "match this byte string",
+"match packets of this type" — into (compare data, compare mask) pairs
+for the 32-bit compare window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hw.registers import SEGMENT_LANES, pattern_for_bytes
+from repro.myrinet.packet import TYPE_FIELD_LEN
+
+
+def pattern_trigger(
+    pattern: bytes,
+    mask: Optional[bytes] = None,
+) -> Tuple[int, int]:
+    """(compare_data, compare_mask) for a right-aligned byte pattern.
+
+    ``mask``, if given, selects *within-pattern* don't-care bits: a 0
+    bit in the mask means "any value" ("By using the mask commands, we
+    can specify any arbitrary number of bits between 0 and 32", §3.3).
+    """
+    data, full_mask = pattern_for_bytes(pattern)
+    if mask is None:
+        return data, full_mask
+    if len(mask) != len(pattern):
+        raise ConfigurationError("mask must be the same length as pattern")
+    custom = 0
+    for byte in mask:
+        custom = (custom << 8) | byte
+    return data & custom, custom
+
+
+def header_trigger(packet_type: int, significant_bytes: int = 2) -> Tuple[int, int]:
+    """Trigger on a packet-type field value.
+
+    Myrinet packet types are "determined by a four byte subsection of the
+    packet header" whose two significant bytes carry values like 0x0004
+    and 0x0005 (§4.3.2); matching those two bytes is what the paper's
+    packet-type campaigns did.
+    """
+    if not 1 <= significant_bytes <= min(SEGMENT_LANES, TYPE_FIELD_LEN):
+        raise ConfigurationError(
+            f"significant_bytes must be 1..{SEGMENT_LANES}"
+        )
+    raw = packet_type.to_bytes(TYPE_FIELD_LEN, "big")
+    return pattern_trigger(raw[-significant_bytes:])

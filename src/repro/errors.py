@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is misused.
+
+    Examples: scheduling an event in the past, or stepping a simulator
+    whose event queue is empty while a deadline is pending.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured with inconsistent parameters."""
+
+
+class ProtocolError(ReproError):
+    """Raised on malformed network data (bad packets, bad command frames)."""
+
+
+class CrcError(ProtocolError):
+    """Raised when a packet fails its cyclic-redundancy check."""
+
+
+class RoutingError(ProtocolError):
+    """Raised when a packet cannot be routed (bad route byte, dead port)."""
+
+
+class EncodingError(ProtocolError):
+    """Raised by the 8b/10b codec on invalid code groups or disparity."""
+
+
+class ChecksumError(ProtocolError):
+    """Raised when a transport-layer checksum does not verify."""
+
+
+class DeviceError(ReproError):
+    """Raised when the fault-injector device rejects an operation."""
+
+
+class CommandError(DeviceError):
+    """Raised when the command decoder rejects a serial command."""
+
+
+class CampaignError(ReproError):
+    """Raised when an NFTAPE-style campaign is configured incorrectly."""

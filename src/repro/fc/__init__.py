@@ -1,0 +1,53 @@
+"""Fibre Channel substrate (ANSI X3.230-1994, FC-PH).
+
+The paper's board carries a Fibre Channel PHY pair alongside the Myrinet
+pair, and "failure analysis can be performed simultaneously over both of
+these networks".  This package provides the second medium: a full 8b/10b
+codec with running-disparity tracking, K28.5-led ordered sets, FC frames
+with the IEEE CRC-32, buffer-to-buffer credit flow control, and an
+injector tap that splices the same :class:`~repro.core.FaultInjectorDevice`
+injector pipeline into an FC link — the PHY models doing the 10b/8b
+conversion exactly as the hardware FCPHY chips would.
+"""
+
+from repro.fc.crc32 import crc32
+from repro.fc.encoding import (
+    Decoder8b10b,
+    Encoder8b10b,
+    decode_code_group,
+    encode_byte,
+)
+from repro.fc.frame import FcFrame, FcFrameHeader
+from repro.fc.node import FcPort
+from repro.fc.ordered_sets import (
+    EOF_N,
+    EOF_T,
+    IDLE,
+    R_RDY,
+    SOF_I3,
+    SOF_N3,
+    OrderedSet,
+)
+from repro.fc.sequence import SequenceReassembler, SequenceSender
+from repro.fc.tap import FcInjectorTap
+
+__all__ = [
+    "crc32",
+    "Encoder8b10b",
+    "Decoder8b10b",
+    "encode_byte",
+    "decode_code_group",
+    "FcFrame",
+    "FcFrameHeader",
+    "FcPort",
+    "OrderedSet",
+    "IDLE",
+    "R_RDY",
+    "SOF_I3",
+    "SOF_N3",
+    "EOF_T",
+    "EOF_N",
+    "FcInjectorTap",
+    "SequenceSender",
+    "SequenceReassembler",
+]

@@ -1,0 +1,49 @@
+"""IEEE CRC-32 as used by Fibre Channel frames.
+
+Reflected polynomial 0xEDB88320, initial value 0xFFFFFFFF, final XOR
+0xFFFFFFFF — the same CRC Ethernet and FC-PH use over the frame header
+and payload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: Iterable[int], initial: int = 0xFFFFFFFF) -> int:
+    """CRC-32 of a byte sequence.
+
+    >>> hex(crc32(b"123456789"))
+    '0xcbf43926'
+    """
+    crc = initial
+    table = _TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def verify32(data: Iterable[int]) -> bool:
+    """True if ``data`` ends in its own little-endian CRC-32."""
+    raw = bytes(data)
+    if len(raw) < 4:
+        return False
+    return crc32(raw[:-4]) == int.from_bytes(raw[-4:], "little")

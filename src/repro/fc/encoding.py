@@ -1,0 +1,263 @@
+"""IBM 8b/10b transmission code (Widmer & Franaszek), as FC-PH uses it.
+
+Each byte is split into a 5-bit (EDCBA) and a 3-bit (HGF) sub-block,
+encoded to 6 bits (abcdei) and 4 bits (fghj) respectively.  Encodings
+come in running-disparity (RD) pairs; the encoder picks the variant that
+keeps the running disparity within ±1, and the D.x.A7 alternate is
+substituted for D.x.7 where the primary would create a run of five
+(RD− with x ∈ {17, 18, 20}; RD+ with x ∈ {11, 13, 14}).
+
+Code groups are represented as 10-bit integers with transmission bit
+``a`` in the most significant position (bit 9) and ``j`` in bit 0.
+
+Control (K) code groups cover the twelve defined by the standard:
+K28.0–K28.7, K23.7, K27.7, K29.7 and K30.7; Fibre Channel itself only
+uses K28.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EncodingError
+
+# ---------------------------------------------------------------------------
+# canonical tables
+# ---------------------------------------------------------------------------
+
+#: 5b/6b for data: index x (0..31) -> (abcdei for RD-, abcdei for RD+),
+#: given as bit strings in transmission order a..i.
+_5B6B: List[Tuple[str, str]] = [
+    ("100111", "011000"),  # D0
+    ("011101", "100010"),  # D1
+    ("101101", "010010"),  # D2
+    ("110001", "110001"),  # D3
+    ("110101", "001010"),  # D4
+    ("101001", "101001"),  # D5
+    ("011001", "011001"),  # D6
+    ("111000", "000111"),  # D7
+    ("111001", "000110"),  # D8
+    ("100101", "100101"),  # D9
+    ("010101", "010101"),  # D10
+    ("110100", "110100"),  # D11
+    ("001101", "001101"),  # D12
+    ("101100", "101100"),  # D13
+    ("011100", "011100"),  # D14
+    ("010111", "101000"),  # D15
+    ("011011", "100100"),  # D16
+    ("100011", "100011"),  # D17
+    ("010011", "010011"),  # D18
+    ("110010", "110010"),  # D19
+    ("001011", "001011"),  # D20
+    ("101010", "101010"),  # D21
+    ("011010", "011010"),  # D22
+    ("111010", "000101"),  # D23
+    ("110011", "001100"),  # D24
+    ("100110", "100110"),  # D25
+    ("010110", "010110"),  # D26
+    ("110110", "001001"),  # D27
+    ("001110", "001110"),  # D28
+    ("101110", "010001"),  # D29
+    ("011110", "100001"),  # D30
+    ("101011", "010100"),  # D31
+]
+
+#: 3b/4b for data: index y (0..7) -> (fghj RD-, fghj RD+) primary codes.
+_3B4B: List[Tuple[str, str]] = [
+    ("1011", "0100"),  # D.x.0
+    ("1001", "1001"),  # D.x.1
+    ("0101", "0101"),  # D.x.2
+    ("1100", "0011"),  # D.x.3
+    ("1101", "0010"),  # D.x.4
+    ("1010", "1010"),  # D.x.5
+    ("0110", "0110"),  # D.x.6
+    ("1110", "0001"),  # D.x.7 primary
+]
+
+#: D.x.A7 alternate encoding for y=7.
+_3B4B_A7 = ("0111", "1000")
+
+#: x values whose D.x.7 must use the A7 alternate at each running disparity.
+_A7_NEG = frozenset((17, 18, 20))
+_A7_POS = frozenset((11, 13, 14))
+
+#: K28 5b/6b block.
+_K28_6B = ("001111", "110000")
+
+#: 3b/4b for K28.y: index y -> (RD-, RD+).
+_K28_4B: List[Tuple[str, str]] = [
+    ("0100", "1011"),  # K28.0
+    ("1001", "0110"),  # K28.1
+    ("0101", "1010"),  # K28.2
+    ("0011", "1100"),  # K28.3
+    ("0010", "1101"),  # K28.4
+    ("1010", "0101"),  # K28.5
+    ("0110", "1001"),  # K28.6
+    ("1000", "0111"),  # K28.7
+]
+
+#: The other legal K characters: K23.7, K27.7, K29.7, K30.7 use the data
+#: 5b/6b block of x with the (1000, 0111) 4-bit block.
+_KX7 = (23, 27, 29, 30)
+
+
+def _bits(text: str) -> int:
+    return int(text, 2)
+
+
+def _disparity(code: int, width: int) -> int:
+    """Ones minus zeros over ``width`` bits."""
+    ones = bin(code).count("1")
+    return ones - (width - ones)
+
+
+# ---------------------------------------------------------------------------
+# encoder tables: (value, is_k, rd) -> (10-bit code, new rd)
+# ---------------------------------------------------------------------------
+
+
+def _encode_sub(six: str, four: str) -> int:
+    return (_bits(six) << 4) | _bits(four)
+
+
+def _build_encode_tables() -> Dict[Tuple[int, bool, int], Tuple[int, int]]:
+    table: Dict[Tuple[int, bool, int], Tuple[int, int]] = {}
+    for value in range(256):
+        x = value & 0x1F
+        y = value >> 5
+        for rd in (-1, 1):
+            six = _5B6B[x][0 if rd < 0 else 1]
+            rd_after_six = rd + _disparity(_bits(six), 6)
+            rd_mid = rd if _disparity(_bits(six), 6) == 0 else -rd
+            # Running disparity after an unbalanced sub-block flips sign;
+            # balanced sub-blocks leave it unchanged.
+            if y == 7:
+                use_alt = (rd_mid < 0 and x in _A7_NEG) or (
+                    rd_mid > 0 and x in _A7_POS
+                )
+                pair = _3B4B_A7 if use_alt else _3B4B[7]
+            else:
+                pair = _3B4B[y]
+            four = pair[0 if rd_mid < 0 else 1]
+            rd_out = rd_mid if _disparity(_bits(four), 4) == 0 else -rd_mid
+            table[(value, False, rd)] = (_encode_sub(six, four), rd_out)
+    # K codes.  Note: the published K tables are indexed by the RD at the
+    # *start of the character* (the mid-block flip is baked into the fghj
+    # column), unlike the D.x.y 3b/4b table above which is mid-indexed.
+    for y in range(8):
+        value = (y << 5) | 28
+        for rd in (-1, 1):
+            six = _K28_6B[0 if rd < 0 else 1]
+            rd_mid = -rd  # K28's 6b block is always unbalanced
+            four = _K28_4B[y][0 if rd < 0 else 1]
+            rd_out = rd_mid if _disparity(_bits(four), 4) == 0 else -rd_mid
+            table[(value, True, rd)] = (_encode_sub(six, four), rd_out)
+    for x in _KX7:
+        value = (7 << 5) | x
+        for rd in (-1, 1):
+            six = _5B6B[x][0 if rd < 0 else 1]
+            rd_mid = rd if _disparity(_bits(six), 6) == 0 else -rd
+            four = "1000" if rd < 0 else "0111"
+            rd_out = rd_mid if _disparity(_bits(four), 4) == 0 else -rd_mid
+            table[(value, True, rd)] = (_encode_sub(six, four), rd_out)
+    return table
+
+
+_ENCODE = _build_encode_tables()
+
+#: Decode table: 10-bit code -> (value, is_k).  Valid code groups are
+#: unique across both disparities.
+_DECODE: Dict[int, Tuple[int, bool]] = {}
+for (_value, _is_k, _rd), (_code, _rd_out) in _ENCODE.items():
+    existing = _DECODE.get(_code)
+    if existing is not None and existing != (_value, _is_k):
+        raise AssertionError(
+            f"8b/10b table collision: {_code:010b} decodes to both "
+            f"{existing} and {(_value, _is_k)}"
+        )
+    _DECODE[_code] = (_value, _is_k)
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def encode_byte(value: int, is_k: bool, rd: int) -> Tuple[int, int]:
+    """Encode one character at running disparity ``rd`` (±1).
+
+    Returns ``(code_group, new_rd)``.  Raises :class:`EncodingError` for
+    an undefined K character.
+    """
+    if rd not in (-1, 1):
+        raise EncodingError(f"running disparity must be ±1, got {rd}")
+    key = (value & 0xFF, is_k, rd)
+    entry = _ENCODE.get(key)
+    if entry is None:
+        raise EncodingError(
+            f"K.{value & 0x1F}.{value >> 5} is not a defined control "
+            f"character"
+        )
+    return entry
+
+
+def decode_code_group(code: int) -> Tuple[int, bool]:
+    """Decode one 10-bit code group to ``(value, is_k)``.
+
+    Raises :class:`EncodingError` on an invalid code group.
+    """
+    entry = _DECODE.get(code & 0x3FF)
+    if entry is None:
+        raise EncodingError(f"invalid 10-bit code group {code:010b}")
+    return entry
+
+
+class Encoder8b10b:
+    """Stateful encoder tracking running disparity (starts at RD−)."""
+
+    def __init__(self) -> None:
+        self.rd = -1
+        self.characters_encoded = 0
+
+    def encode(self, value: int, is_k: bool = False) -> int:
+        code, self.rd = encode_byte(value, is_k, self.rd)
+        self.characters_encoded += 1
+        return code
+
+    def encode_stream(self, data: bytes) -> List[int]:
+        """Encode a run of data characters."""
+        return [self.encode(b) for b in data]
+
+
+class Decoder8b10b:
+    """Stateful decoder validating code groups and running disparity."""
+
+    def __init__(self) -> None:
+        self.rd = -1
+        self.code_errors = 0
+        self.disparity_errors = 0
+        self.characters_decoded = 0
+
+    def decode(self, code: int) -> Optional[Tuple[int, bool]]:
+        """Decode one code group; returns None (and counts) on error."""
+        entry = _DECODE.get(code & 0x3FF)
+        if entry is None:
+            self.code_errors += 1
+            # An invalid group still moves the disparity; approximate
+            # with its actual bit balance.
+            balance = _disparity(code & 0x3FF, 10)
+            if balance:
+                self.rd = 1 if balance > 0 else -1
+            return None
+        value, is_k = entry
+        expected = _ENCODE.get((value, is_k, self.rd))
+        if expected is None or expected[0] != (code & 0x3FF):
+            # The code group exists but is illegal at this disparity.
+            self.disparity_errors += 1
+            other = _ENCODE.get((value, is_k, -self.rd))
+            if other is not None and other[0] == (code & 0x3FF):
+                self.rd = other[1]
+        else:
+            self.rd = expected[1]
+        self.characters_decoded += 1
+        return entry

@@ -1,0 +1,117 @@
+"""Fibre Channel frames (FC-PH).
+
+A frame is an SOF delimiter, a 24-byte header, up to 2112 payload bytes,
+the IEEE CRC-32 (big-endian on the wire, covering header + payload), and
+an EOF delimiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CrcError, ProtocolError
+from repro.fc.crc32 import crc32
+from repro.fc.ordered_sets import EOF_T, SOF_I3, OrderedSet
+
+#: Header length on the wire.
+HEADER_LEN = 24
+#: Maximum payload FC-PH permits.
+MAX_PAYLOAD = 2112
+
+
+@dataclass
+class FcFrameHeader:
+    """The 24-byte FC frame header."""
+
+    r_ctl: int = 0x00
+    d_id: int = 0x000000
+    cs_ctl: int = 0x00
+    s_id: int = 0x000000
+    type: int = 0x00
+    f_ctl: int = 0x000000
+    seq_id: int = 0x00
+    df_ctl: int = 0x00
+    seq_cnt: int = 0x0000
+    ox_id: int = 0xFFFF
+    rx_id: int = 0xFFFF
+    parameter: int = 0x00000000
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                bytes([self.r_ctl]),
+                self.d_id.to_bytes(3, "big"),
+                bytes([self.cs_ctl]),
+                self.s_id.to_bytes(3, "big"),
+                bytes([self.type]),
+                self.f_ctl.to_bytes(3, "big"),
+                bytes([self.seq_id]),
+                bytes([self.df_ctl]),
+                self.seq_cnt.to_bytes(2, "big"),
+                self.ox_id.to_bytes(2, "big"),
+                self.rx_id.to_bytes(2, "big"),
+                self.parameter.to_bytes(4, "big"),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "FcFrameHeader":
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError(f"FC header needs {HEADER_LEN} bytes")
+        return cls(
+            r_ctl=raw[0],
+            d_id=int.from_bytes(raw[1:4], "big"),
+            cs_ctl=raw[4],
+            s_id=int.from_bytes(raw[5:8], "big"),
+            type=raw[8],
+            f_ctl=int.from_bytes(raw[9:12], "big"),
+            seq_id=raw[12],
+            df_ctl=raw[13],
+            seq_cnt=int.from_bytes(raw[14:16], "big"),
+            ox_id=int.from_bytes(raw[16:18], "big"),
+            rx_id=int.from_bytes(raw[18:20], "big"),
+            parameter=int.from_bytes(raw[20:24], "big"),
+        )
+
+
+@dataclass
+class FcFrame:
+    """One Fibre Channel frame."""
+
+    header: FcFrameHeader
+    payload: bytes = b""
+    sof: OrderedSet = field(default_factory=lambda: SOF_I3)
+    eof: OrderedSet = field(default_factory=lambda: EOF_T)
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD:
+            raise ProtocolError(
+                f"FC payload of {len(self.payload)} exceeds {MAX_PAYLOAD}"
+            )
+
+    def content_bytes(self) -> bytes:
+        """Header + payload + CRC-32 (big-endian), as framed on the wire."""
+        body = self.header.to_bytes() + self.payload
+        return body + crc32(body).to_bytes(4, "big")
+
+    @classmethod
+    def from_content(cls, raw: bytes, sof: OrderedSet,
+                     eof: OrderedSet) -> "FcFrame":
+        """Parse the bytes between SOF and EOF; verifies the CRC-32."""
+        if len(raw) < HEADER_LEN + 4:
+            raise ProtocolError(f"FC frame content of {len(raw)} too short")
+        body, crc_raw = raw[:-4], raw[-4:]
+        expected = crc32(body)
+        actual = int.from_bytes(crc_raw, "big")
+        if expected != actual:
+            raise CrcError(
+                f"FC CRC-32 mismatch: computed {expected:#010x}, "
+                f"framed {actual:#010x}"
+            )
+        return cls(
+            header=FcFrameHeader.from_bytes(body[:HEADER_LEN]),
+            payload=body[HEADER_LEN:],
+            sof=sof,
+            eof=eof,
+        )

@@ -1,0 +1,308 @@
+"""Fibre Channel port: framing, credit flow control, reception FSM.
+
+An :class:`FcPort` terminates one FC link.  Transmission serializes
+frames as SOF word / content characters / EOF word streams of 10-bit
+code groups, gated by buffer-to-buffer credit: each frame consumes one
+credit, and each R_RDY primitive received returns one (FC-PH class 3
+flow control).  Reception runs an explicit hunt/in-frame state machine
+keyed on K28.5, so corrupted delimiters produce the same failure modes
+as on a real link: unclassifiable words are discarded, frames missing
+their EOF abort, and CRC-32 failures drop the frame.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, CrcError, ProtocolError
+from repro.fc.encoding import Decoder8b10b, Encoder8b10b
+from repro.fc.frame import FcFrame
+from repro.fc.ordered_sets import (
+    IDLE,
+    R_RDY,
+    OrderedSet,
+    classify_word,
+    is_eof,
+    is_sof,
+)
+from repro.myrinet.link import Channel, Link
+from repro.sim.kernel import Simulator
+
+#: 10 bits per code group at 1.0625 Gbaud ≈ 9.41 ns.
+FC_CODE_PERIOD_PS = 9_412
+
+#: Default buffer-to-buffer credit.
+DEFAULT_BB_CREDIT = 2
+
+#: Guard for runaway frames (no EOF seen).
+MAX_FRAME_CONTENT = 2_200
+
+_K28_5 = (0xBC, True)
+
+
+class FcPort:
+    """One end of a Fibre Channel link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        port_id: int,
+        bb_credit: int = DEFAULT_BB_CREDIT,
+    ) -> None:
+        if bb_credit < 1:
+            raise ConfigurationError("buffer-to-buffer credit must be >= 1")
+        self._sim = sim
+        self.name = name
+        self.port_id = port_id
+        self._tx_channel: Optional[Channel] = None
+        self._encoder = Encoder8b10b()
+        self._decoder = Decoder8b10b()
+        self._credit = bb_credit
+        self._initial_credit = bb_credit
+        self._tx_queue: Deque[FcFrame] = deque()
+        self._handler: Optional[Callable[[FcFrame], None]] = None
+        self._pump_scheduled = False
+
+        # reception FSM -----------------------------------------------
+        self._word: List[Tuple[int, bool]] = []
+        self._in_frame = False
+        self._content: List[int] = []
+        self._sof: Optional[OrderedSet] = None
+
+        # counters ------------------------------------------------------
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.crc_errors = 0
+        self.malformed_words = 0
+        self.aborted_frames = 0
+        self.r_rdy_sent = 0
+        self.r_rdy_received = 0
+        self.credit_stalls = 0
+        self.oversize_aborts = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_link(self, link: Link, side: str) -> None:
+        if self._tx_channel is not None:
+            raise ConfigurationError(f"{self.name} already attached")
+        if side == "a":
+            self._tx_channel = link.attach_a(self)
+        elif side == "b":
+            self._tx_channel = link.attach_b(self)
+        else:
+            raise ConfigurationError(f"link side must be 'a' or 'b': {side!r}")
+
+    def on_frame(self, handler: Callable[[FcFrame], None]) -> None:
+        """Install the received-frame callback."""
+        self._handler = handler
+
+    @property
+    def credit(self) -> int:
+        """Currently available buffer-to-buffer credits."""
+        return self._credit
+
+    # ------------------------------------------------------------------
+    # transmit
+    # ------------------------------------------------------------------
+
+    def send_frame(self, frame: FcFrame) -> None:
+        """Queue one frame; transmits when credit and the wire allow."""
+        self._tx_queue.append(frame)
+        self._schedule_pump()
+
+    def _schedule_pump(self) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self._sim.schedule(0, self._pump, label=f"{self.name}:fc-pump")
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if self._tx_channel is None or not self._tx_queue:
+            return
+        if self._credit <= 0:
+            self.credit_stalls += 1
+            return  # resumed by R_RDY reception
+        now = self._sim.now
+        free_at = self._tx_channel.free_at()
+        if free_at > now:
+            self._pump_scheduled = True
+            self._sim.schedule_at(free_at, self._pump,
+                                  label=f"{self.name}:fc-wait")
+            return
+        frame = self._tx_queue.popleft()
+        self._credit -= 1
+        self._tx_channel.send(self._encode_frame(frame))
+        self.frames_sent += 1
+        if self._tx_queue:
+            self._schedule_pump()
+
+    def _encode_characters(
+        self, characters: List[Tuple[int, bool]]
+    ) -> List[int]:
+        return [self._encoder.encode(value, is_k) for value, is_k in characters]
+
+    def _encode_frame(self, frame: FcFrame) -> List[int]:
+        characters: List[Tuple[int, bool]] = list(IDLE.characters)
+        characters.extend(frame.sof.characters)
+        characters.extend((byte, False) for byte in frame.content_bytes())
+        characters.extend(frame.eof.characters)
+        return self._encode_characters(characters)
+
+    def _send_primitive(self, ordered_set: OrderedSet) -> None:
+        if self._tx_channel is None:
+            return
+        self._tx_channel.send(self._encode_characters(list(ordered_set.characters)))
+
+    # ------------------------------------------------------------------
+    # receive
+    # ------------------------------------------------------------------
+
+    def on_burst(self, burst: List[int], channel: Channel) -> None:
+        """Decode a burst of 10-bit code groups."""
+        for code in burst:
+            decoded = self._decoder.decode(code)
+            if decoded is None:
+                # Invalid code group: breaks any word or frame in flight.
+                self._abort_word()
+                continue
+            self._consume_character(decoded)
+
+    def _abort_word(self) -> None:
+        if self._word:
+            self.malformed_words += 1
+            self._word = []
+        if self._in_frame:
+            self.aborted_frames += 1
+            self._reset_frame()
+            self._return_credit()
+
+    def _consume_character(self, character: Tuple[int, bool]) -> None:
+        value, is_k = character
+        if self._word:
+            self._word.append(character)
+            if len(self._word) == 4:
+                word = tuple(self._word)
+                self._word = []
+                self._handle_word(word)
+            return
+        if is_k:
+            if character == _K28_5:
+                self._word = [character]
+            else:
+                self.malformed_words += 1
+            return
+        if self._in_frame:
+            self._content.append(value)
+            if len(self._content) > MAX_FRAME_CONTENT:
+                self.oversize_aborts += 1
+                self._reset_frame()
+            return
+        # Data character outside any frame or word: stray, ignore.
+
+    def _handle_word(self, word: Tuple[Tuple[int, bool], ...]) -> None:
+        ordered_set = classify_word(word)
+        if ordered_set is None:
+            self.malformed_words += 1
+            if self._in_frame:
+                self.aborted_frames += 1
+                self._reset_frame()
+            return
+        if ordered_set is R_RDY:
+            self.r_rdy_received += 1
+            self._credit = min(self._initial_credit, self._credit + 1)
+            self._schedule_pump()
+            return
+        if ordered_set is IDLE:
+            return
+        if is_sof(ordered_set):
+            if self._in_frame:
+                self.aborted_frames += 1
+            self._in_frame = True
+            self._sof = ordered_set
+            self._content = []
+            return
+        if is_eof(ordered_set):
+            if not self._in_frame:
+                self.malformed_words += 1
+                return
+            self._finish_frame(ordered_set)
+
+    def _finish_frame(self, eof: OrderedSet) -> None:
+        content = bytes(self._content)
+        sof = self._sof
+        self._reset_frame()
+        assert sof is not None
+        # Buffer-to-buffer credit returns as soon as the receive buffer
+        # frees — whether or not the frame validates (FC-PH class 3);
+        # otherwise a burst of corrupted frames would wedge the sender.
+        self._return_credit()
+        try:
+            frame = FcFrame.from_content(content, sof, eof)
+        except CrcError:
+            self.crc_errors += 1
+            return
+        except ProtocolError:
+            self.aborted_frames += 1
+            return
+        self.frames_received += 1
+        if self._handler is not None:
+            self._handler(frame)
+
+    def _return_credit(self) -> None:
+        self._send_primitive(R_RDY)
+        self.r_rdy_sent += 1
+
+    def _reset_frame(self) -> None:
+        self._in_frame = False
+        self._content = []
+        self._sof = None
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "crc_errors": self.crc_errors,
+            "malformed_words": self.malformed_words,
+            "aborted_frames": self.aborted_frames,
+            "r_rdy_sent": self.r_rdy_sent,
+            "r_rdy_received": self.r_rdy_received,
+            "credit_stalls": self.credit_stalls,
+            "code_errors": self._decoder.code_errors,
+            "disparity_errors": self._decoder.disparity_errors,
+        }
+
+
+def connect_fc(
+    sim: Simulator,
+    port_a: FcPort,
+    port_b: FcPort,
+    tap: Optional[object] = None,
+    char_period_ps: int = FC_CODE_PERIOD_PS,
+    propagation_ps: int = 15_000,
+) -> List[Link]:
+    """Wire two FC ports together, optionally through an injector tap.
+
+    Returns the created link segments.
+    """
+    if tap is None:
+        link = Link(sim, f"{port_a.name}<->{port_b.name}",
+                    char_period_ps=char_period_ps,
+                    propagation_ps=propagation_ps)
+        port_a.attach_link(link, "a")
+        port_b.attach_link(link, "b")
+        return [link]
+    left = Link(sim, f"{port_a.name}<->tap", char_period_ps=char_period_ps,
+                propagation_ps=propagation_ps)
+    right = Link(sim, f"tap<->{port_b.name}", char_period_ps=char_period_ps,
+                 propagation_ps=propagation_ps)
+    port_a.attach_link(left, "a")
+    tap.attach_left(left, "b")
+    tap.attach_right(right, "a")
+    port_b.attach_link(right, "b")
+    return [left, right]

@@ -1,0 +1,158 @@
+"""FC-PH class 3 sequences: multi-frame payload transfer.
+
+A sequence carries one payload as a train of frames sharing SEQ_ID and
+OX_ID, with SEQ_CNT increasing per frame: the first frame opens with
+SOFi3, continuation frames use SOFn3/EOFn, and the final frame closes
+the sequence with EOFt.  Class 3 is datagram service — no ACKs — so a
+single lost or corrupted frame silently kills the whole sequence, which
+is exactly the failure surface an in-path injector probes.
+
+:class:`SequenceSender` segments payloads; :class:`SequenceReassembler`
+collects arriving frames per (S_ID, OX_ID, SEQ_ID), delivers completed
+payloads, and ages out incomplete sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fc.frame import FcFrame, FcFrameHeader, MAX_PAYLOAD
+from repro.fc.node import FcPort
+from repro.fc.ordered_sets import EOF_N, EOF_T, SOF_I3, SOF_N3
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MS
+
+#: Default per-frame payload size for segmentation.
+DEFAULT_FRAME_PAYLOAD = 512
+
+#: Incomplete sequences are discarded after this long without progress.
+DEFAULT_REASSEMBLY_TIMEOUT_PS = 20 * MS
+
+#: F_CTL bits used by the model: bit 0 marks the last frame of the
+#: sequence (a simplification of FC-PH's End_Sequence bit).
+F_CTL_END_OF_SEQUENCE = 0x000001
+
+SequenceKey = Tuple[int, int, int]  # (s_id, ox_id, seq_id)
+
+
+class SequenceSender:
+    """Segments payloads into class 3 sequences on one port."""
+
+    def __init__(
+        self,
+        port: FcPort,
+        s_id: int,
+        frame_payload: int = DEFAULT_FRAME_PAYLOAD,
+    ) -> None:
+        if not 1 <= frame_payload <= MAX_PAYLOAD:
+            raise ConfigurationError(
+                f"frame payload must be 1..{MAX_PAYLOAD}"
+            )
+        self._port = port
+        self._s_id = s_id
+        self._frame_payload = frame_payload
+        self._next_ox_id = 1
+        self._next_seq_id = 0
+        self.sequences_sent = 0
+        self.frames_sent = 0
+
+    def send(self, d_id: int, payload: bytes, type_code: int = 0x08) -> int:
+        """Send one payload as a sequence; returns the OX_ID used."""
+        ox_id = self._next_ox_id
+        self._next_ox_id = (self._next_ox_id + 1) & 0xFFFF or 1
+        seq_id = self._next_seq_id
+        self._next_seq_id = (self._next_seq_id + 1) & 0xFF
+        chunks = [
+            payload[offset:offset + self._frame_payload]
+            for offset in range(0, len(payload), self._frame_payload)
+        ] or [b""]
+        last_index = len(chunks) - 1
+        for index, chunk in enumerate(chunks):
+            final = index == last_index
+            header = FcFrameHeader(
+                r_ctl=0x00,
+                d_id=d_id,
+                s_id=self._s_id,
+                type=type_code,
+                f_ctl=F_CTL_END_OF_SEQUENCE if final else 0,
+                seq_id=seq_id,
+                seq_cnt=index,
+                ox_id=ox_id,
+            )
+            frame = FcFrame(
+                header=header,
+                payload=chunk,
+                sof=SOF_I3 if index == 0 else SOF_N3,
+                eof=EOF_T if final else EOF_N,
+            )
+            self._port.send_frame(frame)
+            self.frames_sent += 1
+        self.sequences_sent += 1
+        return ox_id
+
+
+@dataclass
+class _Assembly:
+    frames: Dict[int, bytes] = field(default_factory=dict)
+    last_cnt: Optional[int] = None
+    last_progress_ps: int = 0
+
+
+class SequenceReassembler:
+    """Collects sequence frames arriving at one port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: FcPort,
+        on_payload: Callable[[int, bytes], None],
+        timeout_ps: int = DEFAULT_REASSEMBLY_TIMEOUT_PS,
+    ) -> None:
+        self._sim = sim
+        self._on_payload = on_payload
+        self._timeout_ps = timeout_ps
+        self._assemblies: Dict[SequenceKey, _Assembly] = {}
+        self.sequences_completed = 0
+        self.sequences_timed_out = 0
+        self.frames_seen = 0
+        port.on_frame(self.on_frame)
+        sim.every(timeout_ps, self._reap, label="fc-seq-reap")
+
+    def on_frame(self, frame: FcFrame) -> None:
+        """Feed one received frame (usually wired to the port)."""
+        self.frames_seen += 1
+        header = frame.header
+        key = (header.s_id, header.ox_id, header.seq_id)
+        assembly = self._assemblies.setdefault(key, _Assembly())
+        assembly.frames[header.seq_cnt] = frame.payload
+        assembly.last_progress_ps = self._sim.now
+        if header.f_ctl & F_CTL_END_OF_SEQUENCE:
+            assembly.last_cnt = header.seq_cnt
+        self._maybe_complete(key, assembly)
+
+    def _maybe_complete(self, key: SequenceKey, assembly: _Assembly) -> None:
+        if assembly.last_cnt is None:
+            return
+        expected = range(assembly.last_cnt + 1)
+        if all(index in assembly.frames for index in expected):
+            payload = b"".join(assembly.frames[index] for index in expected)
+            del self._assemblies[key]
+            self.sequences_completed += 1
+            self._on_payload(key[0], payload)
+
+    def _reap(self) -> None:
+        """Discard assemblies that stalled — class 3 has no recovery."""
+        now = self._sim.now
+        stale = [
+            key for key, assembly in self._assemblies.items()
+            if now - assembly.last_progress_ps >= self._timeout_ps
+        ]
+        for key in stale:
+            del self._assemblies[key]
+            self.sequences_timed_out += 1
+
+    @property
+    def open_sequences(self) -> int:
+        return len(self._assemblies)

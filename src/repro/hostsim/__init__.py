@@ -1,0 +1,37 @@
+"""Host protocol stacks and workload applications.
+
+Models the software side of the paper's test-bed nodes: an IP-lite/UDP
+stack with the real 16-bit one's-complement checksum (whose
+bit-swap-16-apart blind spot the §4.3.4 experiment exploits), a socket
+API bound to a Myrinet host interface, and the traffic programs the
+campaigns ran — a UDP packet generator, flood ping, and the ping-pong
+latency measurement of Table 2 (including interrupt-granularity
+timestamp noise).
+"""
+
+from repro.hostsim.checksum import internet_checksum, verify_checksum
+from repro.hostsim.ip import IpAddress, IpLiteHeader, PROTO_UDP
+from repro.hostsim.sockets import HostStack
+from repro.hostsim.udp import UdpDatagram
+from repro.hostsim.apps import (
+    EchoResponder,
+    FloodPing,
+    MessageSink,
+    PingPong,
+    UdpGenerator,
+)
+
+__all__ = [
+    "internet_checksum",
+    "verify_checksum",
+    "IpAddress",
+    "IpLiteHeader",
+    "PROTO_UDP",
+    "HostStack",
+    "UdpDatagram",
+    "MessageSink",
+    "UdpGenerator",
+    "PingPong",
+    "FloodPing",
+    "EchoResponder",
+]

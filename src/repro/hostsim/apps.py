@@ -1,0 +1,298 @@
+"""Workload applications (paper §4.2).
+
+"Network loads were simulated using a simple UDP packet generation
+program, running concurrently with the standard Unix ping program with
+the flood option."  These are those programs:
+
+* :class:`UdpGenerator` — the paced UDP sender, with the Table 4 trick
+  of generating payloads that avoid the byte values under injection
+  ("the symbol mask we corrupted did not appear in the message itself");
+* :class:`MessageSink` — the receive-side counter ("a packet was
+  reported as received if it was received correctly by the application");
+* :class:`EchoResponder` / :class:`FloodPing` — ping with the flood
+  option (next request on each reply, or on a loss timeout);
+* :class:`PingPong` — the Table 2 latency measurement: each side waits
+  for the other's packet before sending its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.hostsim.ip import IpAddress
+from repro.hostsim.sockets import HostStack
+from repro.myrinet.addresses import MacAddress
+from repro.sim.kernel import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS, US
+
+
+class MessageSink:
+    """Counts correctly received application messages on one port."""
+
+    def __init__(self, stack: HostStack, port: int,
+                 store_limit: int = 0) -> None:
+        self._store_limit = store_limit
+        self.messages: List[bytes] = []
+        self.received = 0
+        self.bytes_received = 0
+        stack.bind(port, self._on_message)
+
+    def _on_message(self, src_mac: MacAddress, src_ip: IpAddress,
+                    src_port: int, payload: bytes) -> None:
+        self.received += 1
+        self.bytes_received += len(payload)
+        if len(self.messages) < self._store_limit:
+            self.messages.append(payload)
+
+
+class UdpGenerator:
+    """A paced UDP message generator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: HostStack,
+        dest_mac: MacAddress,
+        dst_port: int,
+        payload_size: int = 64,
+        interval_ps: int = 1 * MS,
+        count: Optional[int] = None,
+        rng: Optional[DeterministicRng] = None,
+        forbidden_bytes: Optional[Set[int]] = None,
+        src_port: int = 0,
+    ) -> None:
+        if payload_size < 1:
+            raise ConfigurationError("payload size must be >= 1")
+        self._sim = sim
+        self._stack = stack
+        self._dest = dest_mac
+        self._port = dst_port
+        self._src_port = src_port
+        self._size = payload_size
+        self._interval = interval_ps
+        self._count = count
+        self._rng = rng or DeterministicRng(dst_port)
+        forbidden = forbidden_bytes or set()
+        self._alphabet = [b for b in range(0x20, 0x7F) if b not in forbidden]
+        if not self._alphabet:
+            raise ConfigurationError("forbidden_bytes excludes every byte")
+        self.sent = 0
+        self._running = False
+
+    def start(self, delay_ps: int = 0) -> None:
+        """Begin generating."""
+        self._running = True
+        self._sim.schedule(delay_ps, self._send_one, label="udpgen")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _payload(self) -> bytes:
+        return bytes(
+            self._rng.choice(self._alphabet) for _ in range(self._size)
+        )
+
+    def _send_one(self) -> None:
+        if not self._running:
+            return
+        if self._count is not None and self.sent >= self._count:
+            self._running = False
+            return
+        self._stack.send_udp(self._dest, self._port, self._payload(),
+                             self._src_port)
+        self.sent += 1
+        self._sim.schedule(self._interval, self._send_one, label="udpgen")
+
+
+class EchoResponder:
+    """Echoes every received payload back to its sender (ping target)."""
+
+    def __init__(self, stack: HostStack, port: int = 7) -> None:
+        self._stack = stack
+        self._port = port
+        self.echoed = 0
+        stack.bind(port, self._on_message)
+
+    def _on_message(self, src_mac: MacAddress, src_ip: IpAddress,
+                    src_port: int, payload: bytes) -> None:
+        self.echoed += 1
+        self._stack.send_udp(src_mac, src_port, payload,
+                             src_port=self._port)
+
+
+class FloodPing:
+    """``ping -f``: sends the next request on each reply, or after a
+    loss timeout, producing a heavy self-clocked load."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: HostStack,
+        dest_mac: MacAddress,
+        echo_port: int = 7,
+        local_port: int = 1007,
+        payload_size: int = 56,
+        loss_timeout_ps: int = 10 * MS,
+        count: Optional[int] = None,
+    ) -> None:
+        self._sim = sim
+        self._stack = stack
+        self._dest = dest_mac
+        self._echo_port = echo_port
+        self._local_port = local_port
+        self._payload = bytes(payload_size)
+        self._loss_timeout = loss_timeout_ps
+        self._count = count
+        self._running = False
+        self._seq = 0
+        self._timeout_event = None
+        self.sent = 0
+        self.replies = 0
+        self.timeouts = 0
+        stack.bind(local_port, self._on_reply)
+
+    def start(self, delay_ps: int = 0) -> None:
+        self._running = True
+        self._sim.schedule(delay_ps, self._send_next, label="floodping")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
+    def _send_next(self) -> None:
+        if not self._running:
+            return
+        if self._count is not None and self.sent >= self._count:
+            self._running = False
+            return
+        self._seq += 1
+        payload = self._seq.to_bytes(4, "big") + self._payload
+        self._stack.send_udp(self._dest, self._echo_port, payload,
+                             src_port=self._local_port)
+        self.sent += 1
+        self._timeout_event = self._sim.schedule(
+            self._loss_timeout, self._on_timeout, label="floodping-timeout"
+        )
+
+    def _on_reply(self, src_mac: MacAddress, src_ip: IpAddress,
+                  src_port: int, payload: bytes) -> None:
+        if len(payload) < 4 or int.from_bytes(payload[:4], "big") != self._seq:
+            return  # stale reply from a lost round
+        self.replies += 1
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self._send_next()
+
+    def _on_timeout(self) -> None:
+        self._timeout_event = None
+        self.timeouts += 1
+        self._send_next()
+
+
+@dataclass
+class PingPongResult:
+    """Outcome of one ping-pong run."""
+
+    exchanges: int
+    total_time_ps: int
+    rtts_ps: List[int] = field(default_factory=list)
+
+    @property
+    def avg_time_per_packet_ps(self) -> float:
+        """Paper Table 2's metric: average one-way time per packet."""
+        if not self.exchanges:
+            return 0.0
+        return self.total_time_ps / (2 * self.exchanges)
+
+
+class PingPong:
+    """The Table 2 measurement: two hosts exchanging packets in lockstep.
+
+    Side A sends; side B replies upon receipt; side A records the RTT
+    (using the quantized application clock) and sends the next packet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack_a: HostStack,
+        stack_b: HostStack,
+        count: int,
+        port: int = 9000,
+        payload_size: int = 16,
+        loss_timeout_ps: int = 50 * MS,
+        on_complete: Optional[Callable[[PingPongResult], None]] = None,
+        record_rtts: bool = False,
+    ) -> None:
+        if payload_size < 8:
+            raise ConfigurationError("payload must hold an 8-byte sequence")
+        self._sim = sim
+        self._a = stack_a
+        self._b = stack_b
+        self._count = count
+        self._port = port
+        self._payload_pad = bytes(payload_size - 8)
+        self._loss_timeout = loss_timeout_ps
+        self._on_complete = on_complete
+        self._record_rtts = record_rtts
+        self._seq = 0
+        self._sent_at = 0
+        self._started_at = 0
+        self._timeout_event = None
+        self.result: Optional[PingPongResult] = None
+        self.losses = 0
+        self._rtts: List[int] = []
+        stack_b.bind(port, self._on_ping)
+        stack_a.bind(port + 1, self._on_pong)
+
+    def start(self, delay_ps: int = 0) -> None:
+        self._started_at = self._sim.now + delay_ps
+        self._sim.schedule(delay_ps, self._send_next, label="pingpong")
+
+    def _send_next(self) -> None:
+        if self._seq >= self._count:
+            self._finish()
+            return
+        self._seq += 1
+        self._sent_at = self._a.timestamp()
+        payload = self._seq.to_bytes(8, "big") + self._payload_pad
+        self._a.send_udp(self._b.interface.mac, self._port, payload)
+        self._timeout_event = self._sim.schedule(
+            self._loss_timeout, self._on_timeout, label="pingpong-timeout"
+        )
+
+    def _on_ping(self, src_mac: MacAddress, src_ip: IpAddress,
+                 src_port: int, payload: bytes) -> None:
+        # B waits for A's packet before sending its own.
+        self._b.send_udp(self._a.interface.mac, self._port + 1, payload)
+
+    def _on_pong(self, src_mac: MacAddress, src_ip: IpAddress,
+                 src_port: int, payload: bytes) -> None:
+        if len(payload) < 8 or int.from_bytes(payload[:8], "big") != self._seq:
+            return
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        if self._record_rtts:
+            self._rtts.append(self._a.timestamp() - self._sent_at)
+        self._send_next()
+
+    def _on_timeout(self) -> None:
+        self._timeout_event = None
+        self.losses += 1
+        self._send_next()
+
+    def _finish(self) -> None:
+        self.result = PingPongResult(
+            exchanges=self._seq,
+            total_time_ps=self._sim.now - self._started_at,
+            rtts_ps=self._rtts,
+        )
+        if self._on_complete is not None:
+            self._on_complete(self.result)

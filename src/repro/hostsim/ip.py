@@ -1,0 +1,91 @@
+"""Minimal IP layer ("IP-lite") carried inside Myrinet data packets.
+
+Just enough of IP to give UDP a pseudo-header and the stack an address
+space: a version/protocol byte pair, a 16-bit total length, and 4-byte
+source/destination addresses.  Addresses are derived from the host
+interface's 48-bit physical address (10.0.x.y from the low two bytes),
+matching how the test-bed assigned per-node IPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.myrinet.addresses import MacAddress
+
+#: Protocol number for UDP, as in real IP.
+PROTO_UDP = 17
+
+#: Serialized header length in bytes.
+HEADER_LEN = 12
+
+
+@dataclass(frozen=True)
+class IpAddress:
+    """A 32-bit IP-lite address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 32):
+            raise ProtocolError(f"IP address {self.value:#x} out of range")
+
+    @classmethod
+    def for_mac(cls, mac: MacAddress) -> "IpAddress":
+        """The conventional 10.0.x.y address of a host."""
+        low = mac.value & 0xFFFF
+        return cls((10 << 24) | (0 << 16) | low)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IpAddress":
+        if len(raw) != 4:
+            raise ProtocolError(f"IP address needs 4 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24 & 0xFF}.{v >> 16 & 0xFF}.{v >> 8 & 0xFF}.{v & 0xFF}"
+
+
+@dataclass
+class IpLiteHeader:
+    """The IP-lite header preceding a UDP datagram."""
+
+    src: IpAddress
+    dst: IpAddress
+    protocol: int = PROTO_UDP
+    total_length: int = 0
+
+    def to_bytes(self) -> bytes:
+        return (
+            bytes([0x45, self.protocol])
+            + self.total_length.to_bytes(2, "big")
+            + self.src.to_bytes()
+            + self.dst.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IpLiteHeader":
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError("truncated IP-lite header")
+        if raw[0] != 0x45:
+            raise ProtocolError(f"bad IP-lite version byte {raw[0]:#04x}")
+        return cls(
+            src=IpAddress.from_bytes(raw[4:8]),
+            dst=IpAddress.from_bytes(raw[8:12]),
+            protocol=raw[1],
+            total_length=int.from_bytes(raw[2:4], "big"),
+        )
+
+    def pseudo_header(self, udp_length: int) -> bytes:
+        """The UDP checksum pseudo-header."""
+        return (
+            self.src.to_bytes()
+            + self.dst.to_bytes()
+            + bytes([0, self.protocol])
+            + udp_length.to_bytes(2, "big")
+        )

@@ -1,0 +1,69 @@
+"""UDP datagrams with the real one's-complement checksum.
+
+"Since UDP uses a 16-bit one's complement checksum, corrupt packets
+should be detected and dropped by the UDP layer.  However, if the fault
+is manifested in a way that also satisfies the checksum, the incorrect
+packet should be passed through." (paper §4.3.4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, ProtocolError
+from repro.hostsim.checksum import internet_checksum, verify_checksum
+from repro.hostsim.ip import IpLiteHeader
+
+#: UDP header length.
+HEADER_LEN = 8
+
+
+@dataclass
+class UdpDatagram:
+    """One UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ProtocolError(f"UDP port {port} out of range")
+
+    @property
+    def length(self) -> int:
+        return HEADER_LEN + len(self.payload)
+
+    def to_bytes(self, ip: IpLiteHeader) -> bytes:
+        """Serialize with the checksum computed over the pseudo-header,
+        the UDP header, and the payload."""
+        header_no_sum = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.length.to_bytes(2, "big")
+        )
+        checksum = internet_checksum(
+            ip.pseudo_header(self.length) + header_no_sum + b"\x00\x00"
+            + self.payload
+        )
+        return header_no_sum + checksum.to_bytes(2, "big") + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, ip: IpLiteHeader) -> "UdpDatagram":
+        """Parse and verify; raises :class:`ChecksumError` when the
+        checksum does not validate (the datagram must be dropped)."""
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError("truncated UDP header")
+        length = int.from_bytes(raw[4:6], "big")
+        if length != len(raw):
+            raise ProtocolError(
+                f"UDP length field {length} != datagram size {len(raw)}"
+            )
+        if not verify_checksum(ip.pseudo_header(length) + raw):
+            raise ChecksumError("UDP checksum mismatch")
+        return cls(
+            src_port=int.from_bytes(raw[0:2], "big"),
+            dst_port=int.from_bytes(raw[2:4], "big"),
+            payload=raw[HEADER_LEN:],
+        )

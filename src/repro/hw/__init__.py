@@ -1,0 +1,51 @@
+"""FPGA fault-injector hardware models.
+
+Cycle-phase-accurate Python models of every VHDL entity in the paper's
+Figure 1: the two-phase FIFO injector (Figures 2/3) with its dual-port
+RAM, compare registers, and corrupt logic; the command decoder and output
+generator FSMs; the SPI and communications handler; the off-chip UART;
+the SDRAM capture memory; and the PHY transceivers.  A structural
+synthesis estimator reproduces the shape of the paper's Table 1.
+"""
+
+from repro.hw.clock import ClockPhase, TwoPhaseClock
+from repro.hw.compare import CompareUnit
+from repro.hw.fifo import DualPortRam, RamFifo
+from repro.hw.injector import FifoInjector, InjectionEvent
+from repro.hw.phy import PhyTransceiver
+from repro.hw.registers import (
+    CorruptMode,
+    InjectorConfig,
+    MatchMode,
+)
+from repro.hw.sdram import SdramBuffer
+from repro.hw.synthesis import (
+    PAPER_TABLE1,
+    EntityDescription,
+    ResourceEstimate,
+    estimate_entity,
+    synthesis_report,
+)
+from repro.hw.uart import SerialLine, Uart
+
+__all__ = [
+    "ClockPhase",
+    "TwoPhaseClock",
+    "CompareUnit",
+    "DualPortRam",
+    "RamFifo",
+    "FifoInjector",
+    "InjectionEvent",
+    "PhyTransceiver",
+    "MatchMode",
+    "CorruptMode",
+    "InjectorConfig",
+    "SdramBuffer",
+    "SerialLine",
+    "Uart",
+    "EntityDescription",
+    "ResourceEstimate",
+    "estimate_entity",
+    "synthesis_report",
+    "PAPER_TABLE1",
+]

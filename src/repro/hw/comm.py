@@ -1,0 +1,52 @@
+"""The communications handler (paper §3.3).
+
+"The communications handler configures the UART on boot-up and handles
+any interrupts coming from the UART or the internal logic.  This entity
+assembles data in the 16-bit SPI protocol format from 8-bit ASCII codes
+received from the output generator.  Data in the payload is stripped
+from incoming packets and applied to the command decoder."
+
+The model wires the full chain: serial line → UART chip → SPI frames →
+this handler → command decoder, and in the reverse direction output
+generator → this handler → SPI → UART → serial line.
+"""
+
+from __future__ import annotations
+
+from repro.hw.decoder import CommandDecoder, DecoderTarget
+from repro.hw.outputgen import OutputGenerator
+from repro.hw.spi import Spi
+from repro.hw.uart import SerialLine, Uart
+from repro.sim.kernel import Simulator
+
+
+class CommunicationsHandler:
+    """Boot-time glue and steady-state byte routing for the control path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        line: SerialLine,
+        target: DecoderTarget,
+    ) -> None:
+        self.uart = Uart(sim, line, side="b")
+        self.spi = Spi()
+        self.decoder = CommandDecoder(target, self._respond)
+        self.output_generator = OutputGenerator(self.spi.send_byte)
+        self.interrupts_handled = 0
+
+        # Boot sequence: configure the UART, then wire the byte paths.
+        self.uart.configure(data_bits=8, parity=None, stop_bits=1)
+        self.uart.attach_fpga(self.spi.from_uart)
+        self.spi.attach_handler(self._on_command_byte)
+        self.spi.attach_uart(self.uart.transmit)
+
+    def _on_command_byte(self, byte: int) -> None:
+        """UART interrupt: one command character arrived."""
+        self.interrupts_handled += 1
+        self.decoder.on_char(byte)
+
+    def _respond(self, text: str) -> None:
+        """Decoder interrupt: a response line is ready to transmit."""
+        self.interrupts_handled += 1
+        self.output_generator.send_response(text)

@@ -1,0 +1,30 @@
+"""The output generator FSM (paper §3.3).
+
+"The output generator is another FSM that generates ASCII codes for
+transmission over the serial link."  It takes the decoder's response
+strings, appends line termination, and feeds them byte-by-byte to the
+communications handler for SPI framing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class OutputGenerator:
+    """Serializes response strings into ASCII byte streams."""
+
+    def __init__(self, emit_byte: Callable[[int], None]) -> None:
+        self._emit_byte = emit_byte
+        self.responses_sent = 0
+        self.bytes_emitted = 0
+
+    def send_response(self, text: str) -> None:
+        """Emit one response line (terminated with ``\\n``)."""
+        self.responses_sent += 1
+        for char in text + "\n":
+            code = ord(char)
+            if code > 0x7F:
+                code = ord("?")
+            self._emit_byte(code)
+            self.bytes_emitted += 1

@@ -1,0 +1,60 @@
+"""PHY transceiver models (paper §3.2, §3.4).
+
+"The injector can function on standard interfaces because commercially
+available physical interface chips (PHYs) are used as transceivers.  Two
+transceivers are necessary because the transmitted data must be
+intercepted on one network segment and retransmitted ... on the opposite
+segment."  The board carries a MyriPHY pair and an FCPHY pair.
+
+The model is a counted pass-through with a fixed conversion latency (the
+paper's footnote 5 notes the latency of the Myricom FI3 chips is unknown;
+it is a parameter here and an ablation axis in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sim.timebase import from_ns
+
+#: Media the board provides PHY pairs for.
+MEDIA = ("myrinet", "fibre-channel")
+
+#: Default per-PHY conversion latency.
+DEFAULT_PHY_LATENCY_PS = from_ns(10.0)
+
+
+class PhyTransceiver:
+    """One physical-interface chip: receive on one side, drive the other."""
+
+    def __init__(
+        self,
+        name: str,
+        medium: str = "myrinet",
+        latency_ps: int = DEFAULT_PHY_LATENCY_PS,
+    ) -> None:
+        if medium not in MEDIA:
+            raise ConfigurationError(
+                f"unknown medium {medium!r}; expected one of {MEDIA}"
+            )
+        if latency_ps < 0:
+            raise ConfigurationError("PHY latency cannot be negative")
+        self.name = name
+        self.medium = medium
+        self.latency_ps = latency_ps
+        self.symbols_received = 0
+        self.symbols_driven = 0
+
+    def receive(self, count: int) -> int:
+        """Account for ``count`` symbols entering from the line.
+
+        Returns the conversion latency to add to their timestamps.
+        """
+        self.symbols_received += count
+        return self.latency_ps
+
+    def drive(self, count: int) -> int:
+        """Account for ``count`` symbols being driven onto the line."""
+        self.symbols_driven += count
+        return self.latency_ps

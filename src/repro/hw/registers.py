@@ -1,0 +1,125 @@
+"""Injector control inputs (paper §3.3, Figure 3).
+
+These are the registers the command decoder writes as configuration
+commands arrive over the serial link:
+
+* **match mode** — ``on`` (trigger on every match), ``off`` (trigger
+  disabled), ``once`` (trigger on the first match, then disarm);
+* **compare data / compare mask** — a 32-bit pattern and its don't-care
+  mask, compared (bit-wise XOR) against the sliding window of the four
+  most recent symbols;
+* **corrupt mode** — ``toggle`` (XOR the corrupt-data vector into the
+  segment) or ``replace`` (substitute corrupt-data bits selected by the
+  corrupt mask);
+* **corrupt data / corrupt mask** — the corruption vectors;
+* **inject now** — a one-shot trigger exercised on the next even cycle.
+
+The model extends the paper's 32-bit interface with four *control-lane*
+bits per register group so the D/C bit of each byte lane can participate
+in matching and corruption — this is how campaigns target GAP/GO/STOP
+control symbols (documented extension, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+#: Width of the compare/corrupt datapath.
+SEGMENT_BITS = 32
+#: Byte lanes per segment.
+SEGMENT_LANES = 4
+
+_MASK32 = (1 << SEGMENT_BITS) - 1
+_MASK4 = (1 << SEGMENT_LANES) - 1
+
+
+class MatchMode(Enum):
+    """Trigger arming (paper: on / off / once)."""
+
+    OFF = "off"
+    ON = "on"
+    ONCE = "once"
+
+
+class CorruptMode(Enum):
+    """How a matched segment is corrupted (paper: toggle / replace)."""
+
+    TOGGLE = "toggle"
+    REPLACE = "replace"
+
+
+@dataclass
+class InjectorConfig:
+    """The full register file of one FIFO injector instance."""
+
+    match_mode: MatchMode = MatchMode.OFF
+    compare_data: int = 0
+    compare_mask: int = 0
+    compare_ctl: int = _MASK4  # expected D/C bits (1 = data symbol)
+    compare_ctl_mask: int = 0  # which lanes' D/C bits participate
+    corrupt_mode: CorruptMode = CorruptMode.TOGGLE
+    corrupt_data: int = 0
+    corrupt_mask: int = _MASK32
+    corrupt_ctl: int = _MASK4  # replacement D/C bits
+    corrupt_ctl_mask: int = 0  # which lanes get their D/C bit replaced
+    crc_fixup: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("compare_data", "compare_mask", "corrupt_data",
+                     "corrupt_mask"):
+            value = getattr(self, name)
+            if not 0 <= value <= _MASK32:
+                raise ConfigurationError(
+                    f"{name} {value:#x} outside {SEGMENT_BITS}-bit range"
+                )
+        for name in ("compare_ctl", "compare_ctl_mask", "corrupt_ctl",
+                     "corrupt_ctl_mask"):
+            value = getattr(self, name)
+            if not 0 <= value <= _MASK4:
+                raise ConfigurationError(
+                    f"{name} {value:#x} outside {SEGMENT_LANES}-bit range"
+                )
+
+    def copy(self, **changes) -> "InjectorConfig":
+        """A modified copy (the decoder applies one field per command)."""
+        return replace(self, **changes)
+
+    @property
+    def armed(self) -> bool:
+        return self.match_mode is not MatchMode.OFF
+
+    def describe(self) -> str:
+        """One-line summary used by monitoring and reports."""
+        return (
+            f"match={self.match_mode.value} "
+            f"cd={self.compare_data:08x}/{self.compare_mask:08x} "
+            f"corrupt={self.corrupt_mode.value} "
+            f"rd={self.corrupt_data:08x}/{self.corrupt_mask:08x} "
+            f"ctl={self.compare_ctl:x}/{self.compare_ctl_mask:x}"
+            f"->{self.corrupt_ctl:x}/{self.corrupt_ctl_mask:x} "
+            f"crcfix={'1' if self.crc_fixup else '0'}"
+        )
+
+
+def pattern_for_bytes(pattern: bytes, lanes: int = SEGMENT_LANES) -> tuple:
+    """Build (compare_data, compare_mask) matching ``pattern`` at the
+    *newest* end of the window.
+
+    ``pattern`` may be 1..4 bytes; it is right-aligned (the most recent
+    symbol is the low byte of the window word), matching how the window
+    shifts, so a 2-byte pattern triggers the moment its second byte
+    arrives.
+    """
+    if not 1 <= len(pattern) <= lanes:
+        raise ConfigurationError(
+            f"pattern must be 1..{lanes} bytes, got {len(pattern)}"
+        )
+    data = 0
+    mask = 0
+    for byte in pattern:
+        data = ((data << 8) | byte) & _MASK32
+        mask = ((mask << 8) | 0xFF) & _MASK32
+    return data, mask

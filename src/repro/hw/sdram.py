@@ -1,0 +1,86 @@
+"""External SDRAM capture memory (paper §3.4).
+
+"The external memory is large enough to hold a significant amount of
+network traffic (for later transmission and analysis) and has the
+bandwidth to accept at least one of the target network streams (roughly
+1 Gb/s).  SDRAM running at 125 MHz was chosen..."
+
+The model tracks capacity and sustained-bandwidth accounting: writes that
+would exceed the configured bandwidth within their arrival window are
+dropped and counted, as are writes beyond capacity.  Monitoring captures
+(:mod:`repro.core.monitor`) store their records here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default capacity: 32 MiB, in line with late-90s SDRAM parts.
+DEFAULT_CAPACITY_BYTES = 32 * 1024 * 1024
+#: Default sustained write bandwidth: 125 MHz x 16-bit = 250 MB/s.
+DEFAULT_BANDWIDTH_BYTES_PER_S = 250_000_000
+
+_PS_PER_SECOND = 1_000_000_000_000
+
+
+class SdramBuffer:
+    """Bounded, bandwidth-accounted record storage."""
+
+    #: How far the write queue may lag behind the stream before new
+    #: records are shed (1 ms of backlog).
+    MAX_BACKLOG_PS = 1_000_000_000
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        bandwidth_bytes_per_s: int = DEFAULT_BANDWIDTH_BYTES_PER_S,
+    ) -> None:
+        if capacity_bytes <= 0 or bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("capacity and bandwidth must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self._records: List[Tuple[int, Any]] = []
+        self._bytes_used = 0
+        self._write_frontier_ps = 0
+        self.records_dropped_capacity = 0
+        self.records_dropped_bandwidth = 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+    @property
+    def records(self) -> List[Tuple[int, Any]]:
+        """Stored (timestamp, record) pairs in arrival order."""
+        return list(self._records)
+
+    def store(self, time_ps: int, record: Any, size_bytes: int) -> bool:
+        """Store one record arriving at ``time_ps``.
+
+        Returns False (and counts the drop) if capacity or sustained
+        bandwidth would be exceeded.
+        """
+        if self._bytes_used + size_bytes > self.capacity_bytes:
+            self.records_dropped_capacity += 1
+            return False
+        write_duration = (size_bytes * _PS_PER_SECOND) // self.bandwidth_bytes_per_s
+        start = max(time_ps, self._write_frontier_ps)
+        if start - time_ps > self.MAX_BACKLOG_PS:
+            # The write queue has fallen hopelessly behind the stream.
+            self.records_dropped_bandwidth += 1
+            return False
+        self._write_frontier_ps = start + write_duration
+        self._bytes_used += size_bytes
+        self._records.append((time_ps, record))
+        return True
+
+    def clear(self) -> None:
+        """Erase the memory (campaign reset)."""
+        self._records.clear()
+        self._bytes_used = 0
+        self._write_frontier_ps = 0
+
+    def __len__(self) -> int:
+        return len(self._records)

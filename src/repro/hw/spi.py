@@ -1,0 +1,91 @@
+"""SPI entity (paper §3.3).
+
+"SPI serializes the data for transmission to the UART and converts the
+received data into parallel form to be accessible by the communication
+handler."  The communications handler "assembles data in the 16-bit SPI
+protocol format from 8-bit ASCII codes".
+
+The 16-bit frame format used here::
+
+    [15:12] sync nibble 0xA
+    [11:9]  reserved (0)
+    [8]     even parity over the data byte
+    [7:0]   data byte
+
+Frames with a bad sync nibble or parity are dropped and counted — a unit
+test injects bit errors into the control path itself to check this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+
+_SYNC = 0xA
+
+
+def _parity(byte: int) -> int:
+    """Even parity bit over eight data bits."""
+    return bin(byte & 0xFF).count("1") & 1
+
+
+def encode_frame(byte: int) -> int:
+    """Wrap one data byte into a 16-bit SPI frame."""
+    if not 0 <= byte <= 0xFF:
+        raise ProtocolError(f"SPI payload {byte!r} is not a byte")
+    return (_SYNC << 12) | (_parity(byte) << 8) | byte
+
+
+def decode_frame(frame: int) -> int:
+    """Extract the data byte; raises :class:`ProtocolError` on a bad frame."""
+    if not 0 <= frame <= 0xFFFF:
+        raise ProtocolError(f"SPI frame {frame!r} is not 16 bits")
+    if (frame >> 12) != _SYNC:
+        raise ProtocolError(f"SPI frame {frame:#06x}: bad sync nibble")
+    byte = frame & 0xFF
+    if ((frame >> 8) & 1) != _parity(byte):
+        raise ProtocolError(f"SPI frame {frame:#06x}: parity error")
+    return byte
+
+
+class Spi:
+    """The FPGA's SPI entity: byte <-> 16-bit frame conversion."""
+
+    def __init__(self) -> None:
+        self._to_handler: Optional[Callable[[int], None]] = None
+        self._to_uart: Optional[Callable[[int], None]] = None
+        self.frames_in = 0
+        self.frames_out = 0
+        self.frame_errors = 0
+
+    def attach_handler(self, handler: Callable[[int], None]) -> None:
+        """Register the communications-handler byte consumer."""
+        self._to_handler = handler
+
+    def attach_uart(self, transmit: Callable[[int], None]) -> None:
+        """Register the UART transmit function."""
+        self._to_uart = transmit
+
+    def from_uart(self, byte: int) -> None:
+        """A byte arrived from the UART: frame it and pass it inward."""
+        frame = encode_frame(byte)
+        self.receive_frame(frame)
+
+    def receive_frame(self, frame: int) -> None:
+        """Deliver one 16-bit frame to the communications handler."""
+        self.frames_in += 1
+        try:
+            byte = decode_frame(frame)
+        except ProtocolError:
+            self.frame_errors += 1
+            return
+        if self._to_handler is not None:
+            self._to_handler(byte)
+
+    def send_byte(self, byte: int) -> None:
+        """Serialize one byte toward the UART."""
+        frame = encode_frame(byte)
+        self.frames_out += 1
+        if self._to_uart is not None:
+            self._to_uart(decode_frame(frame))

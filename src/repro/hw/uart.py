@@ -1,0 +1,121 @@
+"""RS-232 serial line and the off-chip UART (paper §3.3).
+
+"The universal asynchronous receiver/transmitter (UART) used to support
+serial communication channels between the device and an external system
+is off-loaded to a separate chip."  The model keeps that structure: a
+:class:`SerialLine` carries bytes with real serialization delay (10 bit
+times per byte, 8N1 framing) between the external control host and the
+:class:`Uart` chip, which hands bytes to/from the FPGA's SPI.
+
+The serialization delay matters: re-arming the injector over RS-232
+takes on the order of a millisecond, which is what paces once-mode
+injection campaigns (paper §3.3, "Match mode ... once").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+#: Default RS-232 baud rate.
+DEFAULT_BAUD = 115_200
+#: Bits on the wire per byte with 8N1 framing (start + 8 data + stop).
+BITS_PER_BYTE = 10
+_PS_PER_SECOND = 1_000_000_000_000
+
+
+class SerialLine:
+    """A full-duplex RS-232 line carrying one byte at a time.
+
+    Endpoints register byte handlers; ``send`` serializes each byte at
+    the configured baud rate, queueing behind earlier bytes in the same
+    direction.
+    """
+
+    def __init__(self, sim: Simulator, baud: int = DEFAULT_BAUD) -> None:
+        if baud <= 0:
+            raise ConfigurationError("baud rate must be positive")
+        self._sim = sim
+        self.baud = baud
+        self.byte_time_ps = (BITS_PER_BYTE * _PS_PER_SECOND) // baud
+        self._handlers: dict = {"a": None, "b": None}
+        self._busy_until: dict = {"a": 0, "b": 0}
+        self.bytes_carried = 0
+
+    def attach(self, side: str, handler: Callable[[int], None]) -> None:
+        """Register the byte handler for endpoint ``side`` ('a' or 'b')."""
+        if side not in self._handlers:
+            raise ConfigurationError(f"serial side must be 'a' or 'b': {side!r}")
+        self._handlers[side] = handler
+
+    def send(self, from_side: str, data: bytes) -> int:
+        """Transmit bytes from one endpoint to the other.
+
+        Returns the delivery time of the final byte.
+        """
+        if from_side not in self._handlers:
+            raise ConfigurationError(f"serial side must be 'a' or 'b': {from_side!r}")
+        to_side = "b" if from_side == "a" else "a"
+        handler = self._handlers[to_side]
+        if handler is None:
+            raise ConfigurationError(f"no handler attached on side {to_side!r}")
+        start = max(self._sim.now, self._busy_until[from_side])
+        delivery = start
+        for byte in data:
+            delivery = start + self.byte_time_ps
+            start = delivery
+            self._sim.schedule_at(
+                delivery,
+                lambda b=byte, h=handler: h(b),
+                label="serial-byte",
+            )
+            self.bytes_carried += 1
+        self._busy_until[from_side] = delivery
+        return delivery
+
+
+class Uart:
+    """The off-chip UART: bridges the serial line and the FPGA's SPI.
+
+    Must be configured by the communications handler on boot before any
+    traffic flows — the model enforces the paper's boot sequence.
+    """
+
+    def __init__(self, sim: Simulator, line: SerialLine, side: str = "b") -> None:
+        self._sim = sim
+        self._line = line
+        self._side = side
+        self._to_fpga: Optional[Callable[[int], None]] = None
+        self.configured = False
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+        self.dropped_before_config = 0
+        line.attach(side, self._on_line_byte)
+
+    def configure(self, data_bits: int = 8, parity: Optional[str] = None,
+                  stop_bits: int = 1) -> None:
+        """Boot-time configuration written by the communications handler."""
+        if data_bits != 8 or parity is not None or stop_bits != 1:
+            raise ConfigurationError("the model supports 8N1 framing only")
+        self.configured = True
+
+    def attach_fpga(self, handler: Callable[[int], None]) -> None:
+        """Register the FPGA-side (SPI) byte consumer."""
+        self._to_fpga = handler
+
+    def _on_line_byte(self, byte: int) -> None:
+        if not self.configured or self._to_fpga is None:
+            self.dropped_before_config += 1
+            return
+        self.rx_bytes += 1
+        self._to_fpga(byte)
+
+    def transmit(self, byte: int) -> None:
+        """Send one byte from the FPGA out over the serial line."""
+        if not self.configured:
+            self.dropped_before_config += 1
+            return
+        self.tx_bytes += 1
+        self._line.send(self._side, bytes([byte]))

@@ -1,0 +1,63 @@
+"""Myrinet network substrate.
+
+A symbol-level simulation of the Myrinet SAN/LAN fabric the paper's fault
+injector was demonstrated on: 9-bit symbols (a data/control bit plus eight
+data bits), GAP/GO/STOP control symbols, CRC-8 protected source-routed
+packets, slack-buffer flow control with short and long timeouts, cut-through
+switches, and LANai-style host interfaces running a Myrinet Control Program
+(MCP) that maps the network once per second.
+"""
+
+from repro.myrinet.addresses import MacAddress, McpAddress
+from repro.myrinet.crc8 import crc8, crc8_update
+from repro.myrinet.link import Channel, Link
+from repro.myrinet.packet import (
+    PACKET_TYPE_DATA,
+    PACKET_TYPE_MAPPING,
+    TYPE_FIELD_LEN,
+    MyrinetPacket,
+    route_byte,
+)
+from repro.myrinet.symbols import (
+    GAP,
+    GO,
+    IDLE,
+    STOP,
+    Symbol,
+    control_symbol,
+    data_symbol,
+    decode_control,
+    is_control,
+    is_data,
+)
+from repro.myrinet.interface import HostInterface
+from repro.myrinet.network import MyrinetNetwork, build_paper_testbed
+from repro.myrinet.switch import MyrinetSwitch
+
+__all__ = [
+    "MacAddress",
+    "McpAddress",
+    "crc8",
+    "crc8_update",
+    "Channel",
+    "Link",
+    "MyrinetPacket",
+    "route_byte",
+    "PACKET_TYPE_DATA",
+    "PACKET_TYPE_MAPPING",
+    "TYPE_FIELD_LEN",
+    "Symbol",
+    "GAP",
+    "GO",
+    "STOP",
+    "IDLE",
+    "data_symbol",
+    "control_symbol",
+    "decode_control",
+    "is_control",
+    "is_data",
+    "HostInterface",
+    "MyrinetSwitch",
+    "MyrinetNetwork",
+    "build_paper_testbed",
+]

@@ -1,0 +1,60 @@
+"""CRC-8 as used by Myrinet packets.
+
+Myrinet protects each packet with a trailing CRC-8 that is recomputed at
+every switch hop after the leading route byte is stripped (paper §4.1).
+The generator polynomial is x⁸ + x² + x + 1 (0x07, the ATM HEC
+polynomial), applied MSB-first with a zero initial value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: Generator polynomial x^8 + x^2 + x + 1, MSB-first representation.
+POLYNOMIAL = 0x07
+
+
+def _build_table(poly: int) -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ poly) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table(POLYNOMIAL)
+
+
+def crc8_update(crc: int, byte: int) -> int:
+    """Fold one byte into a running CRC value."""
+    return _TABLE[(crc ^ byte) & 0xFF]
+
+
+def crc8(data: Iterable[int], initial: int = 0x00) -> int:
+    """CRC-8 of a byte sequence.
+
+    >>> crc8(b"")
+    0
+    >>> crc8(b"123456789")
+    244
+    """
+    crc = initial
+    table = _TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF]
+    return crc
+
+
+def verify(data: Iterable[int]) -> bool:
+    """True if ``data`` (message followed by its CRC byte) checks out.
+
+    Appending a correct CRC makes the CRC of the whole sequence zero —
+    the standard residue property of an unreflected CRC with no final
+    XOR.
+    """
+    return crc8(data) == 0

@@ -1,0 +1,102 @@
+"""Symbol-stream framing.
+
+A :class:`FrameAssembler` splits an incoming symbol stream into frames on
+GAP boundaries (paper Figure 8): data symbols accumulate into the current
+frame, GAP closes it, STOP/GO are passed to a control-symbol handler
+*without* breaking the frame (control symbols are interleaved with data on
+a Myrinet channel), IDLE is discarded, and undecodable control values are
+dropped and counted.
+
+Frames that exceed ``max_frame`` — e.g. the unbounded merge created when a
+packet-terminating GAP is corrupted — are discarded as errors, mirroring a
+real interface's maximum-packet guard.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.myrinet.symbols import GAP, GO, IDLE, STOP, Symbol, decode_control
+
+#: Default maximum frame size in bytes (route + type + payload + CRC).
+DEFAULT_MAX_FRAME = 4096
+
+
+class FrameAssembler:
+    """Reassembles frames from a symbol stream."""
+
+    def __init__(
+        self,
+        on_frame: Callable[[bytes], None],
+        on_control: Optional[Callable[[Symbol], None]] = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._on_frame = on_frame
+        self._on_control = on_control
+        self._max_frame = max_frame
+        self._current: List[int] = []
+        self._overflowed = False
+        self.frames_emitted = 0
+        self.oversize_frames = 0
+        self.undecodable_controls = 0
+
+    def push(self, symbol: Symbol) -> None:
+        """Feed one symbol into the assembler."""
+        if symbol.is_data:
+            if self._overflowed:
+                return
+            if len(self._current) >= self._max_frame:
+                self._overflowed = True
+                self.oversize_frames += 1
+                self._current.clear()
+                return
+            self._current.append(symbol.value)
+            return
+        decoded = decode_control(symbol.value)
+        if decoded is None:
+            self.undecodable_controls += 1
+            return
+        if decoded is GAP:
+            self._close_frame()
+        elif decoded is IDLE:
+            return
+        elif self._on_control is not None:
+            self._on_control(decoded)
+
+    def push_burst(self, burst: List[Symbol]) -> None:
+        """Feed a burst of symbols (fused loop over data runs)."""
+        current = self._current
+        max_frame = self._max_frame
+        append = current.append
+        for symbol in burst:
+            if symbol.is_data:
+                if self._overflowed:
+                    continue
+                if len(current) >= max_frame:
+                    self._overflowed = True
+                    self.oversize_frames += 1
+                    current.clear()
+                    continue
+                append(symbol.value)
+                continue
+            self.push(symbol)
+
+    def _close_frame(self) -> None:
+        if self._overflowed:
+            self._overflowed = False
+            return
+        if self._current:
+            frame = bytes(self._current)
+            self._current.clear()
+            self.frames_emitted += 1
+            self._on_frame(frame)
+
+    @property
+    def partial_length(self) -> int:
+        """Bytes accumulated in the currently open frame."""
+        return len(self._current)
+
+    def reset(self) -> None:
+        """Drop any partial frame (e.g. on link reinitialization)."""
+        self._current.clear()
+        self._overflowed = False

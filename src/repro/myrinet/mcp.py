@@ -1,0 +1,352 @@
+"""The Myrinet Control Program (MCP).
+
+Each host interface runs an MCP with a unique 64-bit address; the MCP with
+the highest address is responsible for mapping the network, which it does
+once per second (paper §4.1): it sends **scout** mapping packets to every
+host position, collects **replies** (each carrying the responder's 48-bit
+physical address and 64-bit MCP address), assembles a
+:class:`~repro.myrinet.mapping.NetworkMap`, and distributes per-node
+routing tables in **routes** packets.
+
+Failure behaviours exercised by the paper's campaigns all emerge here:
+
+* a corrupted scout or reply removes the node from the map — and hence
+  from everyone's routing tables — until the next round (§4.3.2);
+* a reply whose physical address is corrupted to the *controller's*
+  address makes the mapper see "another controller"; map entries keyed by
+  address collide and the published maps flap from round to round
+  (§4.3.3, Figure 11);
+* a reply corrupted to a non-existent address simply replaces the node
+  with an unknown one, as if a machine had been swapped (§4.3.3).
+
+All mapping traffic travels as real packets through the simulated fabric,
+so an in-path injector can observe and corrupt it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.myrinet.addresses import MacAddress, McpAddress
+from repro.myrinet.interface import HostInterface
+from repro.myrinet.mapping import MapEntry, NetworkMap, Probe, TopologyOracle
+from repro.sim.kernel import Event, Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS, SECOND, US
+
+#: Mapping-packet payload subtypes.
+SUBTYPE_SCOUT = 0x01
+SUBTYPE_REPLY = 0x02
+SUBTYPE_ROUTES = 0x03
+
+#: Paper §4.1: the network is mapped once every second.
+DEFAULT_MAP_INTERVAL_PS = SECOND
+#: How long the mapper waits for scout replies before closing a round.
+DEFAULT_REPLY_TIMEOUT_PS = 500 * US
+#: Delay before the very first round (lets links and hosts settle).
+DEFAULT_INITIAL_DELAY_PS = 1 * MS
+#: Rounds of silence after which a deferring node reclaims mapping duty.
+MAPPER_SILENCE_ROUNDS = 3
+
+#: Bound on retained map history.
+MAP_HISTORY_LIMIT = 64
+
+
+class McpController:
+    """One host's Myrinet Control Program."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interface: HostInterface,
+        oracle: TopologyOracle,
+        position: str,
+        rng: Optional[DeterministicRng] = None,
+        map_interval_ps: int = DEFAULT_MAP_INTERVAL_PS,
+        reply_timeout_ps: int = DEFAULT_REPLY_TIMEOUT_PS,
+        initial_delay_ps: int = DEFAULT_INITIAL_DELAY_PS,
+    ) -> None:
+        self._sim = sim
+        self.interface = interface
+        self._oracle = oracle
+        self.position = position
+        self._rng = rng or DeterministicRng(interface.mcp_address.value & 0xFFFF)
+        self._map_interval_ps = map_interval_ps
+        self._reply_timeout_ps = reply_timeout_ps
+        self._initial_delay_ps = initial_delay_ps
+
+        interface.set_mapping_handler(self._on_mapping_payload)
+
+        self.highest_known_mcp: McpAddress = interface.mcp_address
+        self._last_mapping_heard = 0
+        self._round_open = False
+        self._round_index = 0
+        self._probe_targets: Dict[int, Probe] = {}
+        self._replies: List[Tuple[Probe, MacAddress, McpAddress]] = []
+        self._round_conflict = False
+        self._finalize_event: Optional[Event] = None
+        self._probe_seq = 0
+
+        self.map_history: List[NetworkMap] = []
+        self.in_network = True
+
+        # counters -------------------------------------------------------
+        self.rounds_run = 0
+        self.scouts_sent = 0
+        self.replies_sent = 0
+        self.routes_installed = 0
+        self.conflicts_detected = 0
+        self.malformed_mapping = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the periodic mapping schedule."""
+        stagger = self._rng.randint(0, 100) * US
+        self._sim.schedule(
+            self._initial_delay_ps + stagger,
+            self._tick,
+            label=f"mcp:{self.position}:tick",
+        )
+
+    def _tick(self) -> None:
+        if self.should_map():
+            self.run_round()
+        self._sim.schedule(
+            self._map_interval_ps, self._tick, label=f"mcp:{self.position}:tick"
+        )
+
+    def should_map(self) -> bool:
+        """True if this MCP currently believes it is the mapper.
+
+        A node defers to any higher address it has heard of, but reclaims
+        mapping duty if the presumed mapper has been silent for
+        :data:`MAPPER_SILENCE_ROUNDS` intervals (mapper-death recovery).
+        """
+        if self.interface.mcp_address >= self.highest_known_mcp:
+            return True
+        silence = self._sim.now - self._last_mapping_heard
+        if silence > MAPPER_SILENCE_ROUNDS * self._map_interval_ps:
+            self.highest_known_mcp = self.interface.mcp_address
+            return True
+        return False
+
+    @property
+    def is_mapper(self) -> bool:
+        return self.interface.mcp_address >= self.highest_known_mcp
+
+    @property
+    def current_map(self) -> Optional[NetworkMap]:
+        return self.map_history[-1] if self.map_history else None
+
+    # ------------------------------------------------------------------
+    # mapping rounds (mapper side)
+    # ------------------------------------------------------------------
+
+    def run_round(self) -> None:
+        """Scout every host position and schedule round finalization."""
+        if self._round_open:
+            return
+        self._round_open = True
+        self._round_index += 1
+        self.rounds_run += 1
+        self._probe_targets.clear()
+        self._replies = []
+        self._round_conflict = False
+        probes = self._oracle.probes_from(self.position)
+        # Reply arrival order is timing-dependent on real hardware; the
+        # shuffled probe order models that nondeterminism and is what
+        # makes address-collision maps differ from round to round.
+        self._rng.shuffle(probes)
+        for probe in probes:
+            self._probe_seq = (self._probe_seq + 1) & 0xFFFF
+            self._probe_targets[self._probe_seq] = probe
+            payload = self._encode_scout(self._probe_seq, probe)
+            self.interface.send_mapping(list(probe.forward_route), payload)
+            self.scouts_sent += 1
+        self._finalize_event = self._sim.schedule(
+            self._reply_timeout_ps,
+            self._finalize_round,
+            label=f"mcp:{self.position}:finalize",
+        )
+
+    def _encode_scout(self, probe_id: int, probe: Probe) -> bytes:
+        reply_route = bytes(probe.reply_route)
+        return bytes(
+            [SUBTYPE_SCOUT, probe_id >> 8, probe_id & 0xFF, len(reply_route)]
+        ) + reply_route + self.interface.mcp_address.to_bytes() + self.interface.mac.to_bytes()
+
+    def _finalize_round(self) -> None:
+        self._finalize_event = None
+        self._round_open = False
+        network_map = NetworkMap(
+            round_index=self._round_index,
+            completed_at=self._sim.now,
+            conflict=self._round_conflict,
+        )
+        for probe, mac, mcp in self._replies:
+            network_map.entries[probe.position] = MapEntry(
+                position=probe.position,
+                mac=mac,
+                mcp=mcp,
+                route=probe.forward_route,
+            )
+        self.map_history.append(network_map)
+        if len(self.map_history) > MAP_HISTORY_LIMIT:
+            self.map_history.pop(0)
+        self._distribute_routes(network_map)
+
+    def _distribute_routes(self, network_map: NetworkMap) -> None:
+        """Compute per-node routing tables and push them to live nodes.
+
+        Tables are keyed by 48-bit physical address; if two positions
+        report the same address the later entry overwrites the earlier
+        (the mechanical origin of the Figure 11 routing-table damage).
+        """
+        live: List[Tuple[str, MacAddress, McpAddress]] = [
+            (self.position, self.interface.mac, self.interface.mcp_address)
+        ]
+        for probe, mac, mcp in self._replies:
+            live.append((probe.position, mac, mcp))
+
+        for target_position, _mac, _mcp in live:
+            table: Dict[MacAddress, List[int]] = {}
+            for other_position, other_mac, _other_mcp in live:
+                if other_position == target_position:
+                    continue
+                table[other_mac] = self._oracle.route(
+                    target_position, other_position
+                )
+            if target_position == self.position:
+                self.interface.routing_table = table
+                self.routes_installed += 1
+                continue
+            payload = self._encode_routes(table)
+            self.interface.send_mapping(
+                self._oracle.route(self.position, target_position), payload
+            )
+
+    def _encode_routes(self, table: Dict[MacAddress, List[int]]) -> bytes:
+        parts = [bytes([SUBTYPE_ROUTES])]
+        parts.append(self.interface.mcp_address.to_bytes())
+        parts.append(bytes([len(table)]))
+        for mac, route in table.items():
+            parts.append(mac.to_bytes())
+            parts.append(bytes([len(route)]))
+            parts.append(bytes(route))
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------
+    # mapping-packet reception (all nodes)
+    # ------------------------------------------------------------------
+
+    def _on_mapping_payload(self, payload: bytes) -> None:
+        if not payload:
+            self.malformed_mapping += 1
+            return
+        subtype = payload[0]
+        if subtype == SUBTYPE_SCOUT:
+            self._on_scout(payload)
+        elif subtype == SUBTYPE_REPLY:
+            self._on_reply(payload)
+        elif subtype == SUBTYPE_ROUTES:
+            self._on_routes(payload)
+        else:
+            # A corrupted subtype is simply not understood: the node does
+            # not respond, which is exactly how the paper's corrupted
+            # mapping packets remove nodes from the network (§4.3.2).
+            self.malformed_mapping += 1
+
+    def _on_scout(self, payload: bytes) -> None:
+        if len(payload) < 4:
+            self.malformed_mapping += 1
+            return
+        probe_id = (payload[1] << 8) | payload[2]
+        route_len = payload[3]
+        expected = 4 + route_len + 8 + 6
+        if len(payload) < expected:
+            self.malformed_mapping += 1
+            return
+        reply_route = list(payload[4:4 + route_len])
+        mapper_mcp = McpAddress.from_bytes(payload[4 + route_len:4 + route_len + 8])
+        mapper_mac = MacAddress.from_bytes(
+            payload[4 + route_len + 8:4 + route_len + 14]
+        )
+        self._note_mapper(mapper_mcp)
+        if (
+            mapper_mcp < self.interface.mcp_address
+            and self.highest_known_mcp > self.interface.mcp_address
+        ):
+            # A lower-addressed MCP is mapping: it believes nothing
+            # higher is alive, so the presumed mapper must be dead —
+            # take over (we outrank the scouting node).
+            self.highest_known_mcp = self.interface.mcp_address
+        if (
+            mapper_mcp == self.interface.mcp_address
+            and mapper_mac != self.interface.mac
+        ):
+            self.conflicts_detected += 1
+        reply = (
+            bytes([SUBTYPE_REPLY, probe_id >> 8, probe_id & 0xFF])
+            + self.interface.mcp_address.to_bytes()
+            + self.interface.mac.to_bytes()
+        )
+        self.interface.send_mapping(reply_route, reply)
+        self.replies_sent += 1
+
+    def _on_reply(self, payload: bytes) -> None:
+        if len(payload) < 3 + 8 + 6:
+            self.malformed_mapping += 1
+            return
+        probe_id = (payload[1] << 8) | payload[2]
+        mcp = McpAddress.from_bytes(payload[3:11])
+        mac = MacAddress.from_bytes(payload[11:17])
+        probe = self._probe_targets.get(probe_id)
+        if probe is None or not self._round_open:
+            return
+        del self._probe_targets[probe_id]
+        if mcp > self.interface.mcp_address:
+            self._note_mapper(mcp)
+        if mcp == self.interface.mcp_address or mac == self.interface.mac:
+            # "The controller is confused by the appearance of what it
+            # believes is another controller" (paper §4.3.3).
+            self._round_conflict = True
+            self.conflicts_detected += 1
+        self._replies.append((probe, mac, mcp))
+        if not self._probe_targets and self._finalize_event is not None:
+            self._finalize_event.cancel()
+            self._finalize_event = None
+            self._finalize_round()
+
+    def _on_routes(self, payload: bytes) -> None:
+        if len(payload) < 10:
+            self.malformed_mapping += 1
+            return
+        mapper_mcp = McpAddress.from_bytes(payload[1:9])
+        self._note_mapper(mapper_mcp)
+        count = payload[9]
+        table: Dict[MacAddress, List[int]] = {}
+        offset = 10
+        for _ in range(count):
+            if offset + 7 > len(payload):
+                self.malformed_mapping += 1
+                return
+            mac = MacAddress.from_bytes(payload[offset:offset + 6])
+            route_len = payload[offset + 6]
+            offset += 7
+            if offset + route_len > len(payload):
+                self.malformed_mapping += 1
+                return
+            table[mac] = list(payload[offset:offset + route_len])
+            offset += route_len
+        self.interface.routing_table = table
+        self.routes_installed += 1
+        self.in_network = True
+
+    def _note_mapper(self, mcp: McpAddress) -> None:
+        self._last_mapping_heard = self._sim.now
+        if mcp > self.highest_known_mcp:
+            self.highest_known_mcp = mcp

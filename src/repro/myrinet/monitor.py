@@ -1,0 +1,109 @@
+"""``mmon``-style network monitoring.
+
+The paper's campaigns watched "the status of the network and the
+associated information (like routing tables and control registers) ...
+with the Myrinet monitoring program mmon" (§4.2).  :class:`Mmon`
+provides the equivalent view over a simulated network: per-host counters
+and routing tables, per-switch counters, the mapper's latest network
+map, and a known-good-state check used by the campaign framework to
+re-establish the paper's precondition that "each campaign began with the
+network in a known good state".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.myrinet.mapping import NetworkMap
+from repro.myrinet.network import MyrinetNetwork
+
+
+@dataclass
+class NetworkSnapshot:
+    """A point-in-time capture of the whole network's state."""
+
+    time_ps: int
+    host_stats: Dict[str, Dict[str, int]]
+    switch_stats: Dict[str, Dict[str, int]]
+    routing_tables: Dict[str, Dict[str, str]]
+    network_map: Optional[NetworkMap]
+
+    def total(self, counter: str) -> int:
+        """Sum one host counter across all hosts."""
+        return sum(stats.get(counter, 0) for stats in self.host_stats.values())
+
+
+class Mmon:
+    """Monitoring view over a :class:`MyrinetNetwork`."""
+
+    def __init__(self, network: MyrinetNetwork) -> None:
+        self._network = network
+
+    def snapshot(self) -> NetworkSnapshot:
+        """Capture counters, routing tables, and the current map."""
+        host_stats = {
+            name: host.interface.stats
+            for name, host in self._network.hosts.items()
+        }
+        switch_stats = {
+            name: switch.stats
+            for name, switch in self._network.switches.items()
+        }
+        routing_tables = {}
+        for name, host in self._network.hosts.items():
+            routing_tables[name] = {
+                str(mac): ",".join(str(p) for p in route)
+                for mac, route in host.interface.routing_table.items()
+            }
+        mapper = self._network.mapper()
+        return NetworkSnapshot(
+            time_ps=self._network.sim.now,
+            host_stats=host_stats,
+            switch_stats=switch_stats,
+            routing_tables=routing_tables,
+            network_map=mapper.mcp.current_map,
+        )
+
+    def all_nodes_in_network(self) -> bool:
+        """True if the latest map contains every host and every host has
+        a route to every other host — the paper's "known good state"."""
+        mapper = self._network.mapper()
+        network_map = mapper.mcp.current_map
+        if network_map is None:
+            return False
+        expected = set(self._network.hosts) - {mapper.name}
+        if set(network_map.entries) != expected:
+            return False
+        macs = {
+            host.interface.mac for host in self._network.hosts.values()
+        }
+        for name, host in self._network.hosts.items():
+            others = macs - {host.interface.mac}
+            if not others.issubset(set(host.interface.routing_table)):
+                return False
+        return True
+
+    def render(self) -> str:
+        """Human-readable status report."""
+        snap = self.snapshot()
+        lines = [f"mmon @ {snap.time_ps}ps"]
+        for name in sorted(snap.host_stats):
+            stats = snap.host_stats[name]
+            lines.append(
+                f"  host {name}: sent={stats['packets_sent']} "
+                f"recv={stats['packets_received']} crc={stats['crc_errors']} "
+                f"misaddr={stats['misaddressed_drops']}"
+            )
+            for mac, route in sorted(snap.routing_tables[name].items()):
+                lines.append(f"    route {mac} -> [{route}]")
+        for name in sorted(snap.switch_stats):
+            stats = snap.switch_stats[name]
+            lines.append(
+                f"  switch {name}: fwd={stats['frames_forwarded']} "
+                f"routing_errors={stats['routing_errors']} "
+                f"long_timeouts={stats['long_timeouts']}"
+            )
+        if snap.network_map is not None:
+            lines.append(snap.network_map.render())
+        return "\n".join(lines)

@@ -1,0 +1,305 @@
+"""Topology builder: assembles hosts, switches, links, and MCPs.
+
+:class:`MyrinetNetwork` is the high-level entry point for constructing a
+simulated Myrinet LAN.  It wires interfaces to switches, keeps the
+:class:`~repro.myrinet.mapping.TopologyOracle` consistent with the
+physical wiring, and supports splicing an in-path device (the fault
+injector) into any host-to-switch connection — in which case both link
+segments carry flow control as real symbols so the device can observe
+and corrupt them.
+
+:func:`build_paper_testbed` recreates the paper's Figure 10 network: one
+Linux PC and two UltraSPARC workstations on an 8-port Myrinet switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from repro.errors import ConfigurationError
+from repro.myrinet.addresses import MacAddress, McpAddress
+from repro.myrinet.interface import HostInterface
+from repro.myrinet.link import DEFAULT_CHAR_PERIOD_PS, DEFAULT_PROPAGATION_PS, Link
+from repro.myrinet.mapping import TopologyOracle
+from repro.myrinet.mcp import McpController
+from repro.myrinet.switch import MyrinetSwitch
+from repro.sim.kernel import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS, US
+
+#: Locally-administered MAC prefix used for auto-assigned addresses.
+_MAC_BASE = 0x02_00_5E_00_00_00
+#: Base for auto-assigned MCP addresses.
+_MCP_BASE = 0x0000_1000_0000_0000
+
+
+class InPathDevice(Protocol):
+    """Anything that can be spliced into a host-switch connection."""
+
+    def attach_left(self, link: Link, side: str) -> None:
+        """Attach the segment facing the host."""
+
+    def attach_right(self, link: Link, side: str) -> None:
+        """Attach the segment facing the switch."""
+
+
+@dataclass
+class Host:
+    """A host: its interface plus the MCP running on it."""
+
+    name: str
+    interface: HostInterface
+    mcp: McpController
+
+
+@dataclass
+class Connection:
+    """Record of one host-to-switch attachment."""
+
+    host: str
+    switch: str
+    port: int
+    links: List[Link] = field(default_factory=list)
+    device: Optional[InPathDevice] = None
+
+
+class MyrinetNetwork:
+    """Builder and container for a simulated Myrinet LAN."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        char_period_ps: int = DEFAULT_CHAR_PERIOD_PS,
+        propagation_ps: int = DEFAULT_PROPAGATION_PS,
+        flow_transport: str = "direct",
+        rng: Optional[DeterministicRng] = None,
+        map_interval_ps: Optional[int] = None,
+        mcp_reply_timeout_ps: Optional[int] = None,
+        mcp_initial_delay_ps: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.char_period_ps = char_period_ps
+        self.propagation_ps = propagation_ps
+        self.flow_transport = flow_transport
+        self.rng = rng or DeterministicRng(0)
+        self._mcp_kwargs: Dict[str, int] = {}
+        if map_interval_ps is not None:
+            self._mcp_kwargs["map_interval_ps"] = map_interval_ps
+        if mcp_reply_timeout_ps is not None:
+            self._mcp_kwargs["reply_timeout_ps"] = mcp_reply_timeout_ps
+        if mcp_initial_delay_ps is not None:
+            self._mcp_kwargs["initial_delay_ps"] = mcp_initial_delay_ps
+
+        self.oracle = TopologyOracle()
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, MyrinetSwitch] = {}
+        self.connections: List[Connection] = []
+        self._next_host_index = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_switch(self, name: str, num_ports: int = 8,
+                   **kwargs) -> MyrinetSwitch:
+        """Create a switch and register it with the topology oracle."""
+        if name in self.switches:
+            raise ConfigurationError(f"duplicate switch name {name!r}")
+        switch = MyrinetSwitch(self.sim, name=name, num_ports=num_ports,
+                               **kwargs)
+        self.switches[name] = switch
+        self.oracle.add_switch(name)
+        return switch
+
+    def add_host(
+        self,
+        name: str,
+        mac: Optional[MacAddress] = None,
+        mcp_address: Optional[McpAddress] = None,
+        **interface_kwargs,
+    ) -> Host:
+        """Create a host (interface + MCP).
+
+        Addresses are auto-assigned in creation order unless given, so
+        the *last* host added holds the highest MCP address and becomes
+        the mapper.
+        """
+        if name in self.hosts:
+            raise ConfigurationError(f"duplicate host name {name!r}")
+        index = self._next_host_index
+        self._next_host_index += 1
+        if mac is None:
+            mac = MacAddress(_MAC_BASE + index + 1)
+        if mcp_address is None:
+            mcp_address = McpAddress(_MCP_BASE + index + 1)
+        interface = HostInterface(
+            self.sim, name=name, mac=mac, mcp_address=mcp_address,
+            **interface_kwargs,
+        )
+        mcp = McpController(
+            self.sim,
+            interface,
+            self.oracle,
+            position=name,
+            rng=self.rng.fork(f"mcp:{name}"),
+            **self._mcp_kwargs,
+        )
+        host = Host(name=name, interface=interface, mcp=mcp)
+        self.hosts[name] = host
+        self.oracle.add_host(name)
+        return host
+
+    def connect(
+        self,
+        host_name: str,
+        switch_name: str,
+        port: int,
+        device: Optional[InPathDevice] = None,
+        flow_transport: Optional[str] = None,
+    ) -> Connection:
+        """Wire a host to a switch port, optionally through an in-path device.
+
+        With a device, two link segments are created (host—device and
+        device—switch) and flow control is forced onto the ``symbols``
+        transport so STOP/GO traverse — and can be corrupted by — the
+        device.
+        """
+        host = self.hosts[host_name]
+        switch = self.switches[switch_name]
+        connection = Connection(host=host_name, switch=switch_name,
+                                port=port, device=device)
+        if device is None:
+            transport = flow_transport or self.flow_transport
+            link = self._new_link(f"{host_name}<->{switch_name}.p{port}")
+            host.interface.attach_link(link, "a", flow_transport=transport)
+            switch.attach_link(port, link, "b", flow_transport=transport)
+            connection.links.append(link)
+        else:
+            left = self._new_link(f"{host_name}<->dev")
+            right = self._new_link(f"dev<->{switch_name}.p{port}")
+            host.interface.attach_link(left, "a", flow_transport="symbols")
+            device.attach_left(left, "b")
+            device.attach_right(right, "a")
+            switch.attach_link(port, right, "b", flow_transport="symbols")
+            connection.links.extend([left, right])
+        self.oracle.connect_host(host_name, switch_name, port)
+        self.connections.append(connection)
+        return connection
+
+    def connect_switches(
+        self,
+        switch_a: str,
+        port_a: int,
+        switch_b: str,
+        port_b: int,
+        device: Optional[InPathDevice] = None,
+        flow_transport: Optional[str] = None,
+    ) -> List[Link]:
+        """Wire two switches together, optionally through an in-path device.
+
+        Splicing the injector into an inter-switch trunk monitors (and
+        can corrupt) every flow crossing it — "allowing previously
+        inaccessible portions of the system to be monitored" (paper §1).
+        Returns the created link segment(s).
+        """
+        if device is None:
+            transport = flow_transport or self.flow_transport
+            link = self._new_link(
+                f"{switch_a}.p{port_a}<->{switch_b}.p{port_b}"
+            )
+            self.switches[switch_a].attach_link(port_a, link, "a",
+                                                flow_transport=transport)
+            self.switches[switch_b].attach_link(port_b, link, "b",
+                                                flow_transport=transport)
+            self.oracle.connect_switches(switch_a, port_a, switch_b, port_b)
+            return [link]
+        left = self._new_link(f"{switch_a}.p{port_a}<->dev")
+        right = self._new_link(f"dev<->{switch_b}.p{port_b}")
+        self.switches[switch_a].attach_link(port_a, left, "a",
+                                            flow_transport="symbols")
+        device.attach_left(left, "b")
+        device.attach_right(right, "a")
+        self.switches[switch_b].attach_link(port_b, right, "b",
+                                            flow_transport="symbols")
+        self.oracle.connect_switches(switch_a, port_a, switch_b, port_b)
+        return [left, right]
+
+    def _new_link(self, name: str) -> Link:
+        return Link(
+            self.sim,
+            name,
+            char_period_ps=self.char_period_ps,
+            propagation_ps=self.propagation_ps,
+        )
+
+    # ------------------------------------------------------------------
+    # operation
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every MCP.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for host in self.hosts.values():
+            host.mcp.start()
+
+    def settle(self, duration_ps: int = 5 * MS) -> None:
+        """Start the network and run until routing tables are in place.
+
+        The default covers the MCP initial delay, its stagger, one full
+        scout round, and the routes distribution for LAN-scale networks.
+        """
+        self.start()
+        self.sim.run_for(duration_ps)
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def switch(self, name: str) -> MyrinetSwitch:
+        return self.switches[name]
+
+    def mapper(self) -> Host:
+        """The host whose MCP address is highest (the network mapper)."""
+        return max(
+            self.hosts.values(), key=lambda h: h.interface.mcp_address.value
+        )
+
+    def interfaces(self) -> List[HostInterface]:
+        return [host.interface for host in self.hosts.values()]
+
+    def connection_for(self, host_name: str) -> Connection:
+        """The attachment record of ``host_name``."""
+        for connection in self.connections:
+            if connection.host == host_name:
+                return connection
+        raise ConfigurationError(f"host {host_name!r} has no connection")
+
+
+def build_paper_testbed(
+    sim: Simulator,
+    device: Optional[InPathDevice] = None,
+    instrumented_host: str = "pc",
+    rng: Optional[DeterministicRng] = None,
+    host_kwargs: Optional[Dict] = None,
+    switch_kwargs: Optional[Dict] = None,
+    **network_kwargs,
+) -> MyrinetNetwork:
+    """The paper's Figure 10 test-bed: three nodes on one 8-port switch.
+
+    ``device``, if given, is spliced into ``instrumented_host``'s link —
+    the paper placed the fault injector between one host and the switch.
+    Hosts: ``pc`` (the 200 MHz Pentium Pro Linux box) on port 0 and
+    ``sparc1``/``sparc2`` (the 170 MHz UltraSPARCs) on ports 1 and 2;
+    ``sparc2`` holds the highest MCP address and maps the network.
+    """
+    network = MyrinetNetwork(sim, rng=rng, **network_kwargs)
+    network.add_switch("switch", num_ports=8, **(switch_kwargs or {}))
+    for name in ("pc", "sparc1", "sparc2"):
+        network.add_host(name, **(host_kwargs or {}))
+    for port, name in enumerate(("pc", "sparc1", "sparc2")):
+        spliced = device if name == instrumented_host else None
+        network.connect(name, "switch", port, device=spliced)
+    return network

@@ -1,0 +1,40 @@
+"""NFTAPE-style campaign framework (paper §1, [Sto00]).
+
+"The system-level impact of faults can be evaluated in an automated
+fashion employing the proposed fault injection hardware and an external
+management and control framework, such as ... NFTAPE."
+
+This package is that framework: a :class:`Testbed` that stands up the
+paper's Figure 10 network in a known good state, :class:`FaultPlan`
+descriptions with once-mode re-arming over the serial link,
+:class:`Experiment`/:class:`Campaign` runners that collect
+:class:`ExperimentResult` rows, the §4.4 active/passive fault
+classifier, and table renderers for paper-versus-measured reporting.
+"""
+
+from repro.nftape.campaign import Campaign
+from repro.nftape.classify import FaultClass, classify_result
+from repro.nftape.experiment import Experiment, Testbed
+from repro.nftape.plan import DutyCyclePlan, FaultPlan, InjectNowPlan
+from repro.nftape.random_faults import RandomBitFlipPlan
+from repro.nftape.report import CampaignReport, Comparison
+from repro.nftape.results import ExperimentResult, ResultTable
+from repro.nftape.workload import AllPairsWorkload, WorkloadConfig
+
+__all__ = [
+    "Campaign",
+    "Experiment",
+    "Testbed",
+    "FaultPlan",
+    "DutyCyclePlan",
+    "InjectNowPlan",
+    "RandomBitFlipPlan",
+    "CampaignReport",
+    "Comparison",
+    "ExperimentResult",
+    "ResultTable",
+    "FaultClass",
+    "classify_result",
+    "AllPairsWorkload",
+    "WorkloadConfig",
+]

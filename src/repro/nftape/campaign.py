@@ -1,0 +1,61 @@
+"""Campaign runner: a sequence of experiments with collected results.
+
+Each experiment builds its own fresh :class:`~repro.nftape.experiment.Testbed`
+(the paper's known-good-state precondition), runs to completion, and its
+result row lands in a :class:`~repro.nftape.results.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.nftape.classify import classify_result
+from repro.nftape.experiment import Experiment
+from repro.nftape.results import ExperimentResult, ResultTable
+
+#: Row builder: maps a finished result to the table columns.
+RowBuilder = Callable[[ExperimentResult], Dict[str, Any]]
+
+
+def default_row(result: ExperimentResult) -> Dict[str, Any]:
+    """The standard campaign row: the paper's Table 4 columns plus class."""
+    return {
+        "experiment": result.name,
+        "sent": result.messages_sent,
+        "received": result.messages_received,
+        "loss_rate": f"{result.loss_rate:.1%}",
+        "injections": result.injections,
+        "class": classify_result(result).fault_class.value,
+    }
+
+
+class Campaign:
+    """An ordered list of experiments producing one result table."""
+
+    def __init__(
+        self,
+        name: str,
+        row_builder: RowBuilder = default_row,
+        on_progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.name = name
+        self._row_builder = row_builder
+        self._on_progress = on_progress
+        self.experiments: List[Experiment] = []
+        self.results: List[ExperimentResult] = []
+
+    def add(self, experiment: Experiment) -> "Campaign":
+        """Append an experiment (chainable)."""
+        self.experiments.append(experiment)
+        return self
+
+    def run(self) -> ResultTable:
+        """Run every experiment on a fresh test bed; return the table."""
+        table = ResultTable(self.name)
+        for experiment in self.experiments:
+            if self._on_progress is not None:
+                self._on_progress(f"running {experiment.name}")
+            result = experiment.run()
+            self.results.append(result)
+            table.add(result, **self._row_builder(result))
+        return table

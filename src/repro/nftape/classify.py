@@ -1,0 +1,103 @@
+"""Active/passive fault classification (paper §4.4).
+
+"We consider a fault *active* if it passes incorrect data or results to
+a higher system level. ... we consider a fault to be *passive* if it
+puts the network into an unexpected and incorrect state, allowing the
+affected nodes to make bad decisions based on erroneous information."
+
+The classifier inspects an :class:`ExperimentResult` for the evidence
+each class leaves behind.  The paper's headline finding — "the faults
+observed in our injection campaigns were all passive.  Data were dropped
+and lost, but not incorrectly passed on" — is asserted by the §4.4
+benchmark using this classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from repro.nftape.results import ExperimentResult
+
+
+class FaultClass(Enum):
+    """Outcome classes of §4.4."""
+
+    NONE = "none"
+    PASSIVE = "passive"
+    ACTIVE = "active"
+
+
+@dataclass
+class Classification:
+    """A fault class plus the evidence that produced it."""
+
+    fault_class: FaultClass
+    evidence: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        reasons = "; ".join(self.evidence) if self.evidence else "no effects"
+        return f"{self.fault_class.value} ({reasons})"
+
+
+#: Host counters whose increase is passive-fault evidence.
+_PASSIVE_HOST_COUNTERS = (
+    "crc_errors",
+    "consume_errors",
+    "misaddressed_drops",
+    "unknown_type_drops",
+    "no_route_drops",
+    "tx_timeout_drops",
+    "truncated_frames",
+    "oversize_frames",
+)
+
+#: Switch counters whose increase is passive-fault evidence.
+_PASSIVE_SWITCH_COUNTERS = (
+    "routing_errors",
+    "long_timeouts",
+    "wait_timeouts",
+    "symbols_dropped",
+)
+
+
+def classify_result(result: ExperimentResult) -> Classification:
+    """Classify one experiment's outcome."""
+    evidence_active: List[str] = []
+    evidence_passive: List[str] = []
+
+    if result.active_misdeliveries:
+        evidence_active.append(
+            f"{result.active_misdeliveries} messages delivered to the "
+            f"wrong node"
+        )
+    if result.corrupted_deliveries:
+        evidence_active.append(
+            f"{result.corrupted_deliveries} corrupted payloads passed to "
+            f"the application"
+        )
+
+    if result.messages_lost:
+        evidence_passive.append(f"{result.messages_lost} messages lost")
+    if result.checksum_drops:
+        evidence_passive.append(
+            f"{result.checksum_drops} UDP checksum drops"
+        )
+    if result.send_failures:
+        evidence_passive.append(f"{result.send_failures} blocked sends")
+    for counter in _PASSIVE_HOST_COUNTERS:
+        total = result.total_host_counter(counter)
+        if total:
+            evidence_passive.append(f"{counter}={total}")
+    for counter in _PASSIVE_SWITCH_COUNTERS:
+        total = result.total_switch_counter(counter)
+        if total:
+            evidence_passive.append(f"{counter}={total}")
+
+    if evidence_active:
+        return Classification(FaultClass.ACTIVE,
+                              evidence_active + evidence_passive)
+    if evidence_passive:
+        return Classification(FaultClass.PASSIVE, evidence_passive)
+    return Classification(FaultClass.NONE)

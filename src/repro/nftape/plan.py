@@ -1,0 +1,184 @@
+"""Fault plans: what to inject, and how injections are paced.
+
+A :class:`FaultPlan` uploads an injector configuration over the serial
+link and — for once-mode triggers — periodically re-arms the trigger,
+modelling how NFTAPE paced the paper's campaigns: arm, let the fault
+fire, optionally read back state over "the slower serial line" (§3.3),
+and arm again.  An :class:`InjectNowPlan` exercises the forced-injection
+input on a schedule instead of waiting for a pattern match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CampaignError
+from repro.hw.registers import InjectorConfig, MatchMode
+from repro.sim.kernel import PeriodicTask
+from repro.sim.timebase import MS
+
+
+@dataclass
+class FaultPlan:
+    """Upload a configuration; optionally keep re-arming a once trigger.
+
+    ``direction`` is ``"R"``, ``"L"``, or ``"RL"`` — the device is
+    bi-directional and a campaign targeting a symbol class usually
+    corrupts it wherever it appears on the link.
+    """
+
+    direction: str
+    config: InjectorConfig
+    rearm_interval_ps: Optional[int] = None
+    use_serial: bool = True
+    _rearm_task: Optional[PeriodicTask] = field(default=None, repr=False)
+
+    @property
+    def directions(self) -> str:
+        return self.direction
+
+    def install(self, testbed) -> None:
+        """Upload the configuration (serial by default)."""
+        for direction in self.directions:
+            if self.use_serial:
+                if testbed.session is None:
+                    raise CampaignError("test bed has no serial session")
+                testbed.session.configure(direction, self.config)
+            else:
+                if testbed.device is None:
+                    raise CampaignError("test bed has no device")
+                testbed.device.configure(direction, self.config)
+
+    def start(self, testbed) -> None:
+        """Begin the re-arm schedule, if any."""
+        if self.rearm_interval_ps is None:
+            return
+        if self.config.match_mode is not MatchMode.ONCE:
+            raise CampaignError("re-arming only makes sense in once mode")
+
+        def _rearm() -> None:
+            for direction in self.directions:
+                if self.use_serial and testbed.session is not None:
+                    testbed.session.arm(direction, MatchMode.ONCE)
+                elif testbed.device is not None:
+                    testbed.device.injector(direction).set_match_mode(
+                        MatchMode.ONCE
+                    )
+
+        self._rearm_task = testbed.sim.every(
+            self.rearm_interval_ps, _rearm, label="fault-rearm"
+        )
+
+    def stop(self, testbed) -> None:
+        """Stop re-arming and disarm the trigger."""
+        if self._rearm_task is not None:
+            self._rearm_task.stop()
+            self._rearm_task = None
+        if testbed.device is not None:
+            for direction in self.directions:
+                testbed.device.injector(direction).set_match_mode(
+                    MatchMode.OFF
+                )
+
+
+@dataclass
+class DutyCyclePlan:
+    """Alternate the trigger between armed (ON) and disarmed windows.
+
+    NFTAPE paced several of the paper's campaigns this way over the
+    serial link: arm the match-everything trigger for a window, disarm,
+    observe, repeat.  The duty cycle is the knob that sets the injected
+    fault density for Table 4 style runs.
+    """
+
+    direction: str
+    config: InjectorConfig
+    on_ps: int = 1 * MS
+    off_ps: int = 3 * MS
+    use_serial: bool = True
+    _task: Optional[object] = field(default=None, repr=False)
+    _armed: bool = field(default=False, repr=False)
+
+    @property
+    def directions(self) -> str:
+        return self.direction
+
+    def install(self, testbed) -> None:
+        config = self.config.copy(match_mode=MatchMode.OFF)
+        for direction in self.directions:
+            if self.use_serial:
+                if testbed.session is None:
+                    raise CampaignError("test bed has no serial session")
+                testbed.session.configure(direction, config)
+            else:
+                if testbed.device is None:
+                    raise CampaignError("test bed has no device")
+                testbed.device.configure(direction, config)
+
+    def start(self, testbed) -> None:
+        self._set_armed(testbed, True)
+        self._schedule_toggle(testbed)
+
+    def stop(self, testbed) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        self._set_armed(testbed, False)
+
+    def _schedule_toggle(self, testbed) -> None:
+        delay = self.on_ps if self._armed else self.off_ps
+        self._task = testbed.sim.schedule(
+            delay, lambda: self._toggle(testbed), label="duty-toggle"
+        )
+
+    def _toggle(self, testbed) -> None:
+        self._set_armed(testbed, not self._armed)
+        self._schedule_toggle(testbed)
+
+    def _set_armed(self, testbed, armed: bool) -> None:
+        self._armed = armed
+        mode = MatchMode.ON if armed else MatchMode.OFF
+        for direction in self.directions:
+            if self.use_serial and testbed.session is not None:
+                testbed.session.arm(direction, mode)
+            elif testbed.device is not None:
+                testbed.device.injector(direction).set_match_mode(mode)
+
+
+@dataclass
+class InjectNowPlan:
+    """Periodically pulse the Inject-Now input (forced injections)."""
+
+    direction: str
+    config: InjectorConfig
+    interval_ps: int = 1 * MS
+    use_serial: bool = True
+    _task: Optional[PeriodicTask] = field(default=None, repr=False)
+
+    def install(self, testbed) -> None:
+        if self.use_serial:
+            if testbed.session is None:
+                raise CampaignError("test bed has no serial session")
+            testbed.session.configure(self.direction, self.config)
+        elif testbed.device is not None:
+            testbed.device.configure(self.direction, self.config)
+
+    def start(self, testbed) -> None:
+        def _pulse() -> None:
+            if self.use_serial and testbed.session is not None:
+                testbed.session.inject_now(self.direction)
+            elif testbed.device is not None:
+                testbed.device.injector(self.direction).inject_now()
+
+        self._task = testbed.sim.every(self.interval_ps, _pulse,
+                                       label="inject-now")
+
+    def stop(self, testbed) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        if testbed.device is not None:
+            testbed.device.injector(self.direction).set_match_mode(
+                MatchMode.OFF
+            )

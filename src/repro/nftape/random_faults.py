@@ -1,0 +1,95 @@
+"""Random fault injection (paper §3.1).
+
+"Random faults causing bit flip errors for system availability and fault
+tolerance characterization under SEU conditions" — the first fault class
+the injector supports.  :class:`RandomBitFlipPlan` models an SEU
+campaign: at exponentially distributed instants it reprograms the
+corrupt-data vector with a fresh random single-bit toggle and pulses the
+Inject-Now input, flipping one random bit of whatever 32-bit segment
+happens to be in the FIFO at that moment.
+
+With the serial path enabled, each reprogram pays the real RS-232 cost,
+which bounds the achievable SEU rate just as it did for the paper's
+campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CampaignError
+from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.sim.kernel import Event
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS
+
+
+@dataclass
+class RandomBitFlipPlan:
+    """Exponentially-paced random single-bit flips on the data stream."""
+
+    direction: str = "R"
+    mean_interval_ps: int = 2 * MS
+    use_serial: bool = False
+    seed: int = 0
+    flip_control_bit_probability: float = 0.0
+    _event: Optional[Event] = field(default=None, repr=False)
+    _rng: Optional[DeterministicRng] = field(default=None, repr=False)
+    _stopped: bool = field(default=False, repr=False)
+    pulses: int = field(default=0)
+
+    @property
+    def directions(self) -> str:
+        return self.direction
+
+    def _config_for(self, bit: int, flip_ctl: bool) -> InjectorConfig:
+        return InjectorConfig(
+            match_mode=MatchMode.OFF,          # inject-now only
+            corrupt_mode=CorruptMode.TOGGLE,
+            corrupt_data=0 if flip_ctl else (1 << bit),
+            corrupt_ctl=0x1 if flip_ctl else 0x0,
+            corrupt_ctl_mask=0x1 if flip_ctl else 0x0,
+        )
+
+    def install(self, testbed) -> None:
+        if testbed.device is None:
+            raise CampaignError("test bed has no device")
+        self._rng = DeterministicRng(self.seed).fork("seu")
+        for direction in self.directions:
+            testbed.device.configure(direction, self._config_for(0, False))
+
+    def start(self, testbed) -> None:
+        self._stopped = False
+        self._schedule_next(testbed)
+
+    def stop(self, testbed) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule_next(self, testbed) -> None:
+        assert self._rng is not None
+        delay = max(1, int(self._rng.expovariate(
+            1.0 / self.mean_interval_ps)))
+        self._event = testbed.sim.schedule(
+            delay, lambda: self._pulse(testbed), label="seu-pulse"
+        )
+
+    def _pulse(self, testbed) -> None:
+        if self._stopped or testbed.device is None:
+            return
+        assert self._rng is not None
+        bit = self._rng.bit_index(32)
+        flip_ctl = self._rng.random() < self.flip_control_bit_probability
+        for direction in self.directions:
+            config = self._config_for(bit, flip_ctl)
+            if self.use_serial and testbed.session is not None:
+                testbed.session.configure(direction, config)
+                testbed.session.inject_now(direction)
+            else:
+                testbed.device.configure(direction, config)
+                testbed.device.injector(direction).inject_now()
+        self.pulses += 1
+        self._schedule_next(testbed)

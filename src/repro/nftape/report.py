@@ -1,0 +1,132 @@
+"""Campaign report generation.
+
+Renders collections of :class:`~repro.nftape.results.ResultTable` into a
+single text or markdown report (the format EXPERIMENTS.md records), and
+provides the paper-vs-measured comparison helpers the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.nftape.classify import classify_result
+from repro.nftape.results import ExperimentResult, ResultTable
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured quantity."""
+
+    name: str
+    paper: float
+    measured: float
+    tolerance_factor: float = 2.0
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (infinity when the paper value is zero)."""
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+    @property
+    def within_band(self) -> bool:
+        """True if measured is within ``tolerance_factor`` x of paper."""
+        if self.paper == 0:
+            return self.measured == 0
+        return (1 / self.tolerance_factor) <= self.ratio <= \
+            self.tolerance_factor
+
+    def render(self) -> str:
+        flag = "OK " if self.within_band else "DEV"
+        return (
+            f"[{flag}] {self.name}: paper={self.paper:g} "
+            f"measured={self.measured:g} (x{self.ratio:.2f})"
+        )
+
+
+class CampaignReport:
+    """Accumulates tables, comparisons, and notes into one document."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._sections: List[tuple] = []
+
+    def add_table(self, table: ResultTable,
+                  note: Optional[str] = None) -> None:
+        self._sections.append(("table", table, note))
+
+    def add_comparisons(self, heading: str,
+                        comparisons: Sequence[Comparison]) -> None:
+        self._sections.append(("comparisons", heading, list(comparisons)))
+
+    def add_note(self, text: str) -> None:
+        self._sections.append(("note", text, None))
+
+    def add_classifications(self, heading: str,
+                            results: Iterable[ExperimentResult]) -> None:
+        self._sections.append(("classify", heading, list(results)))
+
+    # ------------------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines = [self.title, "=" * len(self.title), ""]
+        for kind, first, second in self._sections:
+            if kind == "table":
+                lines.append(first.render())
+                if second:
+                    lines.append(f"note: {second}")
+            elif kind == "comparisons":
+                lines.append(first)
+                for comparison in second:
+                    lines.append("  " + comparison.render())
+            elif kind == "note":
+                lines.append(first)
+            elif kind == "classify":
+                lines.append(first)
+                for result in second:
+                    lines.append(
+                        f"  {result.name:<20} {classify_result(result)}"
+                    )
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def render_markdown(self) -> str:
+        lines = [f"# {self.title}", ""]
+        for kind, first, second in self._sections:
+            if kind == "table":
+                lines.append(first.to_markdown())
+                if second:
+                    lines.append(f"\n_{second}_")
+            elif kind == "comparisons":
+                lines.append(f"### {first}")
+                lines.append("")
+                lines.append("| quantity | paper | measured | ratio | in band |")
+                lines.append("|---|---|---|---|---|")
+                for c in second:
+                    lines.append(
+                        f"| {c.name} | {c.paper:g} | {c.measured:g} | "
+                        f"x{c.ratio:.2f} | {'yes' if c.within_band else 'NO'} |"
+                    )
+            elif kind == "note":
+                lines.append(first)
+            elif kind == "classify":
+                lines.append(f"### {first}")
+                lines.append("")
+                for result in second:
+                    lines.append(f"* `{result.name}` — "
+                                 f"{classify_result(result)}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def write(self, path: Union[str, pathlib.Path],
+              markdown: Optional[bool] = None) -> pathlib.Path:
+        """Write the report; format inferred from the extension."""
+        target = pathlib.Path(path)
+        if markdown is None:
+            markdown = target.suffix.lower() in (".md", ".markdown")
+        text = self.render_markdown() if markdown else self.render_text()
+        target.write_text(text)
+        return target

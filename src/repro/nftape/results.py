@@ -1,0 +1,123 @@
+"""Campaign result collection and tabulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.timebase import to_ms
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    duration_ps: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    injections: int = 0
+    host_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    switch_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    active_misdeliveries: int = 0
+    corrupted_deliveries: int = 0
+    send_failures: int = 0
+    checksum_drops: int = 0
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def messages_lost(self) -> int:
+        return max(0, self.messages_sent - self.messages_received)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent messages not received (paper Table 4's metric)."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_lost / self.messages_sent
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Received messages per second of simulated time."""
+        if self.duration_ps == 0:
+            return 0.0
+        return self.messages_received / (self.duration_ps / 1e12)
+
+    def total_host_counter(self, counter: str) -> int:
+        return sum(
+            stats.get(counter, 0) for stats in self.host_stats.values()
+        )
+
+    def total_switch_counter(self, counter: str) -> int:
+        return sum(
+            stats.get(counter, 0) for stats in self.switch_stats.values()
+        )
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: sent={self.messages_sent} "
+            f"recv={self.messages_received} "
+            f"loss={self.loss_rate:.1%} inj={self.injections} "
+            f"dur={to_ms(self.duration_ps):.1f}ms"
+        )
+
+
+class ResultTable:
+    """An ordered collection of experiment results with text rendering."""
+
+    def __init__(self, title: str,
+                 columns: Optional[Sequence[str]] = None) -> None:
+        self.title = title
+        self.columns = list(columns) if columns else []
+        self.results: List[ExperimentResult] = []
+        self.rows: List[Dict[str, Any]] = []
+
+    def add(self, result: ExperimentResult, **row: Any) -> None:
+        """Record a result and its rendered row values."""
+        self.results.append(result)
+        self.rows.append(row)
+        for key in row:
+            if key not in self.columns:
+                self.columns.append(key)
+
+    def render(self) -> str:
+        """Fixed-width text table."""
+        if not self.rows:
+            return f"{self.title}\n  <no rows>"
+        widths = {
+            col: max(len(col), *(len(_fmt(r.get(col, ""))) for r in self.rows))
+            for col in self.columns
+        }
+        header = "  ".join(col.ljust(widths[col]) for col in self.columns)
+        lines = [self.title, header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(col, "")).ljust(widths[col])
+                    for col in self.columns
+                )
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+        if not self.rows:
+            return f"### {self.title}\n\n_(no rows)_"
+        head = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(_fmt(r.get(c, "")) for c in self.columns) + " |"
+            for r in self.rows
+        ]
+        return "\n".join([f"### {self.title}", "", head, sep] + body)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,248 @@
+"""Campaign workloads (paper §4.2).
+
+The paper loaded the test-bed with "a simple UDP packet generation
+program, running concurrently with the standard Unix ping program with
+the flood option".  :class:`AllPairsWorkload` reproduces that: every node
+runs a message-sending program toward every other node, optionally with
+a flood ping between one pair, and every node runs a validating sink.
+
+The sink validates more than arrival: each generated payload embeds the
+intended destination address, a sequence number, and a deterministic
+filler, so the workload can distinguish the paper's *passive* outcomes
+(messages lost) from *active* ones (a message delivered to the wrong
+node, or delivered with corrupted content) — the §4.4 dichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hostsim.apps import EchoResponder, FloodPing
+from repro.hostsim.ip import IpAddress
+from repro.hostsim.sockets import HostStack
+from repro.myrinet.addresses import MacAddress
+from repro.myrinet.network import MyrinetNetwork
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS, US
+
+#: UDP port the validating sinks listen on.
+WORKLOAD_PORT = 5001
+#: Payload prefix layout: 6 bytes dest MAC + 4 bytes sequence number.
+_HEADER_LEN = 10
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of the all-pairs load."""
+
+    payload_size: int = 64
+    send_interval_ps: int = 500 * US
+    flood_ping: bool = True
+    forbidden_bytes: Set[int] = field(default_factory=set)
+    stack_kwargs: Dict[str, int] = field(default_factory=dict)
+
+
+def _filler_byte(seq: int, index: int, alphabet: List[int]) -> int:
+    """Deterministic filler both sender and sink can compute."""
+    return alphabet[(seq * 31 + index * 7) % len(alphabet)]
+
+
+class _ValidatingSink:
+    """Counts received messages and checks them for active-fault evidence."""
+
+    def __init__(self, stack: HostStack, alphabet: List[int]) -> None:
+        self._stack = stack
+        self._alphabet = alphabet
+        self.received = 0
+        self.misdeliveries = 0
+        self.corrupted = 0
+        stack.bind(WORKLOAD_PORT, self._on_message)
+
+    def _on_message(self, src_mac: MacAddress, src_ip: IpAddress,
+                    src_port: int, payload: bytes) -> None:
+        self.received += 1
+        if len(payload) < _HEADER_LEN:
+            self.corrupted += 1
+            return
+        intended = MacAddress.from_bytes(payload[:6])
+        if intended != self._stack.interface.mac:
+            # "the successful receipt of a message addressed to someone
+            # else" — an active fault (paper §4.4).
+            self.misdeliveries += 1
+            return
+        seq = int.from_bytes(payload[6:10], "big")
+        filler = payload[_HEADER_LEN:]
+        for index, byte in enumerate(filler):
+            if byte != _filler_byte(seq, index, self._alphabet):
+                self.corrupted += 1
+                return
+
+
+class _PairSender:
+    """One node's paced message program toward one destination."""
+
+    def __init__(
+        self,
+        stack: HostStack,
+        dest: MacAddress,
+        config: WorkloadConfig,
+        alphabet: List[int],
+        start_seq: int,
+    ) -> None:
+        self._stack = stack
+        self._dest = dest
+        self._config = config
+        self._alphabet = alphabet
+        self.seq = start_seq
+        self.sent = 0
+
+    def send_one(self) -> None:
+        self.seq += 1
+        filler_len = max(0, self._config.payload_size - _HEADER_LEN)
+        payload = (
+            self._dest.to_bytes()
+            + self.seq.to_bytes(4, "big")
+            + bytes(
+                _filler_byte(self.seq, i, self._alphabet)
+                for i in range(filler_len)
+            )
+        )
+        self._stack.send_udp(self._dest, WORKLOAD_PORT, payload)
+        self.sent += 1
+
+
+class AllPairsWorkload:
+    """Every node sends to every other node; sinks validate arrivals."""
+
+    def __init__(
+        self,
+        network: MyrinetNetwork,
+        config: Optional[WorkloadConfig] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        self._network = network
+        self.config = config or WorkloadConfig()
+        self._rng = rng or network.rng.fork("workload")
+        self._alphabet = [
+            b for b in range(0x20, 0x7F)
+            if b not in self.config.forbidden_bytes
+        ]
+        if not self._alphabet:
+            raise ConfigurationError(
+                "forbidden_bytes excludes every printable payload byte"
+            )
+        self.stacks: Dict[str, HostStack] = {}
+        self.sinks: Dict[str, _ValidatingSink] = {}
+        self._senders: List[_PairSender] = []
+        self._running = False
+        self.flood: Optional[FloodPing] = None
+        self._echo: Optional[EchoResponder] = None
+
+        names = sorted(network.hosts)
+        for name in names:
+            stack = HostStack(
+                network.sim,
+                network.hosts[name].interface,
+                rng=self._rng.fork(f"stack:{name}"),
+                **self.config.stack_kwargs,
+            )
+            self.stacks[name] = stack
+            self.sinks[name] = _ValidatingSink(stack, self._alphabet)
+        seq = 0
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                seq += 1
+                self._senders.append(
+                    _PairSender(
+                        self.stacks[src],
+                        network.hosts[dst].interface.mac,
+                        self.config,
+                        self._alphabet,
+                        start_seq=seq * 1_000_000,
+                    )
+                )
+        if self.config.flood_ping and len(names) >= 2:
+            self._echo = EchoResponder(self.stacks[names[-1]])
+            self.flood = FloodPing(
+                network.sim,
+                self.stacks[names[0]],
+                network.hosts[names[-1]].interface.mac,
+            )
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the load (senders are staggered within one interval)."""
+        self._running = True
+        interval = self.config.send_interval_ps
+        for index, sender in enumerate(self._senders):
+            offset = (index * interval) // max(1, len(self._senders))
+            self._network.sim.schedule(
+                offset,
+                lambda s=sender: self._tick(s),
+                label="workload-send",
+            )
+        if self.flood is not None:
+            self.flood.start()
+
+    def stop(self) -> None:
+        self._running = False
+        if self.flood is not None:
+            self.flood.stop()
+
+    def _tick(self, sender: _PairSender) -> None:
+        if not self._running:
+            return
+        sender.send_one()
+        self._network.sim.schedule(
+            self.config.send_interval_ps,
+            lambda: self._tick(sender),
+            label="workload-send",
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def messages_attempted(self) -> int:
+        """Messages the sending programs tried to send."""
+        return sum(sender.sent for sender in self._senders)
+
+    @property
+    def messages_sent(self) -> int:
+        """Workload messages accepted onto the wire (the paper's
+        "messages sent"); ping/echo traffic is not counted.
+
+        Sends blocked by a full interface queue — senders stalled by
+        backpressure — are counted separately in :attr:`send_failures`.
+        """
+        return sum(
+            stack.udp_sent_by_port[WORKLOAD_PORT]
+            for stack in self.stacks.values()
+        )
+
+    @property
+    def messages_received(self) -> int:
+        return sum(sink.received for sink in self.sinks.values())
+
+    @property
+    def misdeliveries(self) -> int:
+        return sum(sink.misdeliveries for sink in self.sinks.values())
+
+    @property
+    def corrupted_deliveries(self) -> int:
+        return sum(sink.corrupted for sink in self.sinks.values())
+
+    @property
+    def send_failures(self) -> int:
+        return sum(
+            stack.send_failures_by_port[WORKLOAD_PORT]
+            for stack in self.stacks.values()
+        )
+
+    @property
+    def checksum_drops(self) -> int:
+        return sum(stack.checksum_drops for stack in self.stacks.values())

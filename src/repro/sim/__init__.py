@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: an integer picosecond clock, a binary-heap
+scheduler with deterministic tie-breaking, seeded random sources, and a
+trace recorder.  Every higher layer (Myrinet, Fibre Channel, the FPGA
+injector, host protocol stacks) is built on these primitives.
+"""
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.process import Process, Signal
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import (
+    MS,
+    NS,
+    PS,
+    US,
+    SECOND,
+    format_time,
+    from_ms,
+    from_ns,
+    from_s,
+    from_us,
+    to_ms,
+    to_ns,
+    to_s,
+    to_us,
+)
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "Signal",
+    "DeterministicRng",
+    "TraceEvent",
+    "TraceRecorder",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SECOND",
+    "from_ns",
+    "from_us",
+    "from_ms",
+    "from_s",
+    "to_ns",
+    "to_us",
+    "to_ms",
+    "to_s",
+    "format_time",
+]

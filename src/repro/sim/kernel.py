@@ -1,0 +1,221 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns an integer picosecond clock and a binary-heap
+event queue.  Events scheduled for the same instant fire in the order they
+were scheduled (a monotonically increasing sequence number breaks ties), so
+simulations are fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.timebase import format_time
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    The heap stores ``(time, seq, event)`` tuples, so events pop in
+    deterministic order without ever comparing Event objects.
+    ``cancelled`` events stay in the heap but are skipped when popped;
+    this makes cancellation O(1).
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with a picosecond clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[tuple] = []
+        self._fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: int, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` picoseconds from now.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        A negative delay is an error; a zero delay fires on the next
+        scheduler step, after all previously scheduled same-time events.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule event {delay}ps in the past at "
+                f"t={format_time(self._now)}"
+            )
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self, time: int, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={format_time(time)}, "
+                f"already at t={format_time(self._now)}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, event.seq, event))
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty (cancelled events are discarded silently and do not count).
+        """
+        while self._queue:
+            _time, _seq, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed by this call.
+        """
+        fired = 0
+        while max_events is None or fired < max_events:
+            if not self.step():
+                break
+            fired += 1
+        return fired
+
+    def run_until(self, deadline: int) -> int:
+        """Run all events with ``time <= deadline``; advance clock to it.
+
+        Events scheduled beyond the deadline remain queued.  Returns the
+        number of events executed.
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline t={format_time(deadline)} is before "
+                f"t={format_time(self._now)}"
+            )
+        fired = 0
+        while self._queue:
+            head = self._peek()
+            if head is None or head.time > deadline:
+                break
+            self.step()
+            fired += 1
+        self._now = max(self._now, deadline)
+        return fired
+
+    def run_for(self, duration: int) -> int:
+        """Run events for ``duration`` picoseconds of simulated time."""
+        return self.run_until(self._now + duration)
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next live event without popping it."""
+        while self._queue:
+            head = self._queue[0][2]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return head
+        return None
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        head = self._peek()
+        return None if head is None else head.time
+
+    def every(
+        self,
+        period: int,
+        callback: Callable[[], None],
+        label: str = "",
+        start_delay: Optional[int] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``period`` picoseconds until stopped.
+
+        ``start_delay`` defaults to one full period.
+        """
+        if period <= 0:
+            raise SimulationError(f"periodic task needs period > 0, got {period}")
+        task = PeriodicTask(self, period, callback, label)
+        task.start(period if start_delay is None else start_delay)
+        return task
+
+
+class PeriodicTask:
+    """A repeating event created by :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self.fire_count = 0
+
+    def start(self, delay: int) -> None:
+        """(Re)arm the task to first fire ``delay`` picoseconds from now."""
+        self._stopped = False
+        self._event = self._sim.schedule(delay, self._fire, self._label)
+
+    def stop(self) -> None:
+        """Stop the task; the pending occurrence is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._period, self._fire, self._label)

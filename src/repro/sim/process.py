@@ -1,0 +1,123 @@
+"""Generator-based simulation processes.
+
+The event-callback style used by the library internals is efficient but
+awkward for writing *new* experiment logic.  A :class:`Process` wraps a
+Python generator: the body ``yield``\\ s what it wants to wait for and
+resumes when it happens.
+
+Yieldable values:
+
+* an ``int`` — sleep that many picoseconds;
+* a :class:`Signal` — wait until someone calls :meth:`Signal.fire`
+  (the fired value is returned by the ``yield``);
+* another :class:`Process` — wait for it to finish (its return value is
+  returned by the ``yield``).
+
+Example::
+
+    def pinger(sim, stack, dest):
+        for seq in range(10):
+            stack.send_udp(dest, 7, b"ping %d" % seq)
+            yield 100 * US        # pace
+    Process.spawn(sim, pinger(sim, stack, dest))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class Signal:
+    """A one-shot or repeating wake-up source for processes."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fires = 0
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register a single wake-up callback (used by Process)."""
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every current waiter; returns how many were woken."""
+        self.fires += 1
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+        return len(waiters)
+
+
+class Process:
+    """A running generator coupled to the simulator."""
+
+    def __init__(self, sim: Simulator,
+                 body: Generator[Any, Any, Any],
+                 name: str = "process") -> None:
+        self._sim = sim
+        self._body = body
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done_signal = Signal(f"{name}:done")
+
+    @classmethod
+    def spawn(cls, sim: Simulator, body: Generator[Any, Any, Any],
+              name: str = "process", delay: int = 0) -> "Process":
+        """Create a process and schedule its first step."""
+        process = cls(sim, body, name)
+        sim.schedule(delay, lambda: process._step(None), label=f"{name}:start")
+        return process
+
+    def join(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(result)`` when the process finishes.
+
+        Fires immediately if it already finished.
+        """
+        if self.finished:
+            callback(self.result)
+        else:
+            self._done_signal.wait(callback)
+
+    # ------------------------------------------------------------------
+
+    def _step(self, sent_value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            wanted = self._body.send(sent_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - surfaced to caller
+            self.error = error
+            self._finish(None)
+            raise
+        self._wait_on(wanted)
+
+    def _wait_on(self, wanted: Any) -> None:
+        if isinstance(wanted, int):
+            if wanted < 0:
+                raise SimulationError(
+                    f"{self.name}: cannot sleep a negative duration"
+                )
+            self._sim.schedule(wanted, lambda: self._step(None),
+                               label=f"{self.name}:sleep")
+        elif isinstance(wanted, Signal):
+            wanted.wait(self._step)
+        elif isinstance(wanted, Process):
+            wanted.join(self._step)
+        else:
+            raise SimulationError(
+                f"{self.name}: cannot wait on {type(wanted).__name__}; "
+                f"yield an int delay, a Signal, or a Process"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self._done_signal.fire(result)

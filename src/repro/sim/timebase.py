@@ -1,0 +1,80 @@
+"""Simulation time base.
+
+All simulation timestamps are integers in **picoseconds**.  An integer
+base avoids the drift that accumulates when summing millions of
+floating-point character periods (a Myrinet character period is 12.5 ns,
+which is not representable exactly in nanoseconds but is exactly
+12_500 ps).
+"""
+
+from __future__ import annotations
+
+#: One picosecond — the base unit of simulated time.
+PS = 1
+#: One nanosecond in picoseconds.
+NS = 1_000
+#: One microsecond in picoseconds.
+US = 1_000_000
+#: One millisecond in picoseconds.
+MS = 1_000_000_000
+#: One second in picoseconds.
+SECOND = 1_000_000_000_000
+
+
+def from_ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded to nearest)."""
+    return round(value * NS)
+
+
+def from_us(value: float) -> int:
+    """Convert microseconds to integer picoseconds (rounded to nearest)."""
+    return round(value * US)
+
+
+def from_ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds (rounded to nearest)."""
+    return round(value * MS)
+
+
+def from_s(value: float) -> int:
+    """Convert seconds to integer picoseconds (rounded to nearest)."""
+    return round(value * SECOND)
+
+
+def to_ns(value: int) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value / NS
+
+
+def to_us(value: int) -> float:
+    """Convert picoseconds to microseconds."""
+    return value / US
+
+
+def to_ms(value: int) -> float:
+    """Convert picoseconds to milliseconds."""
+    return value / MS
+
+
+def to_s(value: int) -> float:
+    """Convert picoseconds to seconds."""
+    return value / SECOND
+
+
+def format_time(value: int) -> str:
+    """Render a picosecond timestamp with a human-scale unit.
+
+    >>> format_time(12_500)
+    '12.500ns'
+    >>> format_time(3_000_000_000)
+    '3.000ms'
+    """
+    if value < NS:
+        return f"{value}ps"
+    if value < US:
+        return f"{value / NS:.3f}ns"
+    if value < MS:
+        return f"{value / US:.3f}us"
+    if value < SECOND:
+        return f"{value / MS:.3f}ms"
+    return f"{value / SECOND:.3f}s"

@@ -1,0 +1,82 @@
+"""Structured trace recording.
+
+Components emit :class:`TraceEvent` records into a shared
+:class:`TraceRecorder`.  Traces are the raw material for the monitoring
+reports and for debugging campaigns; recording can be filtered by category
+to keep long campaigns cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.sim.timebase import format_time
+
+
+@dataclass
+class TraceEvent:
+    """One timestamped trace record."""
+
+    time: int
+    category: str
+    source: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{format_time(self.time)}] {self.category}/{self.source}: {self.message}"
+
+
+class TraceRecorder:
+    """Collects trace events, optionally filtered by category.
+
+    If ``categories`` is None every event is kept; otherwise only events
+    whose category is in the set are stored.  ``max_events`` bounds memory
+    for long campaigns (oldest events are dropped first).
+    """
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        self._categories: Optional[Set[str]] = (
+            None if categories is None else set(categories)
+        )
+        self._max_events = max_events
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self,
+        time: int,
+        category: str,
+        source: str,
+        message: str,
+        **data: Any,
+    ) -> None:
+        """Store one event if its category passes the filter."""
+        if self._categories is not None and category not in self._categories:
+            return
+        if len(self._events) >= self._max_events:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(TraceEvent(time, category, source, message, data))
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """All stored events, optionally restricted to one category."""
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def clear(self) -> None:
+        """Discard all stored events."""
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)

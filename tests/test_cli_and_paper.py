@@ -1,0 +1,84 @@
+"""Tests for the CLI and smoke tests for the fast paper experiments."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_synthesis_subcommand(self, capsys):
+        assert main(["synthesis"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo_inject" in out
+        assert "model/paper" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fast_experiment_with_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["run", "sec434", "--out", str(out_file)]) == 0
+        stdout = capsys.readouterr().out
+        assert "16-bit-apart swap" in stdout
+        text = out_file.read_text()
+        assert text.startswith("# DSN 2002 reproduction")
+        assert "veHa" not in text  # tables carry counts, not payloads
+        assert "checksum_drops" in text
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "all", "--scale", "0.5"])
+        assert args.experiments == ["all"]
+        assert args.scale == 0.5
+
+
+class TestPaperExperimentsFast:
+    """The fast regeneration functions run inside the unit suite too, so
+    a regression is caught before the benchmark stage."""
+
+    def test_sec434(self):
+        from repro.nftape.paper import sec434_udp_checksum
+        table = sec434_udp_checksum(messages=10)
+        swap = table.rows[0]
+        assert swap["corrupted_delivered"] == 10
+        plain = table.rows[1]
+        assert plain["checksum_drops"] == 10
+
+    def test_sec432(self):
+        from repro.nftape.paper import sec432_packet_types
+        table = sec432_packet_types()
+        assert len(table.rows) == 5
+        assert "node removed=True" in table.rows[0]["observed"]
+
+    def test_sec433(self):
+        from repro.nftape.paper import sec433_addresses
+        table, artifacts = sec433_addresses()
+        assert len(table.rows) == 4
+        assert artifacts["fig11_before"]
+        assert artifacts["fig11_after"]
+
+    def test_sec35(self):
+        from repro.nftape.paper import sec35_passthrough
+        from repro.sim.timebase import MS
+        table = sec35_passthrough(duration_ps=5 * MS)
+        direct, with_device = table.rows
+        assert direct["received"] == with_device["received"]
+
+    def test_table2_small(self):
+        from repro.nftape.paper import table2_latency
+        table = table2_latency(exchanges=60, experiments=2)
+        for row in table.rows:
+            assert 220_000 < float(row["without_ns"]) < 250_000

@@ -1,0 +1,228 @@
+"""Unit tests for the CRC fix-up stage, statistics, and monitoring."""
+
+from repro.core.crcfix import CrcFixupStage
+from repro.core.monitor import InjectionMonitor, MonitorConfig
+from repro.core.stats import StatisticsGatherer
+from repro.hw.injector import InjectionEvent
+from repro.hw.sdram import SdramBuffer
+from repro.myrinet.addresses import MacAddress
+from repro.myrinet.crc8 import crc8
+from repro.myrinet.packet import MyrinetPacket, PACKET_TYPE_DATA
+from repro.myrinet.symbols import GAP, GO, STOP, data_symbols, symbol_bytes
+
+
+def frame_symbols(raw: bytes):
+    burst = data_symbols(raw)
+    burst.append(GAP)
+    return burst
+
+
+def make_packet(payload=b"payload", dst=0x0B, src=0x0A):
+    return MyrinetPacket(
+        route=[], packet_type=PACKET_TYPE_DATA,
+        payload=MacAddress(dst).to_bytes() + MacAddress(src).to_bytes()
+        + payload,
+    )
+
+
+class TestCrcFixupStage:
+    def test_clean_frame_passes_byte_identical(self):
+        stage = CrcFixupStage()
+        burst = frame_symbols(make_packet().to_bytes())
+        out = stage.feed(list(burst), enabled=True)
+        assert out == burst
+        assert stage.frames_passed == 1
+        assert stage.frames_fixed == 0
+
+    def test_dirty_frame_gets_recomputed_crc(self):
+        stage = CrcFixupStage()
+        raw = bytearray(make_packet().to_bytes())
+        raw[6] ^= 0xFF  # corrupted mid-frame, CRC now stale
+        out = stage.feed(frame_symbols(bytes(raw)), enabled=True, dirty=True)
+        fixed = symbol_bytes(out)
+        assert crc8(fixed) == 0  # CRC recomputed over the corrupted body
+        assert fixed[6] == raw[6]
+        assert stage.frames_fixed == 1
+
+    def test_disabled_stage_does_not_launder_corruption(self):
+        stage = CrcFixupStage()
+        raw = bytearray(make_packet().to_bytes())
+        raw[6] ^= 0xFF
+        out = stage.feed(frame_symbols(bytes(raw)), enabled=False)
+        assert crc8(symbol_bytes(out)) != 0
+
+    def test_upstream_corruption_not_fixed_when_frame_clean_of_injections(self):
+        """Only frames the injector actually touched are repaired."""
+        stage = CrcFixupStage()
+        raw = bytearray(make_packet().to_bytes())
+        raw[6] ^= 0xFF  # upstream corruption, no injection event
+        out = stage.feed(frame_symbols(bytes(raw)), enabled=True, dirty=False)
+        assert crc8(symbol_bytes(out)) != 0
+
+    def test_control_symbols_pass_through(self):
+        stage = CrcFixupStage()
+        raw = make_packet().to_bytes()
+        burst = data_symbols(raw[:3]) + [STOP] + data_symbols(raw[3:]) + [GO, GAP]
+        out = stage.feed(burst, enabled=True)
+        assert STOP in out and GO in out
+        assert symbol_bytes(out) == raw
+
+    def test_frame_spanning_bursts(self):
+        stage = CrcFixupStage()
+        raw = bytearray(make_packet().to_bytes())
+        raw[6] ^= 0x10
+        symbols = frame_symbols(bytes(raw))
+        out = []
+        out.extend(stage.feed(symbols[:5], enabled=True, dirty=True))
+        out.extend(stage.feed(symbols[5:], enabled=True))
+        assert crc8(symbol_bytes(out)) == 0
+
+    def test_flush_releases_held_symbol(self):
+        stage = CrcFixupStage()
+        stage.feed(data_symbols(b"ab"), enabled=True)
+        held = stage.flush()
+        assert symbol_bytes(held) == b"b"
+        assert stage.idle
+
+    def test_two_frames_second_clean(self):
+        stage = CrcFixupStage()
+        dirty_raw = bytearray(make_packet(b"one").to_bytes())
+        dirty_raw[6] ^= 0x01
+        clean_raw = make_packet(b"two").to_bytes()
+        burst = frame_symbols(bytes(dirty_raw)) + frame_symbols(clean_raw)
+        out = stage.feed(burst, enabled=True, dirty=True)
+        data = symbol_bytes(out)
+        first, second = data[:len(dirty_raw)], data[len(dirty_raw):]
+        assert crc8(first) == 0      # fixed
+        assert second == clean_raw   # untouched
+
+
+class TestStatisticsGatherer:
+    def test_counts_symbols_and_controls(self):
+        gatherer = StatisticsGatherer()
+        gatherer.feed([STOP, GO, GAP] + data_symbols(b"abc"))
+        stats = gatherer.stats
+        assert stats.symbols == 6
+        assert stats.data_symbols == 3
+        assert stats.control_symbols["STOP"] == 1
+        assert stats.control_symbols["GO"] == 1
+
+    def test_per_pair_packet_counters(self):
+        """Paper §3.2: counters incremented for each packet seen with
+        given source/destination identifiers."""
+        gatherer = StatisticsGatherer()
+        for _repeat in range(3):
+            gatherer.feed(frame_symbols(make_packet().to_bytes()))
+        gatherer.feed(frame_symbols(make_packet(dst=0x0C).to_bytes()))
+        stats = gatherer.stats
+        assert stats.frames == 4
+        assert stats.pair_count(MacAddress(0x0A), MacAddress(0x0B)) == 3
+        assert stats.pair_count(MacAddress(0x0A), MacAddress(0x0C)) == 1
+
+    def test_route_prefix_skipped(self):
+        gatherer = StatisticsGatherer()
+        packet = MyrinetPacket.for_route(
+            [3], PACKET_TYPE_DATA,
+            MacAddress(2).to_bytes() + MacAddress(1).to_bytes() + b"x",
+        )
+        gatherer.feed(frame_symbols(packet.to_bytes()))
+        assert gatherer.stats.pair_count(MacAddress(1), MacAddress(2)) == 1
+
+    def test_bad_crc_counted(self):
+        gatherer = StatisticsGatherer()
+        raw = bytearray(make_packet().to_bytes())
+        raw[-1] ^= 0xFF
+        gatherer.feed(frame_symbols(bytes(raw)))
+        assert gatherer.stats.crc_bad_frames == 1
+
+    def test_packet_type_histogram(self):
+        gatherer = StatisticsGatherer()
+        gatherer.feed(frame_symbols(make_packet().to_bytes()))
+        mapping = MyrinetPacket(route=[], packet_type=0x0005, payload=b"s")
+        gatherer.feed(frame_symbols(mapping.to_bytes()))
+        assert gatherer.stats.packet_types[0x0004] == 1
+        assert gatherer.stats.packet_types[0x0005] == 1
+
+    def test_reset(self):
+        gatherer = StatisticsGatherer()
+        gatherer.feed(frame_symbols(make_packet().to_bytes()))
+        gatherer.reset()
+        assert gatherer.stats.frames == 0
+
+
+def _event():
+    return InjectionEvent(
+        segment_index=10, window_before=0x11223344, ctl_before=0xF,
+        window_after=0x11FF3344, ctl_after=0xF, lanes_rewritten=1,
+        lanes_unreachable=0, forced=False,
+    )
+
+
+class TestInjectionMonitor:
+    def test_capture_surrounds_injection(self):
+        """Paper §3.2: the FPGA keeps the bytes surrounding the fault
+        injection event."""
+        sdram = SdramBuffer()
+        monitor = InjectionMonitor(
+            "R", sdram, MonitorConfig(enabled=True, pre_symbols=4,
+                                      post_symbols=4),
+        )
+        monitor.observe(data_symbols(b"beforebytes"))
+        monitor.on_injection(1000, _event())
+        monitor.observe(data_symbols(b"afterwards"))
+        captures = monitor.captures()
+        assert len(captures) == 1
+        record = captures[0]
+        assert symbol_bytes(record.before) == b"ytes"   # last 4 pre
+        assert symbol_bytes(record.after) == b"afte"    # first 4 post
+        assert record.time_ps == 1000
+        assert record.event.lanes_rewritten == 1
+
+    def test_disabled_monitor_captures_nothing(self):
+        monitor = InjectionMonitor("R", SdramBuffer())
+        monitor.observe(data_symbols(b"data"))
+        monitor.on_injection(0, _event())
+        monitor.observe(data_symbols(b"more"))
+        monitor.flush()
+        assert monitor.captures() == []
+
+    def test_flush_closes_partial_captures(self):
+        sdram = SdramBuffer()
+        monitor = InjectionMonitor(
+            "R", sdram, MonitorConfig(enabled=True, pre_symbols=2,
+                                      post_symbols=100),
+        )
+        monitor.on_injection(0, _event())
+        monitor.observe(data_symbols(b"xy"))
+        monitor.flush()
+        captures = monitor.captures()
+        assert len(captures) == 1
+        assert symbol_bytes(captures[0].after) == b"xy"
+
+    def test_overlapping_captures(self):
+        sdram = SdramBuffer()
+        monitor = InjectionMonitor(
+            "R", sdram, MonitorConfig(enabled=True, pre_symbols=2,
+                                      post_symbols=3),
+        )
+        monitor.on_injection(0, _event())
+        monitor.observe(data_symbols(b"a"))
+        monitor.on_injection(1, _event())
+        monitor.observe(data_symbols(b"bcde"))
+        captures = monitor.captures()
+        assert len(captures) == 2
+        assert symbol_bytes(captures[0].after) == b"abc"
+        assert symbol_bytes(captures[1].after) == b"bcd"
+
+    def test_records_share_sdram_capacity(self):
+        sdram = SdramBuffer(capacity_bytes=64)
+        monitor = InjectionMonitor(
+            "R", sdram, MonitorConfig(enabled=True, pre_symbols=8,
+                                      post_symbols=8),
+        )
+        for index in range(10):
+            monitor.on_injection(index, _event())
+            monitor.observe(data_symbols(b"12345678"))
+        monitor.flush()
+        assert sdram.records_dropped_capacity > 0
+        assert len(monitor.captures()) < 10

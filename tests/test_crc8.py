@@ -1,0 +1,66 @@
+"""Unit and property tests for the Myrinet CRC-8."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.myrinet.crc8 import crc8, crc8_update, verify
+
+
+def test_empty_is_zero():
+    assert crc8(b"") == 0
+
+
+def test_known_vector():
+    # CRC-8/ATM (poly 0x07, init 0, no reflection) of "123456789".
+    assert crc8(b"123456789") == 0xF4
+
+
+def test_single_byte():
+    assert crc8(b"\x00") == 0
+    assert crc8(b"\x01") == 0x07
+
+
+def test_update_matches_bulk():
+    data = b"myrinet packet body"
+    crc = 0
+    for byte in data:
+        crc = crc8_update(crc, byte)
+    assert crc == crc8(data)
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_residue_property(data):
+    """Appending the CRC makes the CRC of the whole message zero."""
+    full = data + bytes([crc8(data)])
+    assert crc8(full) == 0
+    assert verify(full)
+
+
+@given(st.binary(min_size=1, max_size=64),
+       st.integers(min_value=0, max_value=7),
+       st.integers(min_value=0, max_value=63))
+def test_detects_single_bit_errors(data, bit, index):
+    """Any single-bit error is detected."""
+    index %= len(data)
+    corrupted = bytearray(data)
+    corrupted[index] ^= 1 << bit
+    full = data + bytes([crc8(data)])
+    bad = bytes(corrupted) + bytes([crc8(data)])
+    assert not verify(bad)
+
+
+@given(st.binary(min_size=0, max_size=64), st.binary(min_size=0, max_size=64))
+def test_linearity_over_xor(a, b):
+    """CRC(A xor B) == CRC(A) xor CRC(B) for equal-length messages
+    (the property the switch's incremental per-hop update relies on)."""
+    size = min(len(a), len(b))
+    a, b = a[:size], b[:size]
+    xored = bytes(x ^ y for x, y in zip(a, b))
+    assert crc8(xored) == crc8(a) ^ crc8(b)
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_leading_zeros_do_not_change_crc(data):
+    """With init=0, leading zero bytes are transparent — the property
+    that makes the stripped-route-byte contribution computable."""
+    assert crc8(b"\x00" * 3 + data) == crc8(data)

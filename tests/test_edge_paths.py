@@ -1,0 +1,132 @@
+"""Remaining edge-path coverage across packages."""
+
+import pytest
+
+from repro.core import FaultInjectorDevice, InjectorSession
+from repro.core.faults import control_symbol_swap
+from repro.errors import ConfigurationError
+from repro.hw.registers import MatchMode
+from repro.myrinet.network import build_paper_testbed
+from repro.myrinet.symbols import GAP, GO
+from repro.nftape import (
+    DutyCyclePlan,
+    FaultPlan,
+    Testbed,
+    WorkloadConfig,
+)
+from repro.nftape.experiment import TestbedOptions
+from repro.nftape.workload import AllPairsWorkload
+from repro.sim.timebase import MS, US
+
+
+class TestWorkloadEdges:
+    def test_forbidding_every_byte_rejected(self):
+        testbed = Testbed(TestbedOptions())
+        testbed.settle()
+        with pytest.raises(ConfigurationError):
+            AllPairsWorkload(
+                testbed.network,
+                WorkloadConfig(forbidden_bytes=set(range(256))),
+            )
+
+    def test_stop_prevents_further_sends(self):
+        testbed = Testbed(TestbedOptions())
+        testbed.settle()
+        workload = AllPairsWorkload(
+            testbed.network,
+            WorkloadConfig(send_interval_ps=500 * US, flood_ping=False),
+        )
+        workload.start()
+        testbed.sim.run_for(2 * MS)
+        workload.stop()
+        sent = workload.messages_attempted
+        testbed.sim.run_for(2 * MS)
+        assert workload.messages_attempted == sent
+
+
+class TestSerialPlans:
+    def test_fault_plan_rearm_over_serial(self):
+        """The serial re-arm path: MM commands pace once-mode firing."""
+        testbed = Testbed(TestbedOptions())
+        testbed.settle()
+        config = control_symbol_swap(GAP, GO, MatchMode.ONCE)
+        plan = FaultPlan("R", config, rearm_interval_ps=5 * MS,
+                         use_serial=True)
+        plan.install(testbed)
+        testbed.drain_session()
+        injector = testbed.device.injector("R")
+        injector._once_fired = True
+        plan.start(testbed)
+        testbed.sim.run_for(12 * MS)
+        plan.stop(testbed)
+        assert testbed.session.commands_sent > 12  # upload + re-arms
+        assert testbed.session.errors_seen == 0
+
+    def test_duty_cycle_over_serial(self):
+        testbed = Testbed(TestbedOptions())
+        testbed.settle()
+        plan = DutyCyclePlan("R",
+                             control_symbol_swap(GAP, GO, MatchMode.ON),
+                             on_ps=5 * MS, off_ps=5 * MS, use_serial=True)
+        plan.install(testbed)
+        testbed.drain_session()
+        plan.start(testbed)
+        testbed.sim.run_for(25 * MS)
+        plan.stop(testbed)
+        modes = [line for command, line in testbed.session.responses
+                 if command.startswith("MM R")]
+        assert any("mm=on" in line for line in modes)
+        assert any("mm=off" in line for line in modes)
+
+
+class TestSessionEdges:
+    def test_unsolicited_line_is_kept(self, sim):
+        device = FaultInjectorDevice(sim)
+        network = build_paper_testbed(sim, device=device)
+        session = InjectorSession(sim, device)
+        network.settle()
+        # Push a response byte stream with no command in flight.
+        device.serial_line.send("b", b"OK spurious\n")
+        sim.run_for(5 * MS)
+        assert ("<unsolicited>", "OK spurious") in session.responses
+
+    def test_selftest_over_full_serial_path(self, sim):
+        device = FaultInjectorDevice(sim)
+        network = build_paper_testbed(sim, device=device)
+        session = InjectorSession(sim, device)
+        network.settle()
+        responses = []
+        session.send("PT", responses.append)
+        sim.run_for(10 * MS)
+        assert responses and responses[0].startswith("OK ram=pass")
+
+
+class TestNetworkBuilderEdges:
+    def test_unknown_host_in_connect(self, sim):
+        from repro.myrinet.network import MyrinetNetwork
+        network = MyrinetNetwork(sim)
+        network.add_switch("sw")
+        with pytest.raises(KeyError):
+            network.connect("ghost", "sw", 0)
+
+    def test_connection_for_unknown_host(self, sim):
+        network = build_paper_testbed(sim)
+        with pytest.raises(ConfigurationError):
+            network.connection_for("ghost")
+
+    def test_settle_is_idempotent(self, sim):
+        network = build_paper_testbed(sim)
+        network.settle()
+        events = sim.events_fired
+        network.start()  # second start is a no-op
+        assert sim.events_fired == events
+
+
+class TestTimeScaledLongTimeout:
+    def test_scaled_timeout_applies_to_hosts_and_switch(self):
+        testbed = Testbed(TestbedOptions(long_timeout_periods=8_000))
+        testbed.settle()
+        switch = testbed.network.switch("switch")
+        assert switch.long_timeout_ps == 8_000 * 12_500
+        pc = testbed.network.host("pc").interface
+        assert pc.long_timeout_ps == 8_000 * 12_500

@@ -1,0 +1,135 @@
+"""Unit and property tests for the 8b/10b transmission code."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.fc.encoding import (
+    Decoder8b10b,
+    Encoder8b10b,
+    decode_code_group,
+    encode_byte,
+)
+
+
+class TestKnownVectors:
+    def test_d0_0(self):
+        assert encode_byte(0x00, False, -1)[0] == 0b1001110100
+        assert encode_byte(0x00, False, +1)[0] == 0b0110001011
+
+    def test_k28_5_both_disparities(self):
+        assert encode_byte(0xBC, True, -1)[0] == 0b0011111010
+        assert encode_byte(0xBC, True, +1)[0] == 0b1100000101
+
+    def test_d21_5_is_balanced_and_identical(self):
+        # D21.5 = 0xB5: classic alternating pattern 1010101010.
+        code_neg, rd_neg = encode_byte(0xB5, False, -1)
+        code_pos, rd_pos = encode_byte(0xB5, False, +1)
+        assert code_neg == code_pos == 0b1010101010
+        assert rd_neg == -1 and rd_pos == +1
+
+    def test_k28_7_defined(self):
+        code, _rd = encode_byte(0xFC, True, -1)
+        assert code == 0b0011111000
+
+    def test_undefined_k_character_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_byte(0x00, True, -1)  # K.0.0 does not exist
+
+    def test_invalid_disparity_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_byte(0x00, False, 0)
+
+    def test_invalid_code_group_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_code_group(0b1111111111)
+
+
+class TestCodeSpaceProperties:
+    def test_every_data_byte_has_both_disparity_encodings(self):
+        for value in range(256):
+            for rd in (-1, 1):
+                code, new_rd = encode_byte(value, False, rd)
+                assert 0 <= code < 1024
+                assert new_rd in (-1, 1)
+
+    def test_all_code_groups_decode_uniquely(self):
+        seen = {}
+        for value in range(256):
+            for rd in (-1, 1):
+                code, _ = encode_byte(value, False, rd)
+                key = (value, False)
+                assert seen.setdefault(code, key) == key
+
+    def test_character_disparity_bounded(self):
+        """Every code group has disparity -2, 0, or +2."""
+        for value in range(256):
+            for rd in (-1, 1):
+                code, _ = encode_byte(value, False, rd)
+                ones = bin(code).count("1")
+                assert ones in (4, 5, 6)
+
+
+class TestStatefulCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_roundtrip(self, data):
+        encoder = Encoder8b10b()
+        decoder = Decoder8b10b()
+        codes = encoder.encode_stream(data)
+        decoded = bytes(decoder.decode(c)[0] for c in codes)
+        assert decoded == data
+        assert decoder.code_errors == 0
+        assert decoder.disparity_errors == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=1, max_size=200))
+    def test_running_disparity_stays_bounded(self, data):
+        encoder = Encoder8b10b()
+        for byte in data:
+            encoder.encode(byte)
+            assert encoder.rd in (-1, 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=4, max_size=200))
+    def test_run_length_never_exceeds_five(self, data):
+        """The defining property of 8b/10b (needs the A7 alternates)."""
+        encoder = Encoder8b10b()
+        codes = encoder.encode_stream(data)
+        bits = "".join(f"{c:010b}" for c in codes)
+        longest = max(len(list(g)) for _k, g in itertools.groupby(bits))
+        assert longest <= 5
+
+    def test_mixed_k_and_d_stream(self):
+        encoder = Encoder8b10b()
+        decoder = Decoder8b10b()
+        stream = [(0xBC, True), (0xB5, False), (0x4A, False), (0xBC, True)]
+        codes = [encoder.encode(v, k) for v, k in stream]
+        assert [decoder.decode(c) for c in codes] == stream
+
+    def test_decoder_counts_invalid_groups(self):
+        decoder = Decoder8b10b()
+        assert decoder.decode(0b1111111111) is None
+        assert decoder.code_errors == 1
+
+    def test_decoder_flags_disparity_violation(self):
+        decoder = Decoder8b10b()  # starts at RD-
+        # D0.0's RD+ encoding arriving while the decoder expects RD-.
+        code_pos, _ = encode_byte(0x00, False, +1)
+        decoder.decode(code_pos)
+        assert decoder.disparity_errors == 1
+
+    def test_single_bit_error_detected_eventually(self):
+        """Flipping one wire bit yields an invalid group or a disparity
+        error within a few characters."""
+        encoder = Encoder8b10b()
+        data = bytes(range(40))
+        codes = encoder.encode_stream(data)
+        codes[10] ^= 1 << 4
+        decoder = Decoder8b10b()
+        for code in codes:
+            decoder.decode(code)
+        assert decoder.code_errors + decoder.disparity_errors >= 1

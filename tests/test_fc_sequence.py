@@ -1,0 +1,116 @@
+"""Tests for FC class 3 sequences and their behaviour under injection."""
+
+import pytest
+
+from repro.core import FaultInjectorDevice
+from repro.core.faults import replace_bytes
+from repro.errors import ConfigurationError
+from repro.fc import FcInjectorTap, FcPort
+from repro.fc.node import connect_fc
+from repro.fc.sequence import (
+    DEFAULT_FRAME_PAYLOAD,
+    SequenceReassembler,
+    SequenceSender,
+)
+from repro.hw.registers import MatchMode
+from repro.sim.timebase import MS
+
+
+def build(sim, tap=None, frame_payload=64, timeout_ps=5 * MS):
+    a = FcPort(sim, "a", 0x010101, bb_credit=8)
+    b = FcPort(sim, "b", 0x020202, bb_credit=8)
+    connect_fc(sim, a, b, tap=tap)
+    sender = SequenceSender(a, s_id=0x010101, frame_payload=frame_payload)
+    received = []
+    reassembler = SequenceReassembler(
+        sim, b, lambda s_id, payload: received.append((s_id, payload)),
+        timeout_ps=timeout_ps,
+    )
+    return sender, reassembler, received
+
+
+def test_single_frame_sequence(sim):
+    sender, reassembler, received = build(sim)
+    sender.send(0x020202, b"short")
+    sim.run_for(2 * MS)
+    assert received == [(0x010101, b"short")]
+    assert sender.frames_sent == 1
+    assert reassembler.sequences_completed == 1
+
+
+def test_multi_frame_sequence_reassembles(sim):
+    sender, reassembler, received = build(sim, frame_payload=64)
+    payload = bytes(range(256)) * 2  # 512 bytes -> 8 frames
+    sender.send(0x020202, payload)
+    sim.run_for(5 * MS)
+    assert received == [(0x010101, payload)]
+    assert sender.frames_sent == 8
+
+
+def test_interleaved_sequences(sim):
+    """Two sequences in flight reassemble independently by OX_ID."""
+    sender, reassembler, received = build(sim, frame_payload=32)
+    first = b"A" * 100
+    second = b"B" * 100
+    sender.send(0x020202, first)
+    sender.send(0x020202, second)
+    sim.run_for(5 * MS)
+    payloads = sorted(p for _s, p in received)
+    assert payloads == [first, second]
+
+
+def test_empty_payload_sequence(sim):
+    sender, _reassembler, received = build(sim)
+    sender.send(0x020202, b"")
+    sim.run_for(2 * MS)
+    assert received == [(0x010101, b"")]
+
+
+def test_corrupted_middle_frame_kills_whole_sequence(sim):
+    """Class 3 has no recovery: one injector hit on a middle frame and
+    the entire multi-frame payload is lost (then aged out)."""
+    device = FaultInjectorDevice(sim, medium="fibre-channel")
+    tap = FcInjectorTap(sim, device)
+    sender, reassembler, received = build(sim, tap=tap, frame_payload=64,
+                                          timeout_ps=3 * MS)
+    # Corrupt a pattern that only occurs in the third frame's payload.
+    device.configure("R", replace_bytes(b"MARK", b"XXXX",
+                                        match_mode=MatchMode.ONCE))
+    payload = b"a" * 128 + b"MARK" + b"b" * 124 + b"c" * 64
+    sender.send(0x020202, payload)
+    sim.run_for(1 * MS)
+    assert received == []                      # incomplete, waiting
+    assert reassembler.open_sequences == 1
+    sim.run_for(10 * MS)                       # reaper ages it out
+    assert reassembler.sequences_timed_out == 1
+    assert reassembler.open_sequences == 0
+    assert received == []
+
+
+def test_corruption_with_fixup_delivers_corrupted_sequence(sim):
+    device = FaultInjectorDevice(sim, medium="fibre-channel")
+    tap = FcInjectorTap(sim, device)
+    sender, _reassembler, received = build(sim, tap=tap, frame_payload=64)
+    device.configure("R", replace_bytes(b"MARK", b"XXXX",
+                                        match_mode=MatchMode.ONCE,
+                                        crc_fixup=True))
+    payload = b"a" * 60 + b"MARK" + b"b" * 64
+    sender.send(0x020202, payload)
+    sim.run_for(5 * MS)
+    assert len(received) == 1
+    assert received[0][1] == payload.replace(b"MARK", b"XXXX")
+
+
+def test_frame_payload_validation(sim):
+    port = FcPort(sim, "p", 1)
+    with pytest.raises(ConfigurationError):
+        SequenceSender(port, s_id=1, frame_payload=0)
+
+
+def test_sender_counters_and_ox_rollover(sim):
+    sender, _reassembler, received = build(sim, frame_payload=1000)
+    ox_ids = {sender.send(0x020202, b"x") for _index in range(5)}
+    sim.run_for(3 * MS)
+    assert len(ox_ids) == 5
+    assert sender.sequences_sent == 5
+    assert len(received) == 5

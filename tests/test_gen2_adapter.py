@@ -1,0 +1,120 @@
+"""Tests for the second-generation device (paper footnote 1)."""
+
+import pytest
+
+from repro.core import (
+    FibreChannelAdapter,
+    MyrinetAdapter,
+    SecondGenerationDevice,
+)
+from repro.core.faults import replace_bytes
+from repro.errors import ConfigurationError
+from repro.fc import FcFrame, FcFrameHeader, FcPort
+from repro.fc.node import connect_fc
+from repro.hw.registers import MatchMode
+from repro.myrinet.network import build_paper_testbed
+from repro.sim.timebase import MS
+
+
+class TestGen2OnMyrinet:
+    def _build(self, sim):
+        device = SecondGenerationDevice(sim, MyrinetAdapter())
+        network = build_paper_testbed(sim, device=device)
+        network.settle()
+        return device, network
+
+    def test_transparent_passthrough(self, sim):
+        device, network = self._build(sim)
+        pc = network.host("pc").interface
+        sparc1 = network.host("sparc1").interface
+        received = []
+        sparc1.set_data_handler(lambda s, p: received.append(p))
+        pc.send_to(sparc1.mac, b"gen2 myrinet")
+        sim.run_for(2 * MS)
+        assert received == [b"gen2 myrinet"]
+        assert device.bursts_forwarded > 0
+
+    def test_injection_with_fixup(self, sim):
+        device, network = self._build(sim)
+        device.configure("R", replace_bytes(b"abcd", b"ABCD",
+                                            match_mode=MatchMode.ONCE,
+                                            crc_fixup=True))
+        pc = network.host("pc").interface
+        sparc1 = network.host("sparc1").interface
+        received = []
+        sparc1.set_data_handler(lambda s, p: received.append(p))
+        pc.send_to(sparc1.mac, b"...abcd...")
+        sim.run_for(2 * MS)
+        assert received == [b"...ABCD..."]
+
+    def test_injection_without_fixup_caught(self, sim):
+        device, network = self._build(sim)
+        device.configure("R", replace_bytes(b"abcd", b"ABCD",
+                                            match_mode=MatchMode.ONCE))
+        pc = network.host("pc").interface
+        sparc1 = network.host("sparc1").interface
+        pc.send_to(sparc1.mac, b"...abcd...")
+        sim.run_for(2 * MS)
+        assert sparc1.crc_errors == 1
+
+
+class TestGen2OnFibreChannel:
+    def _build(self, sim):
+        adapter = FibreChannelAdapter()
+        device = SecondGenerationDevice(sim, adapter, char_period_ps=9_412)
+        a = FcPort(sim, "a", 1)
+        b = FcPort(sim, "b", 2)
+        connect_fc(sim, a, b, tap=device)
+        return device, adapter, a, b
+
+    def test_transparent_passthrough(self, sim):
+        device, adapter, a, b = self._build(sim)
+        got = []
+        b.on_frame(lambda f: got.append(f.payload))
+        header = FcFrameHeader(d_id=2, s_id=1)
+        for seq in range(5):
+            a.send_frame(FcFrame(header=header, payload=b"fc via gen2"))
+        sim.run_for(2 * MS)
+        assert got == [b"fc via gen2"] * 5
+        assert b.crc_errors == 0
+
+    def test_injection_with_crc32_fixup(self, sim):
+        device, adapter, a, b = self._build(sim)
+        got = []
+        b.on_frame(lambda f: got.append(f.payload))
+        device.configure("R", replace_bytes(b"via", b"VIA",
+                                            match_mode=MatchMode.ONCE,
+                                            crc_fixup=True))
+        a.send_frame(FcFrame(header=FcFrameHeader(d_id=2, s_id=1),
+                             payload=b"fc via gen2"))
+        sim.run_for(2 * MS)
+        assert got == [b"fc VIA gen2"]
+        assert adapter.frames_crc_fixed == 1
+
+    def test_same_injector_core_class(self, sim):
+        """The injector entity is literally the same class on both
+        media — the adapter is the only medium-specific piece."""
+        my_device = SecondGenerationDevice(sim, MyrinetAdapter())
+        fc_device = SecondGenerationDevice(sim, FibreChannelAdapter())
+        assert type(my_device.injector("R")) is type(fc_device.injector("R"))
+
+
+class TestGen2Guards:
+    def test_unknown_direction(self, sim):
+        device = SecondGenerationDevice(sim, MyrinetAdapter())
+        with pytest.raises(ConfigurationError):
+            device.injector("X")
+
+    def test_double_attach(self, sim):
+        from repro.myrinet.link import Link
+        device = SecondGenerationDevice(sim, MyrinetAdapter())
+        device.attach_left(Link(sim, "l"), "a")
+        with pytest.raises(ConfigurationError):
+            device.attach_left(Link(sim, "l2"), "a")
+
+    def test_reset(self, sim):
+        device = SecondGenerationDevice(sim, MyrinetAdapter())
+        device.configure("R", replace_bytes(b"x", b"y",
+                                            match_mode=MatchMode.ON))
+        device.device_reset()
+        assert not device.injector("R").armed

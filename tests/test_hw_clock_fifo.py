@@ -1,0 +1,110 @@
+"""Unit tests for the two-phase clock and the RAM-backed FIFO."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.clock import ClockPhase, TwoPhaseClock
+from repro.hw.fifo import DualPortRam, RamFifo
+from repro.myrinet.symbols import data_symbol
+
+
+class TestTwoPhaseClock:
+    def test_alternates_starting_with_odd(self):
+        clock = TwoPhaseClock()
+        phases = [clock.tick() for _ in range(6)]
+        assert phases == [
+            ClockPhase.ODD, ClockPhase.EVEN,
+            ClockPhase.ODD, ClockPhase.EVEN,
+            ClockPhase.ODD, ClockPhase.EVEN,
+        ]
+
+    def test_cycles_and_segments(self):
+        clock = TwoPhaseClock()
+        for _ in range(10):
+            clock.tick()
+        assert clock.cycles == 10
+        assert clock.segments == 5
+
+    def test_expect_enforces_phase(self):
+        clock = TwoPhaseClock()
+        clock.tick()
+        clock.expect(ClockPhase.ODD)
+        with pytest.raises(SimulationError):
+            clock.expect(ClockPhase.EVEN)
+
+
+class TestDualPortRam:
+    def test_read_write(self):
+        ram = DualPortRam(8)
+        ram.write(3, data_symbol(0x55))
+        assert ram.read(3).value == 0x55
+        assert ram.reads == 1
+        assert ram.writes == 1
+
+    def test_uninitialized_read_rejected(self):
+        ram = DualPortRam(4)
+        with pytest.raises(SimulationError):
+            ram.read(0)
+
+    def test_address_bounds(self):
+        ram = DualPortRam(4)
+        with pytest.raises(SimulationError):
+            ram.write(4, data_symbol(0))
+        with pytest.raises(SimulationError):
+            ram.write(-1, data_symbol(0))
+
+    def test_minimum_size(self):
+        with pytest.raises(Exception):
+            DualPortRam(1)
+
+
+class TestRamFifo:
+    def test_fifo_order(self):
+        fifo = RamFifo(8)
+        for value in (1, 2, 3):
+            fifo.push(data_symbol(value))
+        assert [fifo.pop().value for _ in range(3)] == [1, 2, 3]
+        assert fifo.empty
+
+    def test_overflow_underflow(self):
+        fifo = RamFifo(2)
+        fifo.push(data_symbol(0))
+        fifo.push(data_symbol(1))
+        assert fifo.full
+        with pytest.raises(SimulationError):
+            fifo.push(data_symbol(2))
+        fifo.drain()
+        with pytest.raises(SimulationError):
+            fifo.pop()
+
+    def test_peek_and_rewrite_from_tail(self):
+        """The even-cycle inject: queued entries are rewritten in place
+        (paper Figure 3)."""
+        fifo = RamFifo(8)
+        for value in (10, 20, 30):
+            fifo.push(data_symbol(value))
+        assert fifo.peek_from_tail(0).value == 30  # newest
+        assert fifo.peek_from_tail(2).value == 10  # oldest
+        fifo.rewrite_from_tail(1, data_symbol(99))
+        assert [fifo.pop().value for _ in range(3)] == [10, 99, 30]
+        assert fifo.in_place_rewrites == 1
+
+    def test_rewrite_bounds_checked(self):
+        fifo = RamFifo(4)
+        fifo.push(data_symbol(1))
+        with pytest.raises(SimulationError):
+            fifo.rewrite_from_tail(1, data_symbol(0))
+        with pytest.raises(SimulationError):
+            fifo.peek_from_tail(-1)
+
+    def test_wraparound(self):
+        fifo = RamFifo(3)
+        for round_index in range(10):
+            fifo.push(data_symbol(round_index % 256))
+            assert fifo.pop().value == round_index % 256
+
+    def test_drain_returns_in_order(self):
+        fifo = RamFifo(5)
+        for value in range(5):
+            fifo.push(data_symbol(value))
+        assert [s.value for s in fifo.drain()] == [0, 1, 2, 3, 4]

@@ -1,0 +1,129 @@
+"""Unit tests for the compare unit and the injector register file."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.compare import CompareUnit
+from repro.hw.registers import (
+    CorruptMode,
+    InjectorConfig,
+    MatchMode,
+    pattern_for_bytes,
+)
+from repro.myrinet.symbols import GAP, STOP, data_symbol
+
+
+class TestCompareUnit:
+    def test_window_shifts_newest_to_low_byte(self):
+        unit = CompareUnit()
+        for value in (0x11, 0x22, 0x33, 0x44):
+            unit.shift(data_symbol(value))
+        assert unit.window == 0x11223344
+        unit.shift(data_symbol(0x55))
+        assert unit.window == 0x22334455
+
+    def test_ctl_bits_track_dc(self):
+        unit = CompareUnit()
+        unit.shift(data_symbol(1))
+        unit.shift(STOP)
+        unit.shift(data_symbol(2))
+        unit.shift(GAP)
+        # lane0 = GAP (control=0), lane1 = data(1), lane2 = STOP(0), lane3 = data(1)
+        assert unit.ctl_bits == 0b1010
+
+    def test_filled_after_four_symbols(self):
+        unit = CompareUnit()
+        for index in range(3):
+            unit.shift(data_symbol(index))
+            assert not unit.filled
+        unit.shift(data_symbol(3))
+        assert unit.filled
+
+    def test_exact_match(self):
+        unit = CompareUnit()
+        for byte in b"\x18\x18\xab\xcd":
+            unit.shift(data_symbol(byte))
+        config = InjectorConfig(compare_data=0x1818ABCD,
+                                compare_mask=0xFFFFFFFF)
+        assert unit.evaluate(config)
+        assert unit.matches == 1
+
+    def test_mask_enables_dont_care_bits(self):
+        """Paper §3.3: the mask applies to the XOR result, so any number
+        of bits from 0 to 32 can participate."""
+        unit = CompareUnit()
+        for byte in b"\x00\x00\x18\x18":
+            unit.shift(data_symbol(byte))
+        config = InjectorConfig(compare_data=0x1818,
+                                compare_mask=0x0000FFFF)
+        assert unit.evaluate(config)
+        config2 = InjectorConfig(compare_data=0x9999 << 16 | 0x1818,
+                                 compare_mask=0x0000FFFF)
+        assert unit.evaluate(config2)  # upper bits are don't-care
+
+    def test_control_lane_discrimination(self):
+        """The same byte value matches differently for data vs control."""
+        unit = CompareUnit()
+        unit.shift(data_symbol(0))
+        unit.shift(data_symbol(0))
+        unit.shift(data_symbol(0))
+        unit.shift(STOP)  # control 0x0F in lane 0
+        config = InjectorConfig(
+            compare_data=STOP.value, compare_mask=0xFF,
+            compare_ctl=0x0, compare_ctl_mask=0x1,
+        )
+        assert unit.evaluate(config)
+        unit.shift(data_symbol(STOP.value))  # same value, data symbol
+        assert not unit.evaluate(config)
+
+    def test_reset_clears_window(self):
+        unit = CompareUnit()
+        for index in range(4):
+            unit.shift(data_symbol(0xFF))
+        unit.reset()
+        assert unit.window == 0
+        assert not unit.filled
+
+
+class TestInjectorConfig:
+    def test_defaults_disarmed(self):
+        config = InjectorConfig()
+        assert config.match_mode is MatchMode.OFF
+        assert not config.armed
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            InjectorConfig(compare_data=1 << 32)
+        with pytest.raises(ConfigurationError):
+            InjectorConfig(compare_ctl=0x10)
+
+    def test_copy_replaces_single_field(self):
+        config = InjectorConfig(compare_data=0x1818)
+        modified = config.copy(match_mode=MatchMode.ONCE)
+        assert modified.compare_data == 0x1818
+        assert modified.match_mode is MatchMode.ONCE
+        assert config.match_mode is MatchMode.OFF  # original untouched
+
+    def test_describe_mentions_key_fields(self):
+        text = InjectorConfig(compare_data=0x1818,
+                              corrupt_mode=CorruptMode.REPLACE).describe()
+        assert "00001818" in text
+        assert "replace" in text
+
+
+class TestPatternForBytes:
+    def test_right_alignment(self):
+        data, mask = pattern_for_bytes(b"\x18\x19")
+        assert data == 0x1819
+        assert mask == 0xFFFF
+
+    def test_full_width(self):
+        data, mask = pattern_for_bytes(b"\x01\x02\x03\x04")
+        assert data == 0x01020304
+        assert mask == 0xFFFFFFFF
+
+    def test_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            pattern_for_bytes(b"")
+        with pytest.raises(ConfigurationError):
+            pattern_for_bytes(b"12345")

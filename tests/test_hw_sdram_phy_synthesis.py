@@ -1,0 +1,130 @@
+"""Unit tests for the SDRAM buffer, PHY models, and synthesis estimator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.phy import DEFAULT_PHY_LATENCY_PS, PhyTransceiver
+from repro.hw.sdram import SdramBuffer
+from repro.hw.synthesis import (
+    ENTITY_ORDER,
+    PAPER_TABLE1,
+    describe_all,
+    estimate_entity,
+    format_report,
+    synthesis_report,
+)
+
+
+class TestSdramBuffer:
+    def test_store_and_read_back(self):
+        sdram = SdramBuffer(capacity_bytes=1024)
+        assert sdram.store(100, "record-a", 64)
+        assert sdram.store(200, "record-b", 64)
+        assert sdram.bytes_used == 128
+        assert [r for _t, r in sdram.records] == ["record-a", "record-b"]
+
+    def test_capacity_limit(self):
+        sdram = SdramBuffer(capacity_bytes=100)
+        assert sdram.store(0, "a", 80)
+        assert not sdram.store(1, "b", 80)
+        assert sdram.records_dropped_capacity == 1
+
+    def test_bandwidth_limit(self):
+        # 1 byte/s bandwidth: any realistic burst overwhelms the write
+        # queue immediately.
+        sdram = SdramBuffer(capacity_bytes=10**9, bandwidth_bytes_per_s=1)
+        assert sdram.store(0, "a", 1000)
+        assert not sdram.store(1, "b", 1000)
+        assert sdram.records_dropped_bandwidth == 1
+
+    def test_clear(self):
+        sdram = SdramBuffer()
+        sdram.store(0, "x", 10)
+        sdram.clear()
+        assert len(sdram) == 0
+        assert sdram.bytes_used == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SdramBuffer(capacity_bytes=0)
+
+
+class TestPhy:
+    def test_counts_and_latency(self):
+        phy = PhyTransceiver("p", "myrinet")
+        assert phy.receive(10) == DEFAULT_PHY_LATENCY_PS
+        assert phy.drive(8) == DEFAULT_PHY_LATENCY_PS
+        assert phy.symbols_received == 10
+        assert phy.symbols_driven == 8
+
+    def test_media_validated(self):
+        PhyTransceiver("p", "fibre-channel")
+        with pytest.raises(ConfigurationError):
+            PhyTransceiver("p", "token-ring")
+        with pytest.raises(ConfigurationError):
+            PhyTransceiver("p", latency_ps=-5)
+
+
+class TestSynthesis:
+    def test_report_covers_all_entities(self):
+        report = synthesis_report()
+        assert set(report) == set(ENTITY_ORDER) | {"total"}
+        for name in ENTITY_ORDER:
+            for key in ("gates", "function_generators", "multiplexers",
+                        "flip_flops"):
+                assert report[name][key] >= 0
+
+    def test_fifo_injector_dominates_every_resource(self):
+        """The reproduction-relevant shape of Table 1."""
+        report = synthesis_report()
+        for key in ("gates", "function_generators", "flip_flops",
+                    "multiplexers"):
+            fifo = report["fifo_inject"][key]
+            others = sum(report[name][key] for name in ENTITY_ORDER
+                         if name != "fifo_inject")
+            assert fifo > others, key
+
+    def test_instruction_decoder_is_register_heaviest_control_entity(self):
+        report = synthesis_report()
+        control = [n for n in ENTITY_ORDER if n != "fifo_inject"]
+        heaviest = max(control, key=lambda n: report[n]["flip_flops"])
+        assert heaviest == "inst_dec"
+
+    def test_totals_within_tolerance_of_paper(self):
+        report = synthesis_report()
+        for key in ("gates", "function_generators", "multiplexers",
+                    "flip_flops"):
+            ours = report["total"][key]
+            paper = PAPER_TABLE1["total"][key]
+            assert abs(ours - paper) / paper < 0.25, (key, ours, paper)
+
+    def test_relative_ordering_matches_paper(self):
+        report = synthesis_report()
+        ours = sorted(ENTITY_ORDER,
+                      key=lambda n: report[n]["function_generators"])
+        paper = sorted(ENTITY_ORDER,
+                       key=lambda n: PAPER_TABLE1[n]["function_generators"])
+        assert ours == paper
+
+    def test_two_fifo_instances_option(self):
+        single = synthesis_report(fifo_instances=1)["total"]["flip_flops"]
+        double = synthesis_report(fifo_instances=2)["total"]["flip_flops"]
+        fifo = synthesis_report()["fifo_inject"]["flip_flops"]
+        assert double == single + fifo
+
+    def test_deeper_pipeline_costs_more_pointer_bits(self):
+        shallow = synthesis_report(pipeline_depth=8)
+        deep = synthesis_report(pipeline_depth=128)
+        assert (deep["fifo_inject"]["flip_flops"]
+                > shallow["fifo_inject"]["flip_flops"])
+
+    def test_estimates_deterministic(self):
+        descriptions = describe_all()
+        first = [estimate_entity(d).as_dict() for d in descriptions]
+        second = [estimate_entity(d).as_dict() for d in descriptions]
+        assert first == second
+
+    def test_format_report_renders(self):
+        text = format_report(synthesis_report())
+        assert "fifo_inject" in text
+        assert "model/paper" in text

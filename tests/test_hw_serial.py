@@ -1,0 +1,269 @@
+"""Unit tests for the serial control path: line, UART, SPI, decoder."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.hw.decoder import (
+    ERR_BAD_ARGUMENT,
+    ERR_BAD_DIRECTION,
+    ERR_BAD_OPCODE,
+    ERR_OVERFLOW,
+    IDENTITY,
+    MAX_LINE,
+    CommandDecoder,
+)
+from repro.hw.injector import FifoInjector
+from repro.hw.outputgen import OutputGenerator
+from repro.hw.registers import CorruptMode, MatchMode
+from repro.hw.spi import Spi, decode_frame, encode_frame
+from repro.hw.uart import SerialLine, Uart
+from repro.sim.timebase import MS, US
+
+
+class _Target:
+    """Minimal decoder target with two injectors."""
+
+    def __init__(self):
+        self.injectors = {"L": FifoInjector("L"), "R": FifoInjector("R")}
+        self.resets = 0
+
+    def injector(self, direction):
+        return self.injectors[direction]
+
+    def device_reset(self):
+        self.resets += 1
+        for injector in self.injectors.values():
+            injector.reset()
+
+    def monitor_summary(self, direction):
+        return f"cap=0 sdram=0 drop=0"
+
+
+def make_decoder():
+    target = _Target()
+    responses = []
+    decoder = CommandDecoder(target, responses.append)
+    return decoder, target, responses
+
+
+def send_line(decoder, line):
+    for char in line + "\n":
+        decoder.on_char(ord(char))
+
+
+class TestSerialLine:
+    def test_byte_timing_at_baud(self, sim):
+        line = SerialLine(sim, baud=115_200)
+        received = []
+        line.attach("b", lambda b: received.append((sim.now, b)))
+        line.send("a", b"AB")
+        sim.run()
+        byte_time = line.byte_time_ps
+        assert received[0] == (byte_time, ord("A"))
+        assert received[1] == (2 * byte_time, ord("B"))
+        # 10 bits at 115200 baud is ~86.8 us per byte.
+        assert byte_time == pytest.approx(86.8 * US, rel=0.01)
+
+    def test_directions_independent(self, sim):
+        line = SerialLine(sim)
+        got_a, got_b = [], []
+        line.attach("a", got_a.append)
+        line.attach("b", got_b.append)
+        line.send("a", b"x")
+        line.send("b", b"yz")
+        sim.run()
+        assert bytes(got_b) == b"x"
+        assert bytes(got_a) == b"yz"
+
+    def test_unattached_side_rejected(self, sim):
+        line = SerialLine(sim)
+        with pytest.raises(ConfigurationError):
+            line.send("a", b"x")
+        with pytest.raises(ConfigurationError):
+            line.attach("q", lambda b: None)
+
+    def test_bad_baud(self, sim):
+        with pytest.raises(ConfigurationError):
+            SerialLine(sim, baud=0)
+
+
+class TestUart:
+    def test_drops_before_configuration(self, sim):
+        line = SerialLine(sim)
+        line.attach("a", lambda b: None)
+        uart = Uart(sim, line, side="b")
+        line.send("a", b"early")
+        sim.run()
+        assert uart.dropped_before_config == 5
+        uart.configure()
+        uart.attach_fpga(lambda b: None)
+        line.send("a", b"ok")
+        sim.run()
+        assert uart.rx_bytes == 2
+
+    def test_only_8n1_supported(self, sim):
+        line = SerialLine(sim)
+        line.attach("a", lambda b: None)
+        uart = Uart(sim, line)
+        with pytest.raises(ConfigurationError):
+            uart.configure(data_bits=7)
+
+
+class TestSpi:
+    def test_frame_roundtrip(self):
+        for byte in (0, 0x7F, 0xFF, 0x55):
+            assert decode_frame(encode_frame(byte)) == byte
+
+    def test_bad_sync_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(0x5041)
+
+    def test_parity_error_rejected(self):
+        frame = encode_frame(0x41)
+        with pytest.raises(ProtocolError):
+            decode_frame(frame ^ 0x0001)  # flip a payload bit
+
+    def test_corrupted_frames_counted_not_delivered(self):
+        spi = Spi()
+        seen = []
+        spi.attach_handler(seen.append)
+        spi.receive_frame(encode_frame(0x41))
+        spi.receive_frame(encode_frame(0x42) ^ 0x0004)  # corrupt in flight
+        assert seen == [0x41]
+        assert spi.frame_errors == 1
+        assert spi.frames_in == 2
+
+
+class TestCommandDecoder:
+    def test_identity(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "ID")
+        assert responses == [f"OK {IDENTITY}"]
+
+    def test_reset(self):
+        decoder, target, responses = make_decoder()
+        send_line(decoder, "RS")
+        assert target.resets == 1
+        assert responses[-1] == "OK reset"
+
+    def test_full_configuration_sequence(self):
+        decoder, target, responses = make_decoder()
+        for line in (
+            "MM R OFF",
+            "CD R 00001818",
+            "CM R 0000ffff",
+            "RD R 00001918",
+            "RM R 0000ffff",
+            "OM R RPL",
+            "CF R 1",
+            "MM R ONCE",
+        ):
+            send_line(decoder, line)
+        assert all(r.startswith("OK") for r in responses)
+        config = target.injector("R").config
+        assert config.compare_data == 0x1818
+        assert config.corrupt_data == 0x1918
+        assert config.corrupt_mode is CorruptMode.REPLACE
+        assert config.crc_fixup
+        assert config.match_mode is MatchMode.ONCE
+
+    def test_directions_are_independent(self):
+        decoder, target, _ = make_decoder()
+        send_line(decoder, "CD L 000000aa")
+        send_line(decoder, "CD R 000000bb")
+        assert target.injector("L").config.compare_data == 0xAA
+        assert target.injector("R").config.compare_data == 0xBB
+
+    def test_ctl_lane_commands(self):
+        decoder, target, _ = make_decoder()
+        send_line(decoder, "CC R 0")
+        send_line(decoder, "CX R 1")
+        send_line(decoder, "RC R 0")
+        send_line(decoder, "RX R 1")
+        config = target.injector("R").config
+        assert config.compare_ctl == 0
+        assert config.compare_ctl_mask == 1
+        assert config.corrupt_ctl == 0
+        assert config.corrupt_ctl_mask == 1
+
+    def test_inject_now_command(self):
+        decoder, target, _ = make_decoder()
+        send_line(decoder, "IN L")
+        assert target.injector("L")._inject_now
+
+    def test_stats_command(self):
+        decoder, target, responses = make_decoder()
+        send_line(decoder, "ST R")
+        assert responses[-1].startswith("OK sym=0 match=0 inj=0")
+
+    def test_monitor_command(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "MO L")
+        assert responses[-1].startswith("OK cap=")
+        send_line(decoder, "MO Q")
+        assert responses[-1].startswith(f"ER {ERR_BAD_DIRECTION}")
+
+    def test_bad_opcode(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "ZZ R 00")
+        assert responses[-1].startswith(f"ER {ERR_BAD_OPCODE}")
+        assert decoder.commands_error == 1
+
+    def test_bad_direction(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "CD X 00000000")
+        assert responses[-1].startswith(f"ER {ERR_BAD_DIRECTION}")
+
+    def test_bad_hex_argument(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "CD R nothex")
+        assert responses[-1].startswith(f"ER {ERR_BAD_ARGUMENT}")
+        send_line(decoder, "CD R 112233445566")  # too wide
+        assert responses[-1].startswith(f"ER {ERR_BAD_ARGUMENT}")
+
+    def test_bad_match_mode(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "MM R SOMETIMES")
+        assert responses[-1].startswith(f"ER {ERR_BAD_ARGUMENT}")
+
+    def test_line_overflow(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "CD R " + "0" * (MAX_LINE + 10))
+        assert responses[-1].startswith(f"ER {ERR_OVERFLOW}")
+        # Recovers on the next line.
+        send_line(decoder, "ID")
+        assert responses[-1] == f"OK {IDENTITY}"
+
+    def test_blank_line_ignored(self):
+        decoder, _target, responses = make_decoder()
+        send_line(decoder, "")
+        send_line(decoder, "   ")
+        assert responses == []
+
+    def test_carriage_returns_tolerated(self):
+        decoder, _target, responses = make_decoder()
+        for char in "ID\r\n":
+            decoder.on_char(ord(char))
+        assert responses == [f"OK {IDENTITY}"]
+
+    def test_case_insensitive_opcode(self):
+        decoder, target, responses = make_decoder()
+        send_line(decoder, "mm r once")
+        assert responses[-1].startswith("OK")
+        assert target.injector("R").config.match_mode is MatchMode.ONCE
+
+
+class TestOutputGenerator:
+    def test_emits_ascii_with_newline(self):
+        emitted = []
+        generator = OutputGenerator(emitted.append)
+        generator.send_response("OK test")
+        assert bytes(emitted) == b"OK test\n"
+        assert generator.responses_sent == 1
+        assert generator.bytes_emitted == 8
+
+    def test_non_ascii_replaced(self):
+        emitted = []
+        generator = OutputGenerator(emitted.append)
+        generator.send_response("oké")
+        assert bytes(emitted) == b"ok?\n"

@@ -1,0 +1,184 @@
+"""End-to-end integration tests spanning the whole stack.
+
+Each test exercises a complete paper scenario: workload over the
+simulated LAN, fault configuration over the real serial path, corruption
+in the injector pipeline, and observation at the application layer.
+"""
+
+import pytest
+
+from repro.core import FaultInjectorDevice, InjectorSession
+from repro.core.faults import control_symbol_swap, replace_bytes
+from repro.hostsim import HostStack, MessageSink
+from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.myrinet.network import build_paper_testbed
+from repro.myrinet.symbols import GAP, GO
+from repro.nftape import Testbed
+from repro.nftape.experiment import TestbedOptions
+from repro.sim.timebase import MS, US
+
+
+def test_full_serial_campaign_roundtrip(sim):
+    """Configure over RS-232, corrupt a UDP message, read stats back —
+    the paper's 'typical injection scenario' end to end."""
+    device = FaultInjectorDevice(sim)
+    network = build_paper_testbed(sim, device=device)
+    session = InjectorSession(sim, device)
+    network.settle()
+
+    pc = network.host("pc").interface
+    sparc1 = network.host("sparc1").interface
+    received = []
+    sparc1.set_data_handler(lambda src, payload: received.append(payload))
+
+    done = []
+    session.configure(
+        "R",
+        replace_bytes(b"\x18\x18", b"\x19\x18", match_mode=MatchMode.ONCE,
+                      crc_fixup=True),
+        done.append,
+    )
+    sim.run_for(60 * MS)
+    assert done and done[0].startswith("OK")
+
+    # Raw data-link message, as in the paper's demonstration.
+    pc.send_to(sparc1.mac, b"snoop \x18\x18 string")
+    sim.run_for(5 * MS)
+    assert received == [b"snoop \x19\x18 string"]
+
+    stats = []
+    session.read_stats("R", stats.append)
+    sim.run_for(10 * MS)
+    assert stats[0]["inj"] == 1
+    assert stats[0]["match"] >= 1
+
+
+def test_mapping_survives_device_and_faults_recover(sim):
+    """Routes map through the device; after a corruption burst the
+    network returns to the known good state."""
+    testbed = Testbed(TestbedOptions(seed=11))
+    testbed.settle()
+    assert testbed.mmon.all_nodes_in_network()
+    # Corrupt all mapping traffic for a while.
+    testbed.device.configure("R", InjectorConfig(
+        match_mode=MatchMode.ON,
+        compare_data=0x0005, compare_mask=0xFFFF,
+        corrupt_mode=CorruptMode.TOGGLE, corrupt_data=0x00FF,
+        crc_fixup=True,
+    ))
+    testbed.sim.run_for(2 * testbed.options.map_interval_ps)
+    mapper = testbed.network.mapper().mcp
+    assert "pc" not in mapper.current_map.entries
+    # Disarm: the next round restores the known good state.
+    testbed.device.injector("R").set_match_mode(MatchMode.OFF)
+    testbed.sim.run_for(2 * testbed.options.map_interval_ps)
+    assert testbed.mmon.all_nodes_in_network()
+
+
+def test_bidirectional_control_corruption_is_passive(sim):
+    """A GAP->GO burst damages throughput but never delivers wrong data
+    to an application (the §4.4 claim)."""
+    from repro.nftape import Experiment, FaultPlan, WorkloadConfig
+    from repro.nftape.classify import FaultClass, classify_result
+
+    plan = FaultPlan("RL", control_symbol_swap(GAP, GO, MatchMode.ON),
+                     use_serial=False)
+    experiment = Experiment(
+        "gap-burst", duration_ps=4 * MS, plan=plan,
+        workload_config=WorkloadConfig(send_interval_ps=250 * US,
+                                       flood_ping=False),
+    )
+    result = experiment.run()
+    assert result.loss_rate > 0
+    classified = classify_result(result)
+    assert classified.fault_class is FaultClass.PASSIVE
+    assert result.active_misdeliveries == 0
+    assert result.corrupted_deliveries == 0
+
+
+def test_monitoring_and_statistics_during_campaign(sim):
+    """Data monitoring captures the injection environment while the
+    statistics unit keeps per-pair counts (paper §3.2)."""
+    from repro.core.monitor import MonitorConfig
+
+    device = FaultInjectorDevice(
+        sim, monitor_config=MonitorConfig(enabled=True, pre_symbols=16,
+                                          post_symbols=16),
+    )
+    network = build_paper_testbed(sim, device=device)
+    network.settle()
+    pc = HostStack(sim, network.host("pc").interface)
+    sparc1 = HostStack(sim, network.host("sparc1").interface)
+    MessageSink(sparc1, 4000)
+    device.configure("R", replace_bytes(b"mark", b"MARK",
+                                        match_mode=MatchMode.ONCE,
+                                        crc_fixup=True))
+    for index in range(5):
+        pc.send_udp(sparc1.interface.mac, 4000, b"....mark....")
+    sim.run_for(5 * MS)
+
+    captures = device.monitor("R").captures()
+    assert len(captures) == 1
+    assert captures[0].event.lanes_rewritten >= 1
+    assert len(captures[0].before) == 16
+    assert len(captures[0].after) == 16
+
+    stats = device.statistics("R").stats
+    assert stats.pair_count(pc.interface.mac, sparc1.interface.mac) == 5
+
+
+def test_deterministic_replay_of_whole_campaign():
+    """Identical seeds replay an entire fault campaign bit-for-bit."""
+    from repro.nftape import Experiment, FaultPlan, WorkloadConfig
+
+    def run_once():
+        plan = FaultPlan("RL", control_symbol_swap(GAP, GO, MatchMode.ON),
+                         use_serial=False)
+        experiment = Experiment(
+            "replay", duration_ps=3 * MS, plan=plan,
+            workload_config=WorkloadConfig(send_interval_ps=300 * US),
+            testbed_options=TestbedOptions(seed=77),
+        )
+        result = experiment.run()
+        return (result.messages_sent, result.messages_received,
+                result.injections)
+
+    assert run_once() == run_once()
+
+
+def test_dual_media_same_device_core(sim):
+    """The same injector core drives Myrinet and Fibre Channel: §1's
+    'failure analysis can be performed simultaneously over both'."""
+    from repro.fc import FcFrame, FcFrameHeader, FcInjectorTap, FcPort
+    from repro.fc.node import connect_fc
+
+    fc_device = FaultInjectorDevice(sim, medium="fibre-channel")
+    tap = FcInjectorTap(sim, fc_device)
+    a = FcPort(sim, "fc-a", 1)
+    b = FcPort(sim, "fc-b", 2)
+    connect_fc(sim, a, b, tap=tap)
+
+    my_device = FaultInjectorDevice(sim)
+    network = build_paper_testbed(sim, device=my_device)
+    network.settle()
+
+    # Same fault model object loaded into both devices.
+    fault = replace_bytes(b"word", b"WORD", match_mode=MatchMode.ONCE,
+                          crc_fixup=True)
+    fc_device.configure("R", fault)
+    my_device.configure("R", fault)
+
+    got_fc = []
+    b.on_frame(lambda f: got_fc.append(f.payload))
+    a.send_frame(FcFrame(header=FcFrameHeader(d_id=2, s_id=1),
+                         payload=b"a word on fc"))
+
+    pc = network.host("pc").interface
+    sparc1 = network.host("sparc1").interface
+    got_my = []
+    sparc1.set_data_handler(lambda src, payload: got_my.append(payload))
+    pc.send_to(sparc1.mac, b"a word on myrinet")
+
+    sim.run_for(5 * MS)
+    assert got_fc == [b"a WORD on fc"]
+    assert got_my == [b"a WORD on myrinet"]

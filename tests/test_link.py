@@ -1,0 +1,111 @@
+"""Unit tests for channels and links."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.myrinet.link import Channel, Link
+from repro.myrinet.symbols import GAP, data_symbol
+
+
+class Collector:
+    def __init__(self):
+        self.bursts = []
+        self.times = []
+
+    def on_burst(self, burst, channel):
+        self.bursts.append(burst)
+
+
+class TimedCollector(Collector):
+    def __init__(self, sim):
+        super().__init__()
+        self._sim = sim
+
+    def on_burst(self, burst, channel):
+        super().on_burst(burst, channel)
+        self.times.append(self._sim.now)
+
+
+def test_send_requires_sink(sim):
+    channel = Channel(sim, "c")
+    with pytest.raises(ConfigurationError):
+        channel.send([GAP])
+
+
+def test_serialization_and_propagation_delay(sim):
+    channel = Channel(sim, "c", char_period_ps=10, propagation_ps=100)
+    sink = TimedCollector(sim)
+    channel.connect(sink)
+    channel.send([data_symbol(1), data_symbol(2), data_symbol(3)])
+    sim.run()
+    # 3 symbols * 10ps + 100ps propagation.
+    assert sink.times == [130]
+    assert [s.value for s in sink.bursts[0]] == [1, 2, 3]
+
+
+def test_back_to_back_bursts_queue_on_wire(sim):
+    channel = Channel(sim, "c", char_period_ps=10, propagation_ps=0)
+    sink = TimedCollector(sim)
+    channel.connect(sink)
+    channel.send([data_symbol(0)] * 5)   # occupies 0..50
+    channel.send([data_symbol(1)] * 5)   # occupies 50..100
+    sim.run()
+    assert sink.times == [50, 100]
+    assert channel.symbols_carried == 10
+    assert channel.bursts_carried == 2
+
+
+def test_free_at_tracks_busy(sim):
+    channel = Channel(sim, "c", char_period_ps=10, propagation_ps=0)
+    channel.connect(Collector())
+    assert channel.free_at() == 0
+    channel.send([data_symbol(0)] * 4)
+    assert channel.free_at() == 40
+    assert channel.busy_until == 40
+
+
+def test_empty_burst_is_noop(sim):
+    channel = Channel(sim, "c")
+    channel.connect(Collector())
+    assert channel.send([]) == sim.now
+    assert channel.bursts_carried == 0
+
+
+def test_bad_parameters_rejected(sim):
+    with pytest.raises(ConfigurationError):
+        Channel(sim, "c", char_period_ps=0)
+    with pytest.raises(ConfigurationError):
+        Channel(sim, "c", propagation_ps=-1)
+
+
+def test_link_full_duplex_independent(sim):
+    link = Link(sim, "l", char_period_ps=10, propagation_ps=0)
+    a_side = TimedCollector(sim)
+    b_side = TimedCollector(sim)
+    tx_a = link.attach_a(a_side)
+    tx_b = link.attach_b(b_side)
+    tx_a.send([data_symbol(1)])
+    tx_b.send([data_symbol(2)] * 3)
+    sim.run()
+    assert [s.value for s in b_side.bursts[0]] == [1]
+    assert [s.value for s in a_side.bursts[0]] == [2, 2, 2]
+    # Directions do not share the wire.
+    assert b_side.times == [10]
+    assert a_side.times == [30]
+
+
+def test_link_flow_state_registry(sim):
+    link = Link(sim, "l")
+    link.register_tx_state("a", "state-a")
+    link.register_tx_state("b", "state-b")
+    assert link.peer_tx_state("a") == "state-b"
+    assert link.peer_tx_state("b") == "state-a"
+    with pytest.raises(ConfigurationError):
+        link.register_tx_state("c", None)
+    with pytest.raises(ConfigurationError):
+        link.peer_tx_state("x")
+
+
+def test_burst_duration_helper(sim):
+    channel = Channel(sim, "c", char_period_ps=12_500)
+    assert channel.burst_duration(20) == 250_000  # the ~250ns pipeline

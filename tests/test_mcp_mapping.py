@@ -1,0 +1,218 @@
+"""Unit tests for the topology oracle, mapping protocol, and MCP."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.myrinet.mapping import MapEntry, NetworkMap, TopologyOracle
+from repro.myrinet.mcp import MAPPER_SILENCE_ROUNDS
+from repro.myrinet.addresses import MacAddress, McpAddress
+from repro.myrinet.network import MyrinetNetwork, build_paper_testbed
+from repro.sim.timebase import MS
+
+
+class TestTopologyOracle:
+    def _single_switch(self):
+        oracle = TopologyOracle()
+        oracle.add_switch("sw")
+        for index, host in enumerate(("h0", "h1", "h2")):
+            oracle.add_host(host)
+            oracle.connect_host(host, "sw", index)
+        return oracle
+
+    def test_single_switch_routes(self):
+        oracle = self._single_switch()
+        assert oracle.route("h0", "h1") == [1]
+        assert oracle.route("h1", "h0") == [0]
+        assert oracle.route("h0", "h0") == []
+
+    def test_two_switch_routes(self):
+        oracle = TopologyOracle()
+        oracle.add_switch("s1")
+        oracle.add_switch("s2")
+        oracle.add_host("a")
+        oracle.add_host("b")
+        oracle.connect_host("a", "s1", 0)
+        oracle.connect_host("b", "s2", 5)
+        oracle.connect_switches("s1", 7, "s2", 6)
+        assert oracle.route("a", "b") == [7, 5]
+        assert oracle.route("b", "a") == [6, 0]
+
+    def test_route_never_through_host(self):
+        """A route must not pass through an intermediate host."""
+        oracle = TopologyOracle()
+        oracle.add_switch("s1")
+        oracle.add_switch("s2")
+        for host, switch, port in (("a", "s1", 0), ("b", "s2", 0)):
+            oracle.add_host(host)
+            oracle.connect_host(host, switch, port)
+        # "m" is attached to both switches (dual-homed host).
+        oracle.add_host("m")
+        oracle.connect_host("m", "s1", 1)
+        oracle.connect_host("m", "s2", 1)
+        with pytest.raises(RoutingError):
+            oracle.route("a", "b")  # only path would go through host m
+
+    def test_no_route_raises(self):
+        oracle = TopologyOracle()
+        oracle.add_host("lonely")
+        oracle.add_host("also-lonely")
+        with pytest.raises(RoutingError):
+            oracle.route("lonely", "also-lonely")
+
+    def test_probes_cover_all_other_hosts(self):
+        oracle = self._single_switch()
+        probes = oracle.probes_from("h0")
+        assert sorted(p.position for p in probes) == ["h1", "h2"]
+        for probe in probes:
+            assert probe.forward_route
+            assert probe.reply_route
+
+
+class TestNetworkMap:
+    def _map(self, mac=1):
+        network_map = NetworkMap(round_index=1, completed_at=0)
+        network_map.entries["h1"] = MapEntry(
+            "h1", MacAddress(mac), McpAddress(10), (1,)
+        )
+        return network_map
+
+    def test_consistency(self):
+        assert self._map().consistent_with(self._map())
+        assert not self._map(1).consistent_with(self._map(2))
+
+    def test_render_contains_entries(self):
+        text = self._map().render()
+        assert "h1" in text
+        assert "route=[1]" in text
+
+    def test_entry_by_mac(self):
+        network_map = self._map(5)
+        assert network_map.entry_by_mac(MacAddress(5)).position == "h1"
+        assert network_map.entry_by_mac(MacAddress(6)) is None
+
+
+class TestMcpProtocol:
+    def test_highest_address_becomes_mapper(self, sim):
+        network = build_paper_testbed(sim)
+        network.settle()
+        assert network.mapper().name == "sparc2"
+        assert network.host("sparc2").mcp.is_mapper
+        assert not network.host("pc").mcp.is_mapper
+
+    def test_mapping_installs_routing_tables_everywhere(self, sim):
+        network = build_paper_testbed(sim)
+        network.settle()
+        macs = {h.interface.mac for h in network.hosts.values()}
+        for name, host in network.hosts.items():
+            expected = macs - {host.interface.mac}
+            assert set(host.interface.routing_table) == expected
+
+    def test_map_contains_all_other_hosts(self, sim):
+        network = build_paper_testbed(sim)
+        network.settle()
+        network_map = network.mapper().mcp.current_map
+        assert network_map is not None
+        assert set(network_map.entries) == {"pc", "sparc1"}
+
+    def test_remapping_happens_periodically(self, sim):
+        network = build_paper_testbed(sim, map_interval_ps=20 * MS)
+        network.settle()
+        mapper = network.mapper().mcp
+        rounds_before = mapper.rounds_run
+        sim.run_for(100 * MS)
+        assert mapper.rounds_run >= rounds_before + 4
+
+    def test_dead_node_removed_until_next_round(self, sim):
+        """Paper §4.3.2: a node that cannot answer scouts is removed from
+        the network until the next mapping packet."""
+        network = build_paper_testbed(sim, map_interval_ps=20 * MS)
+        network.settle()
+        pc = network.host("pc")
+        # Silence pc's MCP: it no longer answers scouts.
+        pc.interface.set_mapping_handler(lambda payload: None)
+        sim.run_for(40 * MS)
+        mapper = network.mapper().mcp
+        assert "pc" not in mapper.current_map.entries
+        sparc1 = network.host("sparc1").interface
+        assert pc.interface.mac not in sparc1.routing_table
+        # Revive: next round restores the node.
+        pc.interface.set_mapping_handler(pc.mcp._on_mapping_payload)
+        sim.run_for(40 * MS)
+        assert "pc" in mapper.current_map.entries
+        assert pc.interface.mac in sparc1.routing_table
+
+    def test_mapper_death_recovery(self, sim):
+        """If the mapper dies, the next-highest MCP reclaims mapping."""
+        network = build_paper_testbed(sim, map_interval_ps=10 * MS)
+        network.settle()
+        mapper = network.mapper()
+        # Kill the mapper's MCP entirely.
+        mapper.interface.set_mapping_handler(lambda payload: None)
+        mapper.mcp.run_round = lambda: None  # type: ignore[assignment]
+        # Recovery can take a few silence windows: the lowest node may
+        # reclaim first, then defer once it hears the higher survivor.
+        sim.run_for((4 * MAPPER_SILENCE_ROUNDS + 4) * 10 * MS)
+        sparc1 = network.host("sparc1").mcp
+        assert sparc1.rounds_run > 0
+        # The surviving pair still reaches a consistent view.
+        assert "pc" in sparc1.current_map.entries
+
+    def test_malformed_mapping_payload_counted(self, sim):
+        network = build_paper_testbed(sim)
+        network.settle()
+        mcp = network.host("pc").mcp
+        before = mcp.malformed_mapping
+        mcp._on_mapping_payload(b"")
+        mcp._on_mapping_payload(b"\x7f")
+        mcp._on_mapping_payload(b"\x01\x00")  # truncated scout
+        assert mcp.malformed_mapping == before + 3
+
+
+class TestNetworkBuilder:
+    def test_duplicate_names_rejected(self, sim):
+        network = MyrinetNetwork(sim)
+        network.add_switch("s")
+        network.add_host("h")
+        with pytest.raises(Exception):
+            network.add_switch("s")
+        with pytest.raises(Exception):
+            network.add_host("h")
+
+    def test_auto_addresses_unique_and_increasing(self, sim):
+        network = MyrinetNetwork(sim)
+        network.add_switch("s")
+        hosts = [network.add_host(f"h{i}") for i in range(4)]
+        macs = [h.interface.mac for h in hosts]
+        assert len(set(macs)) == 4
+        mcps = [h.interface.mcp_address.value for h in hosts]
+        assert mcps == sorted(mcps)
+
+    def test_connection_lookup(self, sim):
+        network = build_paper_testbed(sim)
+        connection = network.connection_for("pc")
+        assert connection.switch == "switch"
+        assert connection.port == 0
+
+    def test_two_switch_network_maps(self, sim):
+        """Mapping works across a multi-switch topology."""
+        network = MyrinetNetwork(sim, map_interval_ps=20 * MS)
+        network.add_switch("s1")
+        network.add_switch("s2")
+        network.add_host("a")
+        network.add_host("b")
+        network.add_host("c")
+        network.connect("a", "s1", 0)
+        network.connect("b", "s1", 1)
+        network.connect("c", "s2", 0)
+        network.connect_switches("s1", 6, "s2", 7)
+        network.settle()
+        mapper = network.mapper().mcp
+        assert set(mapper.current_map.entries) == {"a", "b"}
+        a = network.host("a").interface
+        c = network.host("c").interface
+        received = []
+        c.set_data_handler(lambda src, p: received.append(p))
+        a.send_to(c.interface_mac if hasattr(c, "interface_mac") else c.mac,
+                  b"cross-switch")
+        sim.run_for(5 * MS)
+        assert received == [b"cross-switch"]

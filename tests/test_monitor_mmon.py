@@ -1,0 +1,77 @@
+"""Tests for the mmon view and the known-good-state predicate."""
+
+from repro.core import FaultInjectorDevice
+from repro.core.faults import control_symbol_swap
+from repro.hw.registers import MatchMode
+from repro.myrinet.monitor import Mmon
+from repro.myrinet.network import build_paper_testbed
+from repro.myrinet.symbols import GAP, GO
+from repro.sim.timebase import MS
+
+
+def test_snapshot_structure(sim):
+    network = build_paper_testbed(sim)
+    network.settle()
+    mmon = Mmon(network)
+    snap = mmon.snapshot()
+    assert set(snap.host_stats) == {"pc", "sparc1", "sparc2"}
+    assert "switch" in snap.switch_stats
+    assert snap.network_map is not None
+    # Every host holds routes to both peers in the good state.
+    for name, table in snap.routing_tables.items():
+        assert len(table) == 2
+
+
+def test_total_helper(sim):
+    network = build_paper_testbed(sim)
+    network.settle()
+    pc = network.host("pc").interface
+    sparc1 = network.host("sparc1").interface
+    received = []
+    sparc1.set_data_handler(lambda s, p: received.append(p))
+    pc.send_to(sparc1.mac, b"one")
+    sim.run_for(2 * MS)
+    snap = Mmon(network).snapshot()
+    assert snap.total("packets_received") >= 1
+
+
+def test_known_good_state_predicate(sim):
+    network = build_paper_testbed(sim)
+    mmon = Mmon(network)
+    assert not mmon.all_nodes_in_network()  # before any mapping round
+    network.settle()
+    assert mmon.all_nodes_in_network()
+
+
+def test_known_good_state_fails_when_node_missing(sim):
+    network = build_paper_testbed(sim, map_interval_ps=20 * MS)
+    network.settle()
+    mmon = Mmon(network)
+    pc = network.host("pc")
+    pc.interface.set_mapping_handler(lambda payload: None)  # pc goes deaf
+    sim.run_for(40 * MS)
+    assert not mmon.all_nodes_in_network()
+
+
+def test_render_is_informative(sim):
+    network = build_paper_testbed(sim)
+    network.settle()
+    text = Mmon(network).render()
+    for needle in ("mmon @", "host pc", "host sparc1", "switch switch",
+                   "route", "map round"):
+        assert needle in text
+
+
+def test_render_reflects_fault_damage(sim):
+    device = FaultInjectorDevice(sim)
+    network = build_paper_testbed(sim, device=device)
+    network.settle()
+    device.configure("RL"[0], control_symbol_swap(GAP, GO, MatchMode.ON))
+    pc = network.host("pc").interface
+    sparc1 = network.host("sparc1").interface
+    for _index in range(5):
+        pc.send_to(sparc1.mac, b"doomed")
+    sim.run_for(3 * MS)
+    snap = Mmon(network).snapshot()
+    # GAP corruption merged the frames: at most one arrived as data.
+    assert snap.host_stats["sparc1"]["packets_received"] <= 1

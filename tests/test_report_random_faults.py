@@ -1,0 +1,108 @@
+"""Tests for campaign reports and the random SEU fault plan."""
+
+import pathlib
+
+import pytest
+
+from repro.nftape import (
+    CampaignReport,
+    Comparison,
+    ExperimentResult,
+    RandomBitFlipPlan,
+    ResultTable,
+    Testbed,
+    WorkloadConfig,
+)
+from repro.nftape.experiment import Experiment, TestbedOptions
+from repro.sim.timebase import MS, US
+
+
+class TestComparison:
+    def test_ratio_and_band(self):
+        comparison = Comparison("loss", paper=0.10, measured=0.12)
+        assert comparison.ratio == pytest.approx(1.2)
+        assert comparison.within_band
+
+    def test_out_of_band(self):
+        comparison = Comparison("loss", paper=0.10, measured=0.45)
+        assert not comparison.within_band
+        assert "DEV" in comparison.render()
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", paper=0, measured=0).within_band
+        assert not Comparison("x", paper=0, measured=1).within_band
+
+
+class TestCampaignReport:
+    def _report(self):
+        report = CampaignReport("demo campaign")
+        table = ResultTable("rows")
+        result = ExperimentResult(name="r1", messages_sent=10,
+                                  messages_received=9)
+        table.add(result, run="r1", loss="10%")
+        report.add_table(table, note="a note")
+        report.add_comparisons("bands", [
+            Comparison("loss", paper=0.10, measured=0.10),
+        ])
+        report.add_classifications("classes", [result])
+        report.add_note("free text")
+        return report
+
+    def test_text_rendering(self):
+        text = self._report().render_text()
+        for needle in ("demo campaign", "rows", "a note", "bands",
+                       "[OK ]", "classes", "passive", "free text"):
+            assert needle in text
+
+    def test_markdown_rendering(self):
+        markdown = self._report().render_markdown()
+        assert markdown.startswith("# demo campaign")
+        assert "| quantity |" in markdown
+        assert "### rows" in markdown
+
+    def test_write_infers_format(self, tmp_path):
+        report = self._report()
+        md = report.write(tmp_path / "out.md")
+        txt = report.write(tmp_path / "out.txt")
+        assert md.read_text().startswith("# ")
+        assert txt.read_text().startswith("demo campaign")
+
+
+class TestRandomBitFlipPlan:
+    def test_seu_campaign_injects_random_flips(self):
+        plan = RandomBitFlipPlan(direction="R",
+                                 mean_interval_ps=int(0.3 * MS), seed=5)
+        experiment = Experiment(
+            "seu", duration_ps=6 * MS, plan=plan,
+            workload_config=WorkloadConfig(send_interval_ps=100 * US,
+                                           flood_ping=False),
+            testbed_options=TestbedOptions(seed=5),
+        )
+        result = experiment.run()
+        assert plan.pulses >= 5
+        # Forced injections land on whatever segment is in flight; some
+        # pulses hit idle periods (no symbols in the pipeline).
+        testbed = result.extras["testbed"]
+        assert testbed.device.injector("R").forced_injections >= 1
+
+    def test_seu_campaign_deterministic(self):
+        def run():
+            plan = RandomBitFlipPlan(direction="R",
+                                     mean_interval_ps=int(0.3 * MS),
+                                     seed=9)
+            experiment = Experiment(
+                "seu", duration_ps=4 * MS, plan=plan,
+                workload_config=WorkloadConfig(send_interval_ps=100 * US,
+                                               flood_ping=False),
+                testbed_options=TestbedOptions(seed=9),
+            )
+            result = experiment.run()
+            return plan.pulses, result.messages_received
+
+        assert run() == run()
+
+    def test_requires_device(self):
+        plan = RandomBitFlipPlan()
+        testbed = Testbed(TestbedOptions(with_device=False))
+        with pytest.raises(Exception):
+            plan.install(testbed)

@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.timebase import NS, US
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0
+    assert sim.pending == 0
+    assert sim.events_fired == 0
+
+
+def test_schedule_and_run_advances_clock(sim):
+    fired = []
+    sim.schedule(100, lambda: fired.append(sim.now))
+    sim.schedule(50, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [50, 100]
+    assert sim.now == 100
+    assert sim.events_fired == 2
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    order = []
+    for index in range(10):
+        sim.schedule(42, lambda i=index: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancel_prevents_firing(sim):
+    fired = []
+    event = sim.schedule(10, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_fired == 0
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_run_until_stops_at_deadline(sim):
+    fired = []
+    sim.schedule(10, lambda: fired.append(10))
+    sim.schedule(30, lambda: fired.append(30))
+    count = sim.run_until(20)
+    assert count == 1
+    assert fired == [10]
+    assert sim.now == 20
+    sim.run()
+    assert fired == [10, 30]
+
+
+def test_run_until_deadline_in_past_rejected(sim):
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run_until(5)
+
+
+def test_run_for_advances_relative(sim):
+    sim.run_for(500)
+    assert sim.now == 500
+    sim.run_for(500)
+    assert sim.now == 1000
+
+
+def test_run_max_events(sim):
+    for delay in (1, 2, 3, 4):
+        sim.schedule(delay, lambda: None)
+    assert sim.run(max_events=2) == 2
+    assert sim.pending == 2
+
+
+def test_events_scheduled_during_run_fire(sim):
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(5, lambda: fired.append("inner"))
+
+    sim.schedule(10, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 15
+
+
+def test_zero_delay_event_fires_after_current(sim):
+    fired = []
+
+    def outer():
+        sim.schedule(0, lambda: fired.append("zero"))
+        fired.append("outer")
+
+    sim.schedule(1, outer)
+    sim.run()
+    assert fired == ["outer", "zero"]
+
+
+def test_next_event_time(sim):
+    assert sim.next_event_time() is None
+    event = sim.schedule(99, lambda: None)
+    assert sim.next_event_time() == 99
+    event.cancel()
+    assert sim.next_event_time() is None
+
+
+def test_periodic_task_fires_until_stopped(sim):
+    ticks = []
+    task = sim.every(10, lambda: ticks.append(sim.now))
+    sim.run_until(55)
+    assert ticks == [10, 20, 30, 40, 50]
+    task.stop()
+    sim.run_until(100)
+    assert len(ticks) == 5
+    assert task.stopped
+    assert task.fire_count == 5
+
+
+def test_periodic_task_custom_start_delay(sim):
+    ticks = []
+    sim.every(10, lambda: ticks.append(sim.now), start_delay=3)
+    sim.run_until(25)
+    assert ticks == [3, 13, 23]
+
+
+def test_periodic_task_stop_from_within_callback(sim):
+    ticks = []
+    task = sim.every(10, lambda: (ticks.append(sim.now),
+                                  task.stop() if len(ticks) >= 2 else None))
+    sim.run_until(100)
+    assert ticks == [10, 20]
+
+
+def test_periodic_task_requires_positive_period(sim):
+    with pytest.raises(SimulationError):
+        sim.every(0, lambda: None)
+
+
+def test_many_events_deterministic_order(sim):
+    """The same schedule always replays identically."""
+    import random
+
+    def build(seed):
+        local = Simulator()
+        r = random.Random(seed)
+        order = []
+        for index in range(500):
+            local.schedule(r.randint(0, 100) * NS,
+                           lambda i=index: order.append(i))
+        local.run()
+        return order
+
+    assert build(7) == build(7)

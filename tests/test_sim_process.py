@@ -1,0 +1,152 @@
+"""Tests for the generator-based process API."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Process, Signal
+from repro.sim.timebase import US
+
+
+class TestSleep:
+    def test_process_sleeps_in_sim_time(self, sim):
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield 100
+            trace.append(("mid", sim.now))
+            yield 250
+            trace.append(("end", sim.now))
+
+        Process.spawn(sim, body())
+        sim.run()
+        assert trace == [("start", 0), ("mid", 100), ("end", 350)]
+
+    def test_spawn_delay(self, sim):
+        times = []
+
+        def body():
+            times.append(sim.now)
+            yield 1
+
+        Process.spawn(sim, body(), delay=500)
+        sim.run()
+        assert times == [500]
+
+    def test_negative_sleep_rejected(self, sim):
+        def body():
+            yield -1
+
+        Process.spawn(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_yieldable_rejected(self, sim):
+        def body():
+            yield "soon"
+
+        Process.spawn(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestSignals:
+    def test_wait_and_fire_passes_value(self, sim):
+        signal = Signal("data-ready")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append((sim.now, value))
+
+        def firer():
+            yield 75
+            signal.fire("payload")
+
+        Process.spawn(sim, waiter())
+        Process.spawn(sim, firer())
+        sim.run()
+        assert got == [(75, "payload")]
+        assert signal.fires == 1
+
+    def test_fire_wakes_all_waiters_once(self, sim):
+        signal = Signal()
+        woken = []
+
+        def waiter(tag):
+            yield signal
+            woken.append(tag)
+
+        for tag in ("a", "b", "c"):
+            Process.spawn(sim, waiter(tag))
+        sim.run()
+        assert woken == []
+        assert signal.fire() == 3
+        sim.run()
+        assert sorted(woken) == ["a", "b", "c"]
+        assert signal.fire() == 0  # waiters are one-shot
+
+
+class TestJoin:
+    def test_process_waits_for_process(self, sim):
+        order = []
+
+        def child():
+            yield 100
+            order.append("child-done")
+            return 42
+
+        def parent():
+            value = yield Process.spawn(sim, child())
+            order.append(("parent-saw", value, sim.now))
+
+        Process.spawn(sim, parent())
+        sim.run()
+        assert order == ["child-done", ("parent-saw", 42, 100)]
+
+    def test_join_after_finish_fires_immediately(self, sim):
+        def quick():
+            return 7
+            yield  # pragma: no cover - makes this a generator
+
+        process = Process.spawn(sim, quick())
+        sim.run()
+        assert process.finished
+        got = []
+        process.join(got.append)
+        assert got == [7]
+
+    def test_exception_propagates_and_is_recorded(self, sim):
+        def exploder():
+            yield 10
+            raise ValueError("boom")
+
+        process = Process.spawn(sim, exploder())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert process.finished
+        assert isinstance(process.error, ValueError)
+
+
+class TestWithNetwork:
+    def test_process_drives_real_traffic(self, sim):
+        """The process API composes with the full network stack."""
+        from repro.hostsim import HostStack, MessageSink
+        from repro.myrinet.network import build_paper_testbed
+
+        network = build_paper_testbed(sim)
+        network.settle()
+        pc = HostStack(sim, network.host("pc").interface)
+        sparc1 = HostStack(sim, network.host("sparc1").interface)
+        sink = MessageSink(sparc1, 7000)
+
+        def sender():
+            for seq in range(5):
+                pc.send_udp(sparc1.interface.mac, 7000, b"seq %d" % seq)
+                yield 100 * US
+            return "sent-all"
+
+        process = Process.spawn(sim, sender())
+        sim.run_for(5_000 * US)
+        assert process.result == "sent-all"
+        assert sink.received == 5

@@ -1,0 +1,141 @@
+"""Unit tests for the deterministic RNG and the trace recorder."""
+
+from repro.sim import DeterministicRng, TraceRecorder
+from repro.sim.timebase import (
+    MS,
+    NS,
+    US,
+    SECOND,
+    format_time,
+    from_ms,
+    from_ns,
+    from_s,
+    from_us,
+    to_ms,
+    to_ns,
+    to_s,
+    to_us,
+)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(5)
+        b = DeterministicRng(5)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(5)
+        b = DeterministicRng(6)
+        assert [a.randint(0, 1_000_000) for _ in range(8)] != [
+            b.randint(0, 1_000_000) for _ in range(8)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(5).fork("child")
+        b = DeterministicRng(5).fork("child")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_fork_streams_are_independent(self):
+        parent = DeterministicRng(5)
+        child = parent.fork("child")
+        before = child.randint(0, 10**9)
+        # Drawing from the parent must not disturb the child stream.
+        parent2 = DeterministicRng(5)
+        for _ in range(100):
+            parent2.randint(0, 10)
+        child2 = parent2.fork("child")
+        assert child2.randint(0, 10**9) == before
+
+    def test_bytes_and_byte(self):
+        r = DeterministicRng(9)
+        data = r.bytes(64)
+        assert len(data) == 64
+        assert all(0 <= r.byte() <= 255 for _ in range(64))
+
+    def test_choice_and_shuffle(self):
+        r = DeterministicRng(3)
+        items = list(range(10))
+        assert r.choice(items) in items
+        shuffled = list(items)
+        r.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_bit_index_in_range(self):
+        r = DeterministicRng(4)
+        assert all(0 <= r.bit_index(32) < 32 for _ in range(100))
+
+    def test_fork_is_stable_across_processes(self):
+        """fork() must not depend on Python's salted hash(): the same
+        (seed, name) yields the same substream in every invocation."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.sim import DeterministicRng;"
+            "print(DeterministicRng(42).fork('child').randint(0, 10**9))"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(runs) == 1
+        local = str(DeterministicRng(42).fork("child").randint(0, 10**9))
+        assert runs == {local}
+
+
+class TestTraceRecorder:
+    def test_records_and_filters_by_category(self):
+        recorder = TraceRecorder(categories=["inject"])
+        recorder.record(10, "inject", "dev", "fired", lane=2)
+        recorder.record(20, "noise", "dev", "ignored")
+        assert len(recorder) == 1
+        event = recorder.events()[0]
+        assert event.category == "inject"
+        assert event.data["lane"] == 2
+        assert "inject/dev" in str(event)
+
+    def test_unfiltered_records_everything(self):
+        recorder = TraceRecorder()
+        recorder.record(1, "a", "s", "x")
+        recorder.record(2, "b", "s", "y")
+        assert len(recorder.events()) == 2
+        assert len(recorder.events("a")) == 1
+
+    def test_max_events_drops_oldest(self):
+        recorder = TraceRecorder(max_events=3)
+        for index in range(5):
+            recorder.record(index, "c", "s", f"m{index}")
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        assert recorder.events()[0].message == "m2"
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(1, "a", "s", "x")
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestTimebase:
+    def test_round_trips(self):
+        assert from_ns(12.5) == 12_500
+        assert to_ns(12_500) == 12.5
+        assert from_us(1) == 1_000_000
+        assert to_us(from_us(7)) == 7
+        assert from_ms(50) == 50 * MS
+        assert to_ms(from_ms(2.5)) == 2.5
+        assert from_s(1) == SECOND
+        assert to_s(SECOND) == 1.0
+
+    def test_format_time_scales(self):
+        assert format_time(500) == "500ps"
+        assert format_time(12_500) == "12.500ns"
+        assert format_time(3 * US) == "3.000us"
+        assert format_time(3 * MS) == "3.000ms"
+        assert format_time(2 * SECOND) == "2.000s"

@@ -1,0 +1,109 @@
+"""Stress and miscellaneous coverage: a fully-populated switch, the
+exception hierarchy, and capture rendering."""
+
+import pytest
+
+from repro import errors
+from repro.core.monitor import CaptureRecord
+from repro.hw.injector import InjectionEvent
+from repro.hostsim import HostStack, MessageSink, UdpGenerator
+from repro.myrinet.network import MyrinetNetwork
+from repro.myrinet.symbols import GAP, data_symbols
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS, US
+
+
+class TestFullyPopulatedSwitch:
+    def test_seven_hosts_all_pairs(self, sim):
+        """Seven hosts saturating a single 8-port switch: every message
+        delivered, every routing table complete."""
+        network = MyrinetNetwork(sim, rng=DeterministicRng(5),
+                                 map_interval_ps=50 * MS)
+        network.add_switch("sw")
+        names = [f"h{index}" for index in range(7)]
+        for port, name in enumerate(names):
+            network.add_host(name)
+            network.connect(name, "sw", port)
+        network.settle(10 * MS)
+
+        for name in names:
+            assert len(network.host(name).interface.routing_table) == 6
+
+        stacks = {name: HostStack(sim, network.host(name).interface)
+                  for name in names}
+        sinks = {name: MessageSink(stacks[name], 5000) for name in names}
+        generators = []
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                generator = UdpGenerator(
+                    sim, stacks[src], network.host(dst).interface.mac,
+                    5000, payload_size=48, interval_ps=500 * US, count=5,
+                )
+                generator.start()
+                generators.append(generator)
+        sim.run_for(20 * MS)
+        sent = sum(g.sent for g in generators)
+        received = sum(s.received for s in sinks.values())
+        assert sent == 7 * 6 * 5
+        assert received == sent  # clean network loses nothing
+
+    def test_mapper_is_highest_of_seven(self, sim):
+        network = MyrinetNetwork(sim, rng=DeterministicRng(5))
+        network.add_switch("sw")
+        for port in range(7):
+            network.add_host(f"h{port}")
+            network.connect(f"h{port}", "sw", port)
+        network.settle(10 * MS)
+        assert network.mapper().name == "h6"
+        network_map = network.mapper().mcp.current_map
+        assert len(network_map.entries) == 6
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("SimulationError", "ConfigurationError",
+                     "ProtocolError", "CrcError", "RoutingError",
+                     "EncodingError", "ChecksumError", "DeviceError",
+                     "CommandError", "CampaignError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specialization_relationships(self):
+        assert issubclass(errors.CrcError, errors.ProtocolError)
+        assert issubclass(errors.RoutingError, errors.ProtocolError)
+        assert issubclass(errors.EncodingError, errors.ProtocolError)
+        assert issubclass(errors.ChecksumError, errors.ProtocolError)
+        assert issubclass(errors.CommandError, errors.DeviceError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CrcError("caught at the base")
+
+
+class TestCaptureRecord:
+    def _record(self):
+        event = InjectionEvent(
+            segment_index=5, window_before=0x41424344, ctl_before=0xF,
+            window_after=0x41FF4344, ctl_after=0xF, lanes_rewritten=1,
+            lanes_unreachable=0, forced=False,
+        )
+        return CaptureRecord(
+            time_ps=1000, direction="R", event=event,
+            before=data_symbols(b"pre-bytes"),
+            after=data_symbols(b"post-bytes"),
+        )
+
+    def test_data_bytes_concatenates_window(self):
+        record = self._record()
+        assert record.data_bytes() == b"pre-bytespost-bytes"
+
+    def test_size_accounts_for_symbols(self):
+        record = self._record()
+        assert record.size_bytes == 2 * 19 + 16
+
+    def test_control_symbols_excluded_from_data(self):
+        record = self._record()
+        record.before.append(GAP)
+        assert record.data_bytes() == b"pre-bytespost-bytes"
