@@ -1,0 +1,245 @@
+"""simlint — an AST lint engine for simulation-correctness rules.
+
+The paper's hardware gets its guarantees at *synthesis time*: FSM
+exhaustiveness, register widths and FIFO phase discipline are elaborated
+statically before a bitstream is ever produced (paper §3.3, Table 1).
+This engine is the software equivalent for the reproduction: every file
+under ``src/repro/`` is parsed once and handed to a pack of rules that
+statically verify the invariants the discrete-event kernel depends on —
+no wall-clock time, no unseeded randomness, no float time arithmetic,
+no unordered iteration feeding the scheduler, exhaustive FSM dispatch,
+and a command grammar that agrees with the register file.
+
+Suppressions
+------------
+
+A finding on line *N* is suppressed by a trailing comment on that line::
+
+    frob()  # simlint: disable=SIM001 -- justification
+
+Several rule IDs may be listed, comma-separated.  A file-level
+suppression in the first ten lines disables a rule for the whole file::
+
+    # simlint: disable-file=SIM002 -- this module wraps `random`
+
+Rule kinds
+----------
+
+* :class:`ModuleRule` — checked against each parsed module in isolation.
+* :class:`ProjectRule` — checked once against the whole module map
+  (cross-module consistency, e.g. decoder grammar vs. register file).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "ModuleRule",
+    "ProjectRule",
+    "LintEngine",
+    "parse_module",
+]
+
+#: ``# simlint: disable=RULE1,RULE2`` (optionally followed by a reason).
+_DISABLE_RE = re.compile(
+    r"#\s*simlint:\s*disable=(?P<rules>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+)
+#: ``# simlint: disable-file=RULE1,RULE2`` in the first few lines.
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*simlint:\s*disable-file=(?P<rules>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+)
+#: How many leading lines may carry a file-level suppression.
+_FILE_PRAGMA_WINDOW = 10
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Single-line parseable rendering: ``file:line:col RULE message``."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source module plus its suppression tables."""
+
+    path: Path
+    #: Dotted module name relative to the scan root, e.g. ``repro.sim.kernel``.
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule IDs suppressed on that line.
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule IDs suppressed for the entire file.
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def in_package(self, *packages: str) -> bool:
+        """True if the module lives under any of the dotted ``packages``."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` suppressed at ``line`` (or file-wide)?"""
+        if rule_id in self.file_suppressions:
+            return True
+        return rule_id in self.line_suppressions.get(line, set())
+
+
+class ModuleRule:
+    """Base class for rules checked per module."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """Build a finding at an AST node's location."""
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """Base class for rules checked once over the whole module map."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check_project(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
+        raise NotImplementedError
+
+
+def _collect_suppressions(source: str) -> tuple:
+    """Extract (line -> rules, file-wide rules) from comment pragmas.
+
+    Comments are found with :mod:`tokenize` so string literals that merely
+    *contain* pragma-like text do not count.
+    """
+    line_rules: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(
+            iter(source.splitlines(keepends=True)).__next__
+        )
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_FILE_RE.search(tok.string)
+            if match and tok.start[0] <= _FILE_PRAGMA_WINDOW:
+                file_rules.update(
+                    rule.strip() for rule in match.group("rules").split(",")
+                )
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match:
+                rules = {rule.strip() for rule in match.group("rules").split(",")}
+                line_rules.setdefault(tok.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        # Tokenizer failure falls back to "no suppressions": a file we
+        # cannot scan for pragmas never *hides* findings.
+        pass  # simlint: disable=ERR001 -- deliberate lenient fallback
+    return line_rules, file_rules
+
+
+def parse_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse one source file into a :class:`ModuleInfo`."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    relative = path.relative_to(root)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    module = ".".join(parts)
+    line_rules, file_rules = _collect_suppressions(source)
+    return ModuleInfo(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        line_suppressions=line_rules,
+        file_suppressions=file_rules,
+    )
+
+
+class LintEngine:
+    """Walks a tree of Python sources and applies the rule pack."""
+
+    def __init__(
+        self,
+        module_rules: Sequence[ModuleRule],
+        project_rules: Sequence[ProjectRule] = (),
+    ) -> None:
+        self.module_rules = list(module_rules)
+        self.project_rules = list(project_rules)
+
+    def iter_sources(self, root: Path) -> Iterable[Path]:
+        """All ``.py`` files under ``root``, in sorted (deterministic) order."""
+        return sorted(root.rglob("*.py"))
+
+    def load(self, root: Path, scan_root: Optional[Path] = None) -> Dict[str, ModuleInfo]:
+        """Parse every source below ``root`` into a module map.
+
+        ``scan_root`` is the directory module names are computed relative
+        to (defaults to ``root``'s parent so ``src/repro`` maps to the
+        ``repro`` package).
+        """
+        base = scan_root if scan_root is not None else root.parent
+        modules: Dict[str, ModuleInfo] = {}
+        for path in self.iter_sources(root):
+            info = parse_module(path, base)
+            modules[info.module] = info
+        return modules
+
+    def run(self, root: Path, scan_root: Optional[Path] = None) -> List[Finding]:
+        """Lint every module under ``root``; returns unsuppressed findings."""
+        modules = self.load(root, scan_root)
+        return self.run_modules(modules)
+
+    def run_modules(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
+        """Apply all rules to an already-parsed module map."""
+        findings: List[Finding] = []
+        for _name, info in sorted(modules.items()):
+            for rule in self.module_rules:
+                for finding in rule.check(info):
+                    if not info.suppressed(finding.rule_id, finding.line):
+                        findings.append(finding)
+        for project_rule in self.project_rules:
+            for finding in project_rule.check_project(modules):
+                info = _module_for_path(modules, finding.path)
+                if info is None or not info.suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+
+def _module_for_path(
+    modules: Dict[str, ModuleInfo], path: str
+) -> Optional[ModuleInfo]:
+    for info in modules.values():
+        if str(info.path) == path:
+            return info
+    return None

@@ -1,0 +1,61 @@
+"""ERR001 — no silent exception swallowing in simulation code.
+
+A hot-path ``except: pass`` hides the first symptom of a broken
+invariant (a misrouted frame, a cancelled event firing twice, a FIFO
+phase slip).  The hardware has no equivalent of silently ignoring a
+comparator fault — errors surface as ``ER`` responses on the serial
+link (paper §3.3's output generator).  Software must do the same:
+either handle the exception meaningfully, count it, or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import Finding, ModuleInfo, ModuleRule
+
+__all__ = ["NoSilentExceptRule"]
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    """True when a handler body does nothing observable."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / Ellipsis
+        return False
+    return True
+
+
+class NoSilentExceptRule(ModuleRule):
+    """ERR001: `except ...: pass` silently swallows failures."""
+
+    rule_id = "ERR001"
+    title = "no silent except-pass"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package("repro"):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_silent(node.body):
+                continue
+            if isinstance(node.type, ast.Name):
+                what = f"except {node.type.id}"
+            elif node.type is None:
+                what = "bare except"
+            else:
+                what = "except ..."
+            # Report at the first body statement so a justification
+            # comment sits next to the `pass` it excuses.
+            at = node.body[0] if node.body else node
+            findings.append(self.finding(
+                module, at,
+                f"silent `{what}: pass` swallows a failure; handle it, "
+                "count it, or re-raise",
+            ))
+        return findings

@@ -1,0 +1,113 @@
+"""FSM001 — enum-state exhaustiveness (paper §3.3 FSM discipline).
+
+The command decoder and the injector clocking are "large finite-state
+machines" in the hardware; synthesis rejects an FSM with an unhandled
+state.  The software models keep their states in :class:`enum.Enum`
+subclasses (``_State`` in the decoder, ``ClockPhase`` in the two-phase
+clock) and dispatch with ``is``/``==`` comparisons — nothing stops a new
+member from being added without a dispatch arm.
+
+This rule finds every Enum class whose name marks it as an FSM state
+space (``*State``/``*Phase`` with dispatch usage) and checks
+that **every member is referenced** somewhere in the defining module
+outside the class body.  A member that is declared but never dispatched
+on is the software analogue of an unreachable/unhandled synthesis state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo, ModuleRule
+
+__all__ = ["FsmExhaustivenessRule"]
+
+#: Enum class-name suffixes treated as FSM state spaces.
+_STATE_SUFFIXES = ("State", "Phase")
+
+
+def _is_enum_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id in ("Enum", "IntEnum", "Flag"):
+            return True
+        if isinstance(base, ast.Attribute) and base.attr in (
+            "Enum", "IntEnum", "Flag",
+        ):
+            return True
+    return False
+
+
+def _enum_members(node: ast.ClassDef) -> Dict[str, int]:
+    """Member name -> declaration line for a parsed Enum class."""
+    members: Dict[str, int] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    members[target.id] = stmt.lineno
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target = stmt.target
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                members[target.id] = stmt.lineno
+    return members
+
+
+class FsmExhaustivenessRule(ModuleRule):
+    """FSM001: every declared FSM state must be handled somewhere."""
+
+    rule_id = "FSM001"
+    title = "FSM enum states must be exhaustively dispatched"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package("repro"):
+            return []
+        findings: List[Finding] = []
+        enums: List[Tuple[ast.ClassDef, Dict[str, int]]] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_enum_class(node):
+                continue
+            name = node.name.lstrip("_")
+            if not name.endswith(_STATE_SUFFIXES):
+                continue
+            members = _enum_members(node)
+            if members:
+                enums.append((node, members))
+        if not enums:
+            return []
+
+        for class_node, members in enums:
+            class_lines = set(
+                range(class_node.lineno, (class_node.end_lineno or class_node.lineno) + 1)
+            )
+            referenced: Set[str] = set()
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.lineno in class_lines:
+                    continue  # the declaration itself does not count
+                base = node.value
+                if isinstance(base, ast.Name) and base.id == class_node.name:
+                    referenced.add(node.attr)
+            if not referenced:
+                # The enum is data-only in this module (e.g. a value class
+                # consumed elsewhere); exhaustiveness is not a local
+                # property, so stay quiet rather than guess.
+                continue
+            for member, lineno in sorted(members.items()):
+                if member not in referenced:
+                    findings.append(Finding(
+                        path=str(module.path),
+                        line=lineno,
+                        col=0,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"FSM state {class_node.name}.{member} is "
+                            "declared but never dispatched in this module; "
+                            "handle it or remove it (synthesis would "
+                            "reject an unhandled state)"
+                        ),
+                    ))
+        return findings

@@ -1,0 +1,305 @@
+"""REG001 — command grammar ⟷ register file cross-check (paper §3.3).
+
+In the hardware, the command decoder FSM and the injector register file
+are elaborated together at synthesis: a command that writes a register
+that does not exist, or writes more bits than the register holds,
+simply does not synthesize.  The software keeps the grammar
+(:mod:`repro.hw.decoder`) and the register file
+(:mod:`repro.hw.registers`) in separate modules, so nothing but this
+rule stops them drifting apart.
+
+Statically elaborated checks:
+
+* every ``_HANDLERS`` opcode is exactly two uppercase letters and maps
+  to a ``_cmd_*`` method defined on the decoder class;
+* every ``_cmd_*`` method is registered (no orphan commands);
+* every ``_hex_command(tokens, "<field>", <width>)`` call names a real
+  ``InjectorConfig`` field, and ``4 * width`` equals that field's
+  register width (``SEGMENT_BITS`` for datapath registers,
+  ``SEGMENT_LANES`` for control-lane registers — the widths are read
+  from the register file's own ``__post_init__`` range checks, not
+  hardcoded here);
+* every ``config.copy(field=...)`` keyword names a real field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectRule
+
+__all__ = ["RegisterGrammarRule"]
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, int]:
+    """Top-level ``NAME = <int literal>`` bindings."""
+    constants: Dict[str, int] = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if isinstance(stmt.value, ast.Constant) and isinstance(stmt.value.value, int):
+            constants[target.id] = stmt.value.value
+    return constants
+
+
+def _mask_widths(tree: ast.Module, constants: Dict[str, int]) -> Dict[str, int]:
+    """Mask name -> bit width, from ``_MASKx = (1 << WIDTH) - 1`` forms."""
+    widths: Dict[str, int] = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name) or not target.id.startswith("_MASK"):
+            continue
+        for sub in ast.walk(stmt.value):
+            if isinstance(sub, ast.Name) and sub.id in constants:
+                widths[target.id] = constants[sub.id]
+                break
+    return widths
+
+
+def _field_widths(
+    config_class: ast.ClassDef, mask_widths: Dict[str, int]
+) -> Dict[str, int]:
+    """Register field -> bit width, read from ``__post_init__`` checks.
+
+    The register file validates each field group in a loop::
+
+        for name in ("compare_data", ...):
+            ... 0 <= value <= _MASK32 ...
+
+    so the loop's name tuple plus the mask it compares against gives
+    the authoritative width of every checked field.
+    """
+    widths: Dict[str, int] = {}
+    post_init = None
+    for stmt in config_class.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__post_init__":
+            post_init = stmt
+            break
+    if post_init is None:
+        return widths
+    for node in ast.walk(post_init):
+        if not isinstance(node, ast.For):
+            continue
+        if not isinstance(node.iter, (ast.Tuple, ast.List)):
+            continue
+        names = [
+            element.value
+            for element in node.iter.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+        mask_bits: Optional[int] = None
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in mask_widths:
+                mask_bits = mask_widths[sub.id]
+                break
+        if mask_bits is None:
+            continue
+        for name in names:
+            widths[name] = mask_bits
+    return widths
+
+
+def _config_fields(config_class: ast.ClassDef) -> Set[str]:
+    fields: Set[str] = set()
+    for stmt in config_class.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.add(stmt.target.id)
+    return fields
+
+
+class RegisterGrammarRule(ProjectRule):
+    """REG001: the serial grammar and the register file must agree."""
+
+    rule_id = "REG001"
+    title = "command grammar / register map cross-check"
+
+    def __init__(
+        self,
+        decoder_module: str = "repro.hw.decoder",
+        registers_module: str = "repro.hw.registers",
+        decoder_class: str = "CommandDecoder",
+        config_class: str = "InjectorConfig",
+        handlers_name: str = "_HANDLERS",
+    ) -> None:
+        self.decoder_module = decoder_module
+        self.registers_module = registers_module
+        self.decoder_class = decoder_class
+        self.config_class = config_class
+        self.handlers_name = handlers_name
+
+    def check_project(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
+        decoder = modules.get(self.decoder_module)
+        registers = modules.get(self.registers_module)
+        if decoder is None or registers is None:
+            return []  # nothing to cross-check in this tree
+        findings: List[Finding] = []
+
+        config = _find_class(registers.tree, self.config_class)
+        fields = _config_fields(config) if config is not None else set()
+        constants = _module_constants(registers.tree)
+        masks = _mask_widths(registers.tree, constants)
+        widths = _field_widths(config, masks) if config is not None else {}
+
+        decoder_class = _find_class(decoder.tree, self.decoder_class)
+        methods: Set[str] = set()
+        if decoder_class is not None:
+            methods = {
+                stmt.name
+                for stmt in decoder_class.body
+                if isinstance(stmt, ast.FunctionDef)
+            }
+
+        findings.extend(self._check_handlers(decoder, methods))
+        findings.extend(self._check_hex_commands(decoder, fields, widths))
+        findings.extend(self._check_copy_keywords(decoder, fields))
+        findings.sort(key=lambda f: (f.path, f.line, f.col))
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+    def _handlers_dict(self, decoder: ModuleInfo) -> Optional[ast.Dict]:
+        for stmt in decoder.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and target.id == self.handlers_name:
+                if isinstance(stmt.value, ast.Dict):
+                    return stmt.value
+        return None
+
+    def _check_handlers(
+        self, decoder: ModuleInfo, methods: Set[str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        handlers = self._handlers_dict(decoder)
+        if handlers is None:
+            return findings
+        registered: Set[str] = set()
+        for key, value in zip(handlers.keys, handlers.values):
+            if key is None or not isinstance(key, ast.Constant):
+                continue
+            opcode = key.value
+            if not (
+                isinstance(opcode, str)
+                and len(opcode) == 2
+                and opcode.isalpha()
+                and opcode.isupper()
+            ):
+                findings.append(self._finding(
+                    decoder, key,
+                    f"opcode {opcode!r} is not two uppercase letters; the "
+                    "serial grammar encodes commands as two-letter opcodes",
+                ))
+            handler_name: Optional[str] = None
+            if isinstance(value, ast.Attribute):
+                handler_name = value.attr
+            elif isinstance(value, ast.Name):
+                handler_name = value.id
+            if handler_name is not None:
+                registered.add(handler_name)
+                if methods and handler_name not in methods:
+                    findings.append(self._finding(
+                        decoder, value,
+                        f"opcode {opcode!r} maps to undefined handler "
+                        f"{handler_name}; no such method on "
+                        f"{self.decoder_class}",
+                    ))
+        for method in sorted(methods):
+            if method.startswith("_cmd_") and method not in registered:
+                findings.append(self._finding(
+                    decoder, handlers,
+                    f"handler {method} is defined but not registered in "
+                    f"{self.handlers_name}; the opcode is unreachable",
+                ))
+        return findings
+
+    def _check_hex_commands(
+        self,
+        decoder: ModuleInfo,
+        fields: Set[str],
+        widths: Dict[str, int],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(decoder.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "_hex_command"):
+                continue
+            if len(node.args) < 3:
+                continue
+            attr_node, width_node = node.args[1], node.args[2]
+            if not (
+                isinstance(attr_node, ast.Constant)
+                and isinstance(attr_node.value, str)
+            ):
+                continue
+            attribute = attr_node.value
+            if fields and attribute not in fields:
+                findings.append(self._finding(
+                    decoder, attr_node,
+                    f"hex command writes unknown register field "
+                    f"{attribute!r}; not a field of {self.config_class}",
+                ))
+                continue
+            if not (
+                isinstance(width_node, ast.Constant)
+                and isinstance(width_node.value, int)
+            ):
+                continue
+            declared_bits = widths.get(attribute)
+            if declared_bits is not None and 4 * width_node.value != declared_bits:
+                findings.append(self._finding(
+                    decoder, width_node,
+                    f"hex width {width_node.value} nibbles "
+                    f"({4 * width_node.value} bits) for field "
+                    f"{attribute!r} disagrees with the register file's "
+                    f"{declared_bits}-bit range check",
+                ))
+        return findings
+
+    def _check_copy_keywords(
+        self, decoder: ModuleInfo, fields: Set[str]
+    ) -> List[Finding]:
+        if not fields:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(decoder.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "copy"):
+                continue
+            base = func.value
+            if not (isinstance(base, ast.Attribute) and base.attr == "config"):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is not None and keyword.arg not in fields:
+                    findings.append(self._finding(
+                        decoder, node,
+                        f"config.copy() writes unknown register field "
+                        f"{keyword.arg!r}; not a field of {self.config_class}",
+                    ))
+        return findings

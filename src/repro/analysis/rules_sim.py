@@ -1,0 +1,269 @@
+"""Simulation-determinism rules (SIM001–SIM004).
+
+These rules guard the invariants that make campaigns replay bit-for-bit
+(the software analogue of the paper's synthesis-time checks, §3.3):
+
+* **SIM001** — no wall-clock time sources inside the simulation layers;
+* **SIM002** — no bare ``random`` module use (route through
+  :mod:`repro.sim.rng`);
+* **SIM003** — no float arithmetic flowing into the integer picosecond
+  clock (``schedule``/``schedule_at``/``run_for``/``run_until``/``every``);
+* **SIM004** — no iteration over ``set`` values feeding side-effectful
+  calls (set iteration order is hash-dependent; event scheduling driven
+  by it is nondeterministic across interpreters).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.engine import Finding, ModuleInfo, ModuleRule
+
+__all__ = [
+    "NoWallClockRule",
+    "NoBareRandomRule",
+    "NoFloatTimeRule",
+    "NoUnorderedIterationRule",
+]
+
+#: Packages whose code runs *inside* simulated time.
+SIM_PACKAGES = ("repro.sim", "repro.hw", "repro.myrinet")
+
+#: Wall-clock attribute calls that must never appear in sim code.
+_WALL_CLOCK_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "clock",
+}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: Scheduling entry points whose time arguments must stay integral.
+_SCHEDULE_METHODS = {
+    "schedule": (0,),
+    "schedule_at": (0,),
+    "run_for": (0,),
+    "run_until": (0,),
+    "every": (0,),
+}
+
+
+class NoWallClockRule(ModuleRule):
+    """SIM001: wall-clock reads poison determinism inside the simulator."""
+
+    rule_id = "SIM001"
+    title = "no wall-clock time in simulation code"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package(*SIM_PACKAGES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            base = node.value
+            if not isinstance(base, ast.Name):
+                continue
+            if base.id == "time" and node.attr in _WALL_CLOCK_TIME_ATTRS:
+                findings.append(self.finding(
+                    module, node,
+                    f"wall-clock call time.{node.attr} in simulation code; "
+                    "use the integer picosecond Simulator clock",
+                ))
+            elif base.id == "datetime" and node.attr in _WALL_CLOCK_DATETIME_ATTRS:
+                findings.append(self.finding(
+                    module, node,
+                    f"wall-clock call datetime.{node.attr} in simulation "
+                    "code; use the integer picosecond Simulator clock",
+                ))
+        return findings
+
+
+class NoBareRandomRule(ModuleRule):
+    """SIM002: all randomness must route through repro.sim.rng."""
+
+    rule_id = "SIM002"
+    title = "no bare `random` module use"
+
+    #: The sanctioned wrapper is the one module allowed to import random.
+    allowed_modules = ("repro.sim.rng",)
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if module.module in self.allowed_modules:
+            return []
+        if not module.in_package("repro"):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(self.finding(
+                            module, node,
+                            "bare `import random`; draw from a "
+                            "repro.sim.rng.DeterministicRng stream instead",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    findings.append(self.finding(
+                        module, node,
+                        "`from random import ...`; draw from a "
+                        "repro.sim.rng.DeterministicRng stream instead",
+                    ))
+        return findings
+
+
+def _contains_float_taint(node: ast.AST) -> Optional[ast.AST]:
+    """First sub-node that introduces a float into a time expression.
+
+    Taints: float literals, true division, ``float(...)`` calls, and
+    known float-returning time converters (``to_ns``/``to_us``/...).
+    """
+    float_converters = {"float", "to_ns", "to_us", "to_ms", "to_s"}
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return sub
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return sub
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in float_converters:
+                return sub
+    return None
+
+
+class NoFloatTimeRule(ModuleRule):
+    """SIM003: the picosecond clock is integral; floats drift."""
+
+    rule_id = "SIM003"
+    title = "no float arithmetic on the picosecond clock"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package("repro"):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            arg_indexes = _SCHEDULE_METHODS.get(func.attr)
+            if arg_indexes is None:
+                continue
+            for index in arg_indexes:
+                if index >= len(node.args):
+                    continue
+                taint = _contains_float_taint(node.args[index])
+                if taint is not None:
+                    findings.append(self.finding(
+                        module, taint,
+                        f"float-tainted time argument to {func.attr}(); "
+                        "the picosecond clock is integer-only — use "
+                        "integer arithmetic or repro.sim.timebase.from_* "
+                        "(which round to int)",
+                    ))
+        return findings
+
+
+def _set_typed_names(func: ast.AST) -> Set[str]:
+    """Names bound to set values within one function body."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            value = node.value
+            annotation = node.annotation
+            if isinstance(annotation, ast.Name) and annotation.id in (
+                "set", "Set", "frozenset", "FrozenSet",
+            ) and isinstance(target, ast.Name):
+                names.add(target.id)
+        if target is None or not isinstance(target, ast.Name):
+            continue
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            names.add(target.id)
+        elif isinstance(value, ast.Call):
+            callee = value.func
+            if isinstance(callee, ast.Name) and callee.id in ("set", "frozenset"):
+                names.add(target.id)
+    # Parameters annotated as sets participate too.
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in list(func.args.args) + list(func.args.kwonlyargs):
+            annotation = arg.annotation
+            if isinstance(annotation, ast.Name) and annotation.id in (
+                "set", "Set", "frozenset", "FrozenSet",
+            ):
+                names.add(arg.arg)
+    return names
+
+
+def _is_set_expression(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _body_has_method_call(body: List[ast.stmt]) -> Optional[ast.Call]:
+    """First method call (``obj.method(...)``) inside a loop body."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                return node
+    return None
+
+
+class NoUnorderedIterationRule(ModuleRule):
+    """SIM004: iterating a set to drive side effects is order-unstable."""
+
+    rule_id = "SIM004"
+    title = "no unordered iteration feeding event scheduling"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package(*SIM_PACKAGES):
+            return []
+        findings: List[Finding] = []
+        functions = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        scopes: List[ast.AST] = functions if functions else [module.tree]
+        seen: Set[int] = set()
+        for scope in scopes:
+            set_names = _set_typed_names(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                if id(node) in seen:
+                    continue
+                if not _is_set_expression(node.iter, set_names):
+                    continue
+                call = _body_has_method_call(node.body)
+                if call is None:
+                    continue
+                seen.add(id(node))
+                findings.append(self.finding(
+                    module, node,
+                    "iteration over a set drives side-effectful calls; "
+                    "set order is hash-dependent — iterate sorted(...) so "
+                    "event scheduling stays deterministic",
+                ))
+        return findings

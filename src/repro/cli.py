@@ -6,6 +6,8 @@
     python -m repro run table2 sec434
     python -m repro run all --scale 0.5 --out report.md
     python -m repro synthesis
+    python -m repro lint          # simlint static analysis (CI gate)
+    python -m repro sanitize      # identical-seed determinism replay
 
 Each experiment regenerates one of the paper's tables/figures (the same
 code paths the benchmarks drive) and prints it; ``--out`` additionally
@@ -114,6 +116,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a combined report (.md or .txt)")
 
     sub.add_parser("synthesis", help="print the Table 1 synthesis estimate")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simlint static-analysis rules over the source tree",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="replay an identical-seed campaign twice; fail on divergence",
+    )
+    sanitize.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (default 0)")
+    sanitize.add_argument("--runs", type=int, default=2,
+                          help="number of identical replays (default 2)")
+    sanitize.add_argument("--duration-ms", type=float, default=4.0,
+                          help="workload duration in simulated ms (default 4)")
     return parser
 
 
@@ -124,6 +150,55 @@ def _list_experiments() -> str:
         lines.append(f"  {name:<{width}}  {description}")
     lines.append(f"  {'all':<{width}}  every experiment in order")
     return "\n".join(lines)
+
+
+def _run_lint(args) -> int:
+    """``lint``: print one parseable line per finding; exit 1 if any.
+
+    Output format is ``file:line:col RULE message`` — one finding per
+    line, nothing else on stdout except the trailing summary on stderr,
+    so CI annotation parsers can consume it directly.
+    """
+    from pathlib import Path
+
+    from repro.analysis import default_engine, run_lint, rule_table
+
+    if args.list_rules:
+        for rule_id, title in rule_table().items():
+            print(f"{rule_id}  {title}")
+        return 0
+
+    if args.paths:
+        engine = default_engine()
+        findings = []
+        for raw in args.paths:
+            root = Path(raw).resolve()
+            # Module names are package-relative: src/repro -> repro.*
+            scan_root = root.parent if root.name == "repro" else root
+            findings.extend(engine.run(root, scan_root))
+    else:
+        findings = run_lint()
+
+    for finding in findings:
+        print(finding.format())
+    count = len(findings)
+    print(
+        f"simlint: {count} finding{'s' if count != 1 else ''}",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+def _run_sanitize(args) -> int:
+    """``sanitize``: identical-seed replay; exit 1 on digest divergence."""
+    from repro.analysis.sanitize import check_determinism
+
+    duration_ps = max(1, int(args.duration_ms * MS))
+    report = check_determinism(
+        seed=args.seed, runs=max(2, args.runs), duration_ps=duration_ps
+    )
+    print(report.render())
+    return 0 if report.deterministic else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,6 +214,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.hw.synthesis import format_report, synthesis_report
         print(format_report(synthesis_report()))
         return 0
+
+    if args.command == "lint":
+        return _run_lint(args)
+
+    if args.command == "sanitize":
+        return _run_sanitize(args)
 
     names = list(args.experiments)
     if names == ["all"]:

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.hw.comm import CommunicationsHandler
-from repro.hw.injector import DEFAULT_PIPELINE_DEPTH, FifoInjector, InjectionEvent
+from repro.hw.injector import DEFAULT_PIPELINE_DEPTH, FifoInjector
 from repro.hw.phy import DEFAULT_PHY_LATENCY_PS, PhyTransceiver
 from repro.hw.registers import InjectorConfig
 from repro.hw.sdram import SdramBuffer

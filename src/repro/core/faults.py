@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.hw.registers import (
-    SEGMENT_LANES,
     CorruptMode,
     InjectorConfig,
     MatchMode,

@@ -127,7 +127,6 @@ def _build_encode_tables() -> Dict[Tuple[int, bool, int], Tuple[int, int]]:
         y = value >> 5
         for rd in (-1, 1):
             six = _5B6B[x][0 if rd < 0 else 1]
-            rd_after_six = rd + _disparity(_bits(six), 6)
             rd_mid = rd if _disparity(_bits(six), 6) == 0 else -rd
             # Running disparity after an unbalanced sub-block flips sign;
             # balanced sub-blocks leave it unchanged.

@@ -8,7 +8,6 @@ an EOF delimiter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import CrcError, ProtocolError
 from repro.fc.crc32 import crc32

@@ -15,7 +15,7 @@ payloads, and ages out incomplete sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fc.frame import FcFrame, FcFrameHeader, MAX_PAYLOAD

@@ -21,7 +21,7 @@ observable a real PHY driven out of spec would produce.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError, EncodingError
 from repro.fc.crc32 import crc32

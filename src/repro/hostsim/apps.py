@@ -26,7 +26,7 @@ from repro.hostsim.sockets import HostStack
 from repro.myrinet.addresses import MacAddress
 from repro.sim.kernel import Simulator
 from repro.sim.rng import DeterministicRng
-from repro.sim.timebase import MS, US
+from repro.sim.timebase import MS
 
 
 class MessageSink:

@@ -9,7 +9,6 @@ the checksum unchanged.  That is how "Have a lot of fun" became
 
 from __future__ import annotations
 
-from typing import Iterable
 
 
 def ones_complement_sum(data: bytes) -> int:

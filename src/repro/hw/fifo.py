@@ -12,7 +12,7 @@ while it is still queued (Figure 3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.myrinet.symbols import Symbol

@@ -20,7 +20,7 @@ many lanes were out of reach.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.hw.clock import ClockPhase, TwoPhaseClock

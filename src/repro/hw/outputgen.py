@@ -8,7 +8,7 @@ communications handler for SPI framing.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 
 class OutputGenerator:

@@ -13,7 +13,6 @@ it is a parameter here and an ablation axis in the benchmarks).
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.errors import ConfigurationError
 from repro.sim.timebase import from_ns

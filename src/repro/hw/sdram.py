@@ -13,7 +13,7 @@ dropped and counted, as are writes beyond capacity.  Monitoring captures
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -18,7 +18,7 @@ test injects bit errors into the control path itself to check this.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.errors import ProtocolError
 

@@ -14,7 +14,7 @@ injection campaigns (paper §3.3, "Match mode ... once").
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulator

@@ -25,7 +25,7 @@ from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Event, Simulator
-from repro.myrinet.link import Channel, Link
+from repro.myrinet.link import Channel
 from repro.myrinet.symbols import GO, STOP, Symbol
 
 #: Short-period timeout: 16 character periods (paper §4.3.1).

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.myrinet.symbols import GAP, GO, IDLE, STOP, Symbol, decode_control
+from repro.myrinet.symbols import GAP, IDLE, Symbol, decode_control
 
 #: Default maximum frame size in bytes (route + type + payload + CRC).
 DEFAULT_MAX_FRAME = 4096

@@ -21,14 +21,12 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, CrcError, ProtocolError
 from repro.myrinet.addresses import MacAddress, McpAddress
-from repro.myrinet.crc8 import crc8
 from repro.myrinet.flow import LONG_TIMEOUT_PERIODS, PortFlowControl, long_timeout_ps
 from repro.myrinet.frames import DEFAULT_MAX_FRAME, FrameAssembler
 from repro.myrinet.link import Channel, Link
 from repro.myrinet.packet import (
     PACKET_TYPE_DATA,
     PACKET_TYPE_MAPPING,
-    TYPE_FIELD_LEN,
     MyrinetPacket,
     is_route_byte,
 )
@@ -125,7 +123,7 @@ class HostInterface:
             self._sim,
             self._tx_channel,
             transport=flow_transport,
-            remote_tx_state_getter=lambda l=link, s=side: l.peer_tx_state(s),
+            remote_tx_state_getter=lambda lnk=link, s=side: lnk.peer_tx_state(s),
         )
         link.register_tx_state(side, self._flow.tx_state)
         self._flow.tx_state.notify_unblocked(self._schedule_pump)

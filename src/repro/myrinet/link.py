@@ -14,11 +14,11 @@ event per burst instead of one per symbol.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulator
-from repro.sim.timebase import NS, from_ns
+from repro.sim.timebase import from_ns
 from repro.myrinet.symbols import Symbol
 
 #: Default character period: 12.5 ns (80 MB/s, the paper's campaign rate).

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
 from repro.myrinet.addresses import MacAddress, McpAddress
 from repro.myrinet.interface import HostInterface
 from repro.myrinet.mapping import MapEntry, NetworkMap, Probe, TopologyOracle

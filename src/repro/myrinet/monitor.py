@@ -13,7 +13,7 @@ network in a known good state".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.myrinet.mapping import NetworkMap
 from repro.myrinet.network import MyrinetNetwork

@@ -26,7 +26,7 @@ from repro.myrinet.mcp import McpController
 from repro.myrinet.switch import MyrinetSwitch
 from repro.sim.kernel import Simulator
 from repro.sim.rng import DeterministicRng
-from repro.sim.timebase import MS, US
+from repro.sim.timebase import MS
 
 #: Locally-administered MAC prefix used for auto-assigned addresses.
 _MAC_BASE = 0x02_00_5E_00_00_00

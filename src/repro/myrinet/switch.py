@@ -44,9 +44,7 @@ from repro.myrinet.packet import ROUTE_PORT_MASK
 from repro.myrinet.slack import DEFAULT_CAPACITY, DEFAULT_HIGH_WATER, DEFAULT_LOW_WATER
 from repro.myrinet.symbols import (
     GAP,
-    GO,
     IDLE,
-    STOP,
     Symbol,
     data_symbol,
     decode_control,
@@ -187,7 +185,7 @@ class MyrinetSwitch:
             self._sim,
             tx,
             transport=flow_transport,
-            remote_tx_state_getter=lambda l=link, s=side: l.peer_tx_state(s),
+            remote_tx_state_getter=lambda lnk=link, s=side: lnk.peer_tx_state(s),
         )
         link.register_tx_state(side, state.flow.tx_state)
         state.flow.tx_state.notify_unblocked(
@@ -229,7 +227,6 @@ class MyrinetSwitch:
         if state.flow is not None:
             # Any received symbol re-arms the short-timeout counter.
             state.flow.tx_state.note_activity()
-        capacity = self._slack_capacity
         data_cache = Symbol._data_cache
         table = _CRC_TABLE
         index = 0
@@ -266,7 +263,7 @@ class MyrinetSwitch:
             self._process_symbol(port, symbol, touched)
             index += 1
         self._drain_grants(touched)
-        for out in touched:
+        for out in sorted(touched):
             self._flush_output(out)
         self._update_backpressure(port)
 
@@ -442,11 +439,8 @@ class MyrinetSwitch:
                 return
             state.wait_timeouts += 1
             out = state.wait_output
-            if out is not None:
-                try:
-                    self._ports[out].waiters.remove(i)
-                except ValueError:
-                    pass
+            if out is not None and i in self._ports[out].waiters:
+                self._ports[out].waiters.remove(i)
             self._drop_buffered_head_frame(i, touched)
         else:
             if state.mode == _MODE_DRAINING:
@@ -473,7 +467,7 @@ class MyrinetSwitch:
             else:
                 return
         self._drain_grants(touched)
-        for out_port in touched:
+        for out_port in sorted(touched):
             self._flush_output(out_port)
         self._update_backpressure(i)
 
@@ -550,7 +544,7 @@ class MyrinetSwitch:
                 self._drain_grants(touched)
                 self._replay_buffer(holder, touched)
                 self._drain_grants(touched)
-                for other in touched:
+                for other in sorted(touched):
                     self._flush_output(other)
 
     def _schedule_retry(self, out: int, at: int, label: str) -> None:

@@ -15,10 +15,8 @@ factor as the run and the scaling is recorded in the row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.device import FaultInjectorDevice
 from repro.core.faults import control_symbol_swap, replace_bytes
 from repro.hostsim.apps import MessageSink, PingPong
 from repro.hostsim.sockets import HostStack

@@ -8,7 +8,7 @@ provides the paper-vs-measured comparison helpers the benchmarks use.
 from __future__ import annotations
 
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.nftape.classify import classify_result

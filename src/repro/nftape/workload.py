@@ -16,7 +16,7 @@ node, or delivered with corrupted content) — the §4.4 dichotomy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.hostsim.apps import EchoResponder, FloodPing
@@ -25,7 +25,7 @@ from repro.hostsim.sockets import HostStack
 from repro.myrinet.addresses import MacAddress
 from repro.myrinet.network import MyrinetNetwork
 from repro.sim.rng import DeterministicRng
-from repro.sim.timebase import MS, US
+from repro.sim.timebase import US
 
 #: UDP port the validating sinks listen on.
 WORKLOAD_PORT = 5001

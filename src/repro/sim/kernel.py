@@ -9,11 +9,23 @@ simulations are fully deterministic for a given seed.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.timebase import format_time
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE=1`` asks for kernel invariant checks.
+
+    The determinism sanitizer (:mod:`repro.analysis.sanitize`) sets this
+    to turn on per-event assertions: integral timestamps, monotonic
+    ``(time, seq)`` pop order, and callable callbacks.  The checks cost
+    a few percent, so they stay off in normal runs.
+    """
+    return os.environ.get("REPRO_SANITIZE", "") == "1"
 
 
 @dataclass
@@ -46,6 +58,19 @@ class Simulator:
         self._queue: List[tuple] = []
         self._fired = 0
         self._running = False
+        self._tracer: Optional[Callable[[Event], None]] = None
+        self._sanitize = sanitize_enabled()
+        self._last_fired: Tuple[int, int] = (-1, -1)
+
+    def attach_tracer(self, tracer: Optional[Callable[[Event], None]]) -> None:
+        """Install a per-event hook called as each event fires.
+
+        The determinism sanitizer uses this to fold every fired event
+        into a digest; ``None`` detaches.  The hook fires *before* the
+        event's callback so divergence is pinned to the first
+        out-of-order event, not its consequences.
+        """
+        self._tracer = tracer
 
     @property
     def now(self) -> int:
@@ -87,6 +112,16 @@ class Simulator:
                 f"cannot schedule event at t={format_time(time)}, "
                 f"already at t={format_time(self._now)}"
             )
+        if self._sanitize:
+            if isinstance(time, bool) or not isinstance(time, int):
+                raise SimulationError(
+                    f"sanitize: non-integer event time {time!r}; the "
+                    "picosecond clock is integer-only (see SIM003)"
+                )
+            if not callable(callback):
+                raise SimulationError(
+                    f"sanitize: event callback {callback!r} is not callable"
+                )
         event = Event(time=time, seq=self._seq, callback=callback, label=label)
         self._seq += 1
         heapq.heappush(self._queue, (time, event.seq, event))
@@ -102,11 +137,31 @@ class Simulator:
             _time, _seq, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if self._sanitize:
+                self._check_pop_invariants(event)
             self._now = event.time
             self._fired += 1
+            if self._tracer is not None:
+                self._tracer(event)
             event.callback()
             return True
         return False
+
+    def _check_pop_invariants(self, event: Event) -> None:
+        """Event-queue invariants enforced under ``REPRO_SANITIZE=1``."""
+        if event.time < self._now:
+            raise SimulationError(
+                f"sanitize: event '{event.label}' fires at "
+                f"t={format_time(event.time)}, before the clock at "
+                f"t={format_time(self._now)} — heap order violated"
+            )
+        key = (event.time, event.seq)
+        if key <= self._last_fired:
+            raise SimulationError(
+                f"sanitize: event '{event.label}' pops out of order: "
+                f"(time, seq)={key} after {self._last_fired}"
+            )
+        self._last_fired = key
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` fire).

@@ -8,6 +8,7 @@ to keep long campaigns cheap.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set
 
@@ -47,6 +48,8 @@ class TraceRecorder:
         self._max_events = max_events
         self._events: List[TraceEvent] = []
         self.dropped = 0
+        self._digest = hashlib.blake2b(digest_size=16)
+        self._digested = 0
 
     def record(
         self,
@@ -62,7 +65,9 @@ class TraceRecorder:
         if len(self._events) >= self._max_events:
             self._events.pop(0)
             self.dropped += 1
-        self._events.append(TraceEvent(time, category, source, message, data))
+        event = TraceEvent(time, category, source, message, data)
+        self._fold(event)
+        self._events.append(event)
 
     def events(self, category: Optional[str] = None) -> List[TraceEvent]:
         """All stored events, optionally restricted to one category."""
@@ -74,6 +79,32 @@ class TraceRecorder:
         """Discard all stored events."""
         self._events.clear()
         self.dropped = 0
+        self._digest = hashlib.blake2b(digest_size=16)
+        self._digested = 0
+
+    def digest(self) -> str:
+        """Stable hex digest over every event *recorded* so far.
+
+        The digest folds in events as they arrive (including any later
+        dropped by the ``max_events`` window), so two recorders attached
+        to two runs of the same seeded campaign produce equal digests
+        iff the runs traced identically — the determinism sanitizer's
+        ground truth.  Event ``data`` is folded in sorted-key order so
+        dict construction order cannot perturb the hash.
+        """
+        return self._digest.hexdigest()
+
+    @property
+    def digested(self) -> int:
+        """Number of events folded into the digest (drops included)."""
+        return self._digested
+
+    def _fold(self, event: TraceEvent) -> None:
+        parts = [str(event.time), event.category, event.source, event.message]
+        for key in sorted(event.data):
+            parts.append(f"{key}={event.data[key]!r}")
+        self._digest.update("\x1f".join(parts).encode("utf-8") + b"\x1e")
+        self._digested += 1
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,47 @@
+"""CLI wiring for the lint and sanitize subcommands."""
+
+import re
+import textwrap
+
+from repro.cli import main
+
+
+def test_cli_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr()
+    assert out.out.strip() == ""  # no findings on stdout
+    assert "0 findings" in out.err
+
+
+def test_cli_lint_lists_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004",
+                    "FSM001", "REG001", "ERR001"):
+        assert rule_id in out
+
+
+def test_cli_lint_exits_nonzero_with_parseable_lines(tmp_path, capsys):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(textwrap.dedent("""\
+        import time
+
+        def stamp():
+            return time.time()
+        """), encoding="utf-8")
+    assert main(["lint", str(tmp_path / "repro")]) == 1
+    out = capsys.readouterr()
+    lines = out.out.strip().splitlines()
+    assert len(lines) == 1
+    # file:line:col RULE message — single-line, CI-annotation friendly.
+    assert re.match(r"^\S+\.py:\d+:\d+ [A-Z]+\d{3} .+$", lines[0])
+    assert "SIM001" in lines[0]
+    assert "1 finding" in out.err
+
+
+def test_cli_sanitize_passes_on_deterministic_campaign(capsys):
+    assert main(["sanitize", "--duration-ms", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "digest=" in out
