@@ -3,7 +3,8 @@
 These rules guard the invariants that make campaigns replay bit-for-bit
 (the software analogue of the paper's synthesis-time checks, §3.3):
 
-* **SIM001** — no wall-clock time sources inside the simulation layers;
+* **SIM001** — no wall-clock time sources anywhere in ``repro``, except
+  the sanctioned :mod:`repro.telemetry` observation boundary;
 * **SIM002** — no bare ``random`` module use (route through
   :mod:`repro.sim.rng`);
 * **SIM003** — no float arithmetic flowing into the integer picosecond
@@ -54,13 +55,26 @@ _SCHEDULE_METHODS = {
 
 
 class NoWallClockRule(ModuleRule):
-    """SIM001: wall-clock reads poison determinism inside the simulator."""
+    """SIM001: wall-clock reads poison determinism inside the simulator.
+
+    The rule covers the *whole* ``repro`` tree, not just the packages
+    that run inside simulated time: any layer may end up called from a
+    simulated callback, so the only sanctioned wall-clock boundary is
+    :mod:`repro.telemetry` (``allowed_packages``), which strictly
+    observes — span wall times and session wall_s never flow back into
+    sim scheduling.  See docs/static-analysis.md for the allowance.
+    """
 
     rule_id = "SIM001"
     title = "no wall-clock time in simulation code"
 
+    #: The one package allowed to read the wall clock (observation only).
+    allowed_packages = ("repro.telemetry",)
+
     def check(self, module: ModuleInfo) -> List[Finding]:
-        if not module.in_package(*SIM_PACKAGES):
+        if not module.in_package("repro"):
+            return []
+        if module.in_package(*self.allowed_packages):
             return []
         findings: List[Finding] = []
         for node in ast.walk(module.tree):

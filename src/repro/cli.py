@@ -5,6 +5,9 @@
     python -m repro list
     python -m repro run table2 sec434
     python -m repro run all --scale 0.5 --out report.md
+    python -m repro run sec434 --telemetry-dir out/
+    python -m repro campaign --experiments 4 --telemetry-dir out/
+    python -m repro metrics --input out/metrics.json --format prom
     python -m repro synthesis
     python -m repro lint          # simlint static analysis (CI gate)
     python -m repro sanitize      # identical-seed determinism replay
@@ -114,6 +117,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="duration scale factor (default 1.0)")
     run.add_argument("--out", default=None,
                      help="write a combined report (.md or .txt)")
+    run.add_argument("--telemetry-dir", default=None,
+                     help="write metrics.json/spans.jsonl/trace.json here")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a control-symbol fault-injection campaign (telemetry demo)",
+    )
+    campaign.add_argument("--experiments", type=int, default=4,
+                          help="number of experiments (default 4)")
+    campaign.add_argument("--duration-ms", type=float, default=3.0,
+                          help="per-experiment duration in simulated ms")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="base campaign seed (default 0)")
+    campaign.add_argument("--telemetry-dir", default=None,
+                          help="write metrics.json/spans.jsonl/trace.json here")
+    campaign.add_argument("--no-progress", action="store_true",
+                          help="suppress the live progress line")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="re-render a metrics.json artifact (json or Prometheus text)",
+    )
+    metrics.add_argument("--input", default="out/metrics.json",
+                         help="path to a metrics.json artifact")
+    metrics.add_argument("--format", choices=("json", "prom"),
+                         default="prom", help="output format")
 
     sub.add_parser("synthesis", help="print the Table 1 synthesis estimate")
 
@@ -189,6 +218,91 @@ def _run_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _run_campaign(args) -> int:
+    """``campaign``: a Table 4 style control-symbol swap campaign.
+
+    The campaign cycles through control-symbol corruption pairs with a
+    duty-cycled trigger; with ``--telemetry-dir`` the run drops
+    ``metrics.json``, ``spans.jsonl``, and a Perfetto-loadable
+    ``trace.json``.
+    """
+    from repro.core.faults import control_symbol_swap
+    from repro.hw.registers import MatchMode
+    from repro.myrinet.symbols import GAP, GO, IDLE, STOP
+    from repro.nftape.campaign import Campaign
+    from repro.nftape.experiment import Experiment, TestbedOptions
+    from repro.nftape.plan import DutyCyclePlan
+    from repro.telemetry import TelemetrySession
+
+    pairs = [
+        ("IDLE", "GAP"), ("GAP", "IDLE"), ("STOP", "GO"), ("GO", "STOP"),
+        ("IDLE", "STOP"), ("GAP", "GO"), ("STOP", "IDLE"), ("GO", "GAP"),
+    ]
+    symbols = {"IDLE": IDLE, "GAP": GAP, "STOP": STOP, "GO": GO}
+    duration_ps = max(1 * MS, int(args.duration_ms * MS))
+
+    progress = None
+    if not args.no_progress:
+        def progress(message: str) -> None:
+            print(f"\r{message:<60}", end="", file=sys.stderr, flush=True)
+
+    campaign = Campaign("cli control-symbol campaign", on_progress=progress)
+    for index in range(max(1, args.experiments)):
+        source, target = pairs[index % len(pairs)]
+        plan = DutyCyclePlan(
+            "RL",
+            control_symbol_swap(symbols[source], symbols[target],
+                                MatchMode.ON),
+            on_ps=duration_ps // 8,
+            off_ps=duration_ps // 2,
+            use_serial=False,
+        )
+        campaign.add(Experiment(
+            f"{source}->{target}",
+            duration_ps=duration_ps,
+            plan=plan,
+            testbed_options=TestbedOptions(seed=args.seed + index),
+        ))
+
+    session = TelemetrySession(out_dir=args.telemetry_dir, label=campaign.name)
+    with session:
+        table = campaign.run()
+    if progress is not None:
+        print(file=sys.stderr)
+    print(table.render())
+    fired = session.registry.value("sim.events_fired")
+    rate = session.registry.value("sim.events_per_s")
+    print(
+        f"telemetry: {int(fired)} kernel events in {session.wall_s:.2f}s "
+        f"wall ({rate:,.0f} events/s)"
+    )
+    if args.telemetry_dir:
+        print(f"telemetry artifacts written to {args.telemetry_dir}/"
+              f" (metrics.json, spans.jsonl, trace.json)")
+    return 0
+
+
+def _run_metrics(args) -> int:
+    """``metrics``: re-render a metrics.json artifact."""
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import MetricsRegistry, to_prometheus
+
+    path = Path(args.input)
+    if not path.exists():
+        print(f"no metrics artifact at {path} (run a campaign with "
+              "--telemetry-dir first)", file=sys.stderr)
+        return 2
+    document = json.loads(path.read_text())
+    if args.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    registry = MetricsRegistry.from_dict(document.get("metrics", {}))
+    print(to_prometheus(registry), end="")
+    return 0
+
+
 def _run_sanitize(args) -> int:
     """``sanitize``: identical-seed replay; exit 1 on digest divergence."""
     from repro.analysis.sanitize import check_determinism
@@ -221,6 +335,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sanitize":
         return _run_sanitize(args)
 
+    if args.command == "campaign":
+        return _run_campaign(args)
+
+    if args.command == "metrics":
+        return _run_metrics(args)
+
     names = list(args.experiments)
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -232,17 +352,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     report = CampaignReport("DSN 2002 reproduction — experiment report")
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"== {name}: {description}")
-        tables, notes = runner(args.scale)
-        for table in tables:
-            print(table.render())
-            report.add_table(table)
-        for note in notes:
-            print(note)
-            report.add_note(note)
-        print()
+    from contextlib import nullcontext
+
+    from repro.telemetry import TelemetrySession
+    from repro.telemetry.spans import span
+
+    telemetry = (
+        TelemetrySession(out_dir=args.telemetry_dir, label="repro run")
+        if args.telemetry_dir else nullcontext()
+    )
+    with telemetry:
+        for name in names:
+            description, runner = EXPERIMENTS[name]
+            print(f"== {name}: {description}")
+            with span("paper-experiment", name=name):
+                tables, notes = runner(args.scale)
+            for table in tables:
+                print(table.render())
+                report.add_table(table)
+            for note in notes:
+                print(note)
+                report.add_note(note)
+            print()
+    if args.telemetry_dir:
+        print(f"telemetry artifacts written to {args.telemetry_dir}/")
     if args.out:
         target = report.write(args.out)
         print(f"report written to {target}")

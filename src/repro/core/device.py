@@ -40,6 +40,8 @@ from repro.core.stats import StatisticsGatherer
 from repro.myrinet.link import Channel, Link
 from repro.myrinet.symbols import Symbol
 from repro.sim.kernel import Simulator
+from repro.telemetry import instrument as _telemetry
+from repro.telemetry.state import STATE as _TELEMETRY_STATE
 
 #: Direction identifiers: R = left-to-right (toward the switch when the
 #: device sits on a host link), L = right-to-left.
@@ -246,6 +248,11 @@ class FaultInjectorDevice:
 
         out_phy.drive(len(output))
         self.bursts_forwarded += 1
+        # One guarded call per burst (not per symbol): occupancy gauges,
+        # throughput counters, and the added-latency histogram against
+        # the paper's ~250 ns pipeline claim.
+        if _TELEMETRY_STATE.active:
+            _telemetry.device_burst(self, direction, len(burst), len(output))
         if output:
             latency = self.pipeline_latency_ps
             self._sim.schedule(

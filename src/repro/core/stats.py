@@ -45,6 +45,15 @@ class DirectionStats:
         """Packets seen from ``src`` to ``dst``."""
         return self.packets_by_pair[(str(src), str(dst))]
 
+    def publish(self, registry=None, **labels) -> None:
+        """Bridge these counters into a telemetry metrics registry.
+
+        ``registry`` defaults to the active session's; re-publishing is
+        idempotent (cumulative bridging via ``Counter.set_total``).
+        """
+        from repro.telemetry.instrument import publish_direction_stats
+        publish_direction_stats(self, registry=registry, **labels)
+
 
 class StatisticsGatherer:
     """Passive per-direction stream statistics."""
@@ -95,6 +104,10 @@ class StatisticsGatherer:
         dst = MacAddress.from_bytes(payload[:6])
         src = MacAddress.from_bytes(payload[6:12])
         stats.packets_by_pair[(str(src), str(dst))] += 1
+
+    def publish(self, registry=None, **labels) -> None:
+        """Bridge the current counters into a telemetry registry."""
+        self.stats.publish(registry=registry, **labels)
 
     def reset(self) -> None:
         """Zero every counter (campaign reset)."""

@@ -72,10 +72,23 @@ class RamFifo:
         self._tail = 0  # next write position
         self._count = 0
         self.in_place_rewrites = 0
+        #: Peak occupancy ever reached (telemetry occupancy gauge; the
+        #: fused burst path reports via :meth:`note_occupancy`).
+        self.high_watermark = 0
 
     @property
     def occupancy(self) -> int:
         return self._count
+
+    def note_occupancy(self, occupancy: int) -> None:
+        """Fold an externally observed occupancy into the watermark.
+
+        The injector's fused burst path keeps the pipeline in a local
+        list for speed; it reports the equivalent FIFO occupancy here so
+        the ``device.fifo.high_watermark`` gauge stays truthful.
+        """
+        if occupancy > self.high_watermark:
+            self.high_watermark = occupancy
 
     @property
     def full(self) -> bool:
@@ -92,6 +105,8 @@ class RamFifo:
         self.ram.write(self._tail, value)
         self._tail = (self._tail + 1) % self.depth
         self._count += 1
+        if self._count > self.high_watermark:
+            self.high_watermark = self._count
 
     def pop(self) -> Symbol:
         """Remove and return the oldest symbol (odd-cycle operation)."""

@@ -33,6 +33,8 @@ from repro.hw.registers import (
     MatchMode,
 )
 from repro.myrinet.symbols import Symbol, control_symbol, data_symbol
+from repro.telemetry import instrument as _telemetry
+from repro.telemetry.state import STATE as _TELEMETRY_STATE
 
 #: Default pipeline depth in symbols: a 3-cycle inject pipeline plus "a
 #: few more 32-bit segments in the FIFO" — about 250 ns at the paper's
@@ -231,6 +233,8 @@ class FifoInjector:
         )
         if len(self.events) < self.events_limit:
             self.events.append(event)
+        if _TELEMETRY_STATE.active:
+            _telemetry.injection(self.name, event)
         if self._on_injection is not None:
             self._on_injection(event)
 
@@ -336,6 +340,7 @@ class FifoInjector:
         self.compare.matches += matches
         self.fifo.ram.writes += count
         self.fifo.ram.reads += count
+        self.fifo.note_occupancy(min(count, depth))
         return output
 
     def _corrupt_pipeline_tail(
@@ -394,6 +399,8 @@ class FifoInjector:
         )
         if len(self.events) < self.events_limit:
             self.events.append(event)
+        if _TELEMETRY_STATE.active:
+            _telemetry.injection(self.name, event)
         if self._on_injection is not None:
             self._on_injection(event)
 
@@ -407,4 +414,5 @@ class FifoInjector:
             "forced_injections": self.forced_injections,
             "cycles": self.clock.cycles,
             "fifo_rewrites": self.fifo.in_place_rewrites,
+            "fifo_high_watermark": self.fifo.high_watermark,
         }

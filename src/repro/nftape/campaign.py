@@ -12,6 +12,8 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.nftape.classify import classify_result
 from repro.nftape.experiment import Experiment
 from repro.nftape.results import ExperimentResult, ResultTable
+from repro.telemetry.spans import span
+from repro.telemetry.state import STATE as _TELEMETRY_STATE
 
 #: Row builder: maps a finished result to the table columns.
 RowBuilder = Callable[[ExperimentResult], Dict[str, Any]]
@@ -50,12 +52,35 @@ class Campaign:
         return self
 
     def run(self) -> ResultTable:
-        """Run every experiment on a fresh test bed; return the table."""
+        """Run every experiment on a fresh test bed; return the table.
+
+        With a telemetry session active the whole run is bracketed in a
+        ``campaign`` span, each experiment lands in its own nested span
+        (see :meth:`Experiment.run`), and per-outcome counters
+        (``campaign.experiments``, ``campaign.outcomes{fault_class=…}``)
+        accumulate in the registry.
+        """
         table = ResultTable(self.name)
-        for experiment in self.experiments:
-            if self._on_progress is not None:
-                self._on_progress(f"running {experiment.name}")
-            result = experiment.run()
-            self.results.append(result)
-            table.add(result, **self._row_builder(result))
+        total = len(self.experiments)
+        with span("campaign", name=self.name, experiments=total):
+            for index, experiment in enumerate(self.experiments):
+                if self._on_progress is not None:
+                    self._on_progress(
+                        f"[{index + 1}/{total}] running {experiment.name}"
+                    )
+                result = experiment.run()
+                self.results.append(result)
+                table.add(result, **self._row_builder(result))
+                self._account(result)
         return table
+
+    def _account(self, result: ExperimentResult) -> None:
+        """Outcome counters for the active telemetry session, if any."""
+        if not _TELEMETRY_STATE.active:
+            return
+        registry = _TELEMETRY_STATE.registry
+        if registry is None:  # pragma: no cover - defensive
+            return
+        registry.counter("campaign.experiments").inc()
+        fault_class = classify_result(result).fault_class.value
+        registry.counter("campaign.outcomes", fault_class=fault_class).inc()

@@ -25,6 +25,9 @@ from repro.nftape.workload import AllPairsWorkload, WorkloadConfig
 from repro.sim.kernel import Simulator
 from repro.sim.rng import DeterministicRng
 from repro.sim.timebase import MS, US
+from repro.telemetry import instrument as _telemetry
+from repro.telemetry.spans import span
+from repro.telemetry.state import STATE as _TELEMETRY_STATE
 
 
 @dataclass
@@ -151,25 +154,66 @@ class Experiment:
         self.params = params or {}
 
     def run(self) -> ExperimentResult:
-        testbed = Testbed(self.testbed_options)
-        testbed.settle()
-        if self.plan is not None:
-            self.plan.install(testbed)
-            testbed.drain_session()
-        workload = AllPairsWorkload(
-            testbed.network,
-            self.workload_config,
-            rng=testbed.rng.fork("workload"),
+        """Run the experiment on a fresh test bed.
+
+        Phases are bracketed in telemetry spans (``experiment`` nesting
+        ``settle``/``injection``/``workload``/``drain``); each span
+        records both wall time and sim time.  With no telemetry session
+        active every ``span`` call is a shared no-op.
+        """
+        with span("experiment", name=self.name,
+                  duration_ps=self.duration_ps):
+            testbed = Testbed(self.testbed_options)
+            with span("settle", sim=testbed.sim,
+                      seed=self.testbed_options.seed):
+                testbed.settle()
+            if self.plan is not None:
+                with span("injection", sim=testbed.sim, phase="install"):
+                    self.plan.install(testbed)
+                    testbed.drain_session()
+            workload = AllPairsWorkload(
+                testbed.network,
+                self.workload_config,
+                rng=testbed.rng.fork("workload"),
+            )
+            with span("workload", sim=testbed.sim):
+                workload.start()
+                if self.plan is not None:
+                    self.plan.start(testbed)
+                testbed.sim.run_for(self.duration_ps)
+                workload.stop()
+                if self.plan is not None:
+                    self.plan.stop(testbed)
+            with span("drain", sim=testbed.sim):
+                testbed.sim.run_for(self.drain_ps)
+            result = self._collect(testbed, workload)
+            if _TELEMETRY_STATE.active:
+                self._publish_telemetry(testbed, result)
+            return result
+
+    def _publish_telemetry(self, testbed: Testbed,
+                           result: ExperimentResult) -> None:
+        """Sample per-experiment counters into the active registry."""
+        registry = _TELEMETRY_STATE.registry
+        if registry is None:  # pragma: no cover - defensive
+            return
+        _telemetry.sample_simulator(testbed.sim)
+        if testbed.device is not None:
+            # Fresh device per experiment: accumulate totals so the
+            # campaign-level series aggregate across experiments.
+            _telemetry.sample_device(testbed.device, accumulate=True)
+        registry.counter("workload.messages_sent").inc(result.messages_sent)
+        registry.counter("workload.messages_received").inc(
+            result.messages_received
         )
-        workload.start()
-        if self.plan is not None:
-            self.plan.start(testbed)
-        testbed.sim.run_for(self.duration_ps)
-        workload.stop()
-        if self.plan is not None:
-            self.plan.stop(testbed)
-        testbed.sim.run_for(self.drain_ps)
-        return self._collect(testbed, workload)
+        registry.counter("workload.misdeliveries").inc(
+            result.active_misdeliveries
+        )
+        registry.counter("workload.corrupted_deliveries").inc(
+            result.corrupted_deliveries
+        )
+        registry.counter("workload.send_failures").inc(result.send_failures)
+        registry.counter("workload.checksum_drops").inc(result.checksum_drops)
 
     def _collect(self, testbed: Testbed,
                  workload: AllPairsWorkload) -> ExperimentResult:

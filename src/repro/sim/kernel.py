@@ -15,6 +15,8 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.timebase import format_time
+from repro.telemetry import instrument as _telemetry
+from repro.telemetry.state import STATE as _TELEMETRY_STATE
 
 
 def sanitize_enabled() -> bool:
@@ -173,6 +175,10 @@ class Simulator:
             if not self.step():
                 break
             fired += 1
+        # Telemetry accounting happens per *batch*, never per event, so
+        # the kernel's hot loop stays untouched; one slot read when off.
+        if _TELEMETRY_STATE.active:
+            _telemetry.kernel_run(self, fired)
         return fired
 
     def run_until(self, deadline: int) -> int:
@@ -194,6 +200,8 @@ class Simulator:
             self.step()
             fired += 1
         self._now = max(self._now, deadline)
+        if _TELEMETRY_STATE.active:
+            _telemetry.kernel_run(self, fired)
         return fired
 
     def run_for(self, duration: int) -> int:

@@ -1,0 +1,63 @@
+"""repro.telemetry — self-observation for the reproduction.
+
+The paper's device exists to observe a network it cannot slow down
+(§3.2's statistics gatherer and monitor); this package gives the
+reproduction the same property about *itself*: a metrics registry cheap
+enough to leave enabled, span-based wall/sim-time tracing, and
+machine-readable exporters (JSONL, Prometheus text, Chrome trace JSON).
+
+Quickstart::
+
+    from repro.telemetry import TelemetrySession, span
+
+    with TelemetrySession(out_dir="out", label="my-campaign") as session:
+        with span("campaign", name="demo"):
+            campaign.run()
+    # out/metrics.json, out/spans.jsonl, out/trace.json
+
+Design contract (enforced by tests):
+
+* **disabled == free** — every hot-path hook is guarded by one slotted
+  attribute read; with no session active the simulation runs the exact
+  event sequence it ran before this package existed (identical kernel
+  digests);
+* **enabled == invisible** — telemetry only observes; it never reads
+  wall-clock time inside sim logic, schedules events, or perturbs RNG
+  streams, so identical-seed digests also match with telemetry *on*;
+* **wall clock is quarantined here** — simlint's SIM001 rule bans
+  wall-clock reads everywhere in ``repro`` except this package.
+"""
+
+from repro.telemetry.exporters import (
+    parse_spans_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.session import ARTIFACT_NAMES, TelemetrySession
+from repro.telemetry.spans import SpanRecord, SpanTracker, span
+from repro.telemetry.state import STATE, telemetry_active
+
+__all__ = [
+    "ARTIFACT_NAMES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanTracker",
+    "STATE",
+    "TelemetrySession",
+    "parse_spans_jsonl",
+    "span",
+    "spans_to_jsonl",
+    "telemetry_active",
+    "to_chrome_trace",
+    "to_prometheus",
+]

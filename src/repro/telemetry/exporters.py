@@ -1,0 +1,193 @@
+"""Exporters: JSONL span log, Prometheus text format, Chrome trace JSON.
+
+Three machine-readable views of one telemetry session:
+
+* :func:`spans_to_jsonl` / :func:`parse_spans_jsonl` — one JSON object
+  per line, lossless round-trip of every :class:`SpanRecord`;
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``repro.cli metrics --format prom``); dots become underscores,
+  label sets are rendered sorted, histograms expand into cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``;
+* :func:`to_chrome_trace` — Chrome trace-event JSON ("X" complete
+  events) that loads directly in Perfetto / ``chrome://tracing``, with
+  sim-time and attributes preserved under ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import SpanRecord
+
+__all__ = [
+    "spans_to_jsonl",
+    "parse_spans_jsonl",
+    "to_prometheus",
+    "to_chrome_trace",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSONL span log
+# ---------------------------------------------------------------------------
+
+
+def spans_to_jsonl(records: Iterable[SpanRecord]) -> str:
+    """Serialize spans, one JSON object per line (trailing newline)."""
+    lines = [
+        json.dumps(record.to_dict(), sort_keys=True) for record in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_spans_jsonl(text: str) -> List[SpanRecord]:
+    """Inverse of :func:`spans_to_jsonl`."""
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    return "repro_" + name.replace(".", "_") + suffix
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every series in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+    for metric in registry:
+        if isinstance(metric, Counter):
+            base = _prom_name(metric.name, "_total")
+            if base not in typed:
+                lines.append(f"# TYPE {base} counter")
+                typed.add(base)
+            lines.append(
+                f"{base}{_prom_labels(metric.label_dict())} "
+                f"{_prom_number(metric.value)}"
+            )
+        elif isinstance(metric, Gauge):
+            base = _prom_name(metric.name)
+            if base not in typed:
+                lines.append(f"# TYPE {base} gauge")
+                typed.add(base)
+            lines.append(
+                f"{base}{_prom_labels(metric.label_dict())} "
+                f"{_prom_number(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            base = _prom_name(metric.name)
+            if base not in typed:
+                lines.append(f"# TYPE {base} histogram")
+                typed.add(base)
+            labels = metric.label_dict()
+            for bound, cumulative in metric.cumulative():
+                lines.append(
+                    f"{base}_bucket"
+                    f"{_prom_labels(labels, {'le': _prom_number(bound)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{base}_sum{_prom_labels(labels)} "
+                f"{_prom_number(metric.total)}"
+            )
+            lines.append(
+                f"{base}_count{_prom_labels(labels)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+#: Synthetic process/thread ids: one "process" per session; spans all
+#: nest on one "thread" so the viewer stacks them by wall time.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def to_chrome_trace(
+    records: Iterable[SpanRecord],
+    label: str = "repro",
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from completed spans.
+
+    Every span becomes one ``"ph": "X"`` (complete) event.  Timestamps
+    are microseconds relative to the earliest span, which keeps the
+    numbers small and the viewer happy.
+    """
+    completed = [r for r in records if r.end_wall_ns is not None]
+    origin_ns = min(
+        (r.start_wall_ns for r in completed), default=0
+    )
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "ts": 0,
+            "args": {"name": label},
+        }
+    ]
+    for record in completed:
+        args: Dict[str, Any] = dict(record.attrs)
+        args["path"] = record.path
+        if record.start_sim_ps is not None:
+            args["start_sim_ps"] = record.start_sim_ps
+        if record.sim_ps is not None:
+            args["sim_ps"] = record.sim_ps
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (record.start_wall_ns - origin_ns) / 1_000.0,
+                "dur": record.wall_ns / 1_000.0,
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

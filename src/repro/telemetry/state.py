@@ -1,0 +1,63 @@
+"""Global telemetry switchboard.
+
+Telemetry must be *leave-enabled cheap* and *disabled free*: the hot
+layers (the event kernel, the device burst path) guard every recording
+call with a single attribute read on the module-level :data:`STATE`
+singleton.  When no :class:`~repro.telemetry.session.TelemetrySession`
+is active, ``STATE.active`` is ``False`` and the instrumented code takes
+one predictable branch and does nothing else — no allocation, no dict
+lookup, no wall-clock read.  The determinism tests pin this down: an
+identical-seed campaign produces the same kernel event digest with
+telemetry enabled, disabled, and before this subsystem existed.
+
+This module deliberately imports nothing from the simulation stack so
+any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.spans import SpanTracker
+
+__all__ = ["TelemetryState", "STATE", "telemetry_active"]
+
+
+class TelemetryState:
+    """The process-wide telemetry toggle plus its live sinks.
+
+    ``__slots__`` keeps the ``active`` check a straight slot load — the
+    only cost instrumented code pays when telemetry is off.
+    """
+
+    __slots__ = ("active", "registry", "spans")
+
+    def __init__(self) -> None:
+        self.active: bool = False
+        self.registry: Optional["MetricsRegistry"] = None
+        self.spans: Optional["SpanTracker"] = None
+
+    def activate(
+        self, registry: "MetricsRegistry", spans: "SpanTracker"
+    ) -> None:
+        """Install live sinks and flip the hot-path switch on."""
+        self.registry = registry
+        self.spans = spans
+        self.active = True
+
+    def deactivate(self) -> None:
+        """Flip the switch off and drop the sinks."""
+        self.active = False
+        self.registry = None
+        self.spans = None
+
+
+#: The singleton every instrumentation site reads.
+STATE = TelemetryState()
+
+
+def telemetry_active() -> bool:
+    """True while a telemetry session is running."""
+    return STATE.active

@@ -63,9 +63,37 @@ def test_sim001_flags_datetime_and_perf_counter(tmp_path):
     assert rule_ids(findings) == ["SIM001", "SIM001"]
 
 
-def test_sim001_ignores_wall_clock_outside_sim_packages(tmp_path):
+def test_sim001_covers_the_whole_repro_tree(tmp_path):
+    """Any repro package may run inside a simulated callback, so the
+    wall-clock ban covers everything, not just repro.sim/hw/myrinet."""
     findings = lint_tree(tmp_path, {
         "repro/nftape/report_tool.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+    })
+    assert rule_ids(findings) == ["SIM001"]
+
+
+def test_sim001_allows_the_telemetry_boundary(tmp_path):
+    """repro.telemetry is the sanctioned wall-clock observer (spans,
+    session wall_s); it carries a scoped SIM001 allowance."""
+    findings = lint_tree(tmp_path, {
+        "repro/telemetry/spans_like.py": """\
+            import time
+
+            def now_wall_ns():
+                return time.time_ns()
+            """,
+    })
+    assert findings == []
+
+
+def test_sim001_ignores_code_outside_repro(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "tools/report_tool.py": """\
             import time
 
             def stamp():

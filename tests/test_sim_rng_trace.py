@@ -121,6 +121,38 @@ class TestTraceRecorder:
         recorder.clear()
         assert len(recorder) == 0
 
+    def test_deque_eviction_counts_drops_and_keeps_semantics(self):
+        """Regression: the O(1) deque window must still count drops.
+
+        The bounded buffer moved from list.pop(0) (O(n) per eviction) to
+        a maxlen deque; eviction of old events must keep incrementing
+        ``dropped``, keep only the newest window, and keep folding every
+        event (including dropped ones) into the digest.
+        """
+        recorder = TraceRecorder(max_events=4)
+        for index in range(10):
+            recorder.record(index, "c", "s", f"m{index}")
+        assert len(recorder) == 4
+        assert recorder.dropped == 6
+        assert [e.message for e in recorder.events()] == [
+            "m6", "m7", "m8", "m9",
+        ]
+        # __iter__ still walks oldest -> newest.
+        assert [e.time for e in recorder] == [6, 7, 8, 9]
+        # The digest covers all 10 records, drops included.
+        assert recorder.digested == 10
+        reference = TraceRecorder(max_events=1_000)
+        for index in range(10):
+            reference.record(index, "c", "s", f"m{index}")
+        assert recorder.digest() == reference.digest()
+        # clear() resets the window and the drop counter.
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+        recorder.record(99, "c", "s", "fresh")
+        assert recorder.dropped == 0
+        assert len(recorder) == 1
+
 
 class TestTimebase:
     def test_round_trips(self):

@@ -1,0 +1,193 @@
+"""Exporter tests: Prometheus text format, Chrome trace JSON, JSONL.
+
+The Prometheus checks use a minimal line-format validator rather than a
+client library (the container must stay dependency-free); the Chrome
+trace checks pin down the keys Perfetto / ``chrome://tracing`` require.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry.exporters import (
+    parse_spans_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+    to_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanTracker
+
+# One Prometheus exposition line: name{labels} value
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[0-9eE.+-]+|\+Inf|-Inf|NaN)$"
+)
+_PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _validate_prometheus(text: str) -> dict:
+    """Tiny line-format checker; returns {series_line: value}."""
+    series = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert len(parts) == 4, line
+            assert parts[3] in ("counter", "gauge", "histogram"), line
+            continue
+        match = _PROM_LINE.match(line)
+        assert match, f"malformed exposition line: {line!r}"
+        labels = match.group("labels")
+        if labels:
+            for pair in labels[1:-1].split(","):
+                assert _PROM_LABEL.match(pair), f"bad label pair: {pair!r}"
+        series[match.group("name") + (labels or "")] = match.group("value")
+    return series
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim.events_fired").inc(12345)
+    registry.counter("device.bursts", direction="R").inc(7)
+    registry.counter("device.bursts", direction="L").inc(9)
+    gauge = registry.gauge("device.fifo.depth", direction="R")
+    gauge.set(3)
+    gauge.set(1)
+    histogram = registry.histogram(
+        "device.added_latency_ns", buckets=(100, 250, 500)
+    )
+    for value in (80, 240, 260, 9001):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusExporter:
+    def test_every_line_is_well_formed(self):
+        series = _validate_prometheus(to_prometheus(_sample_registry()))
+        assert series  # non-empty
+
+    def test_counter_gets_total_suffix_and_prefix(self):
+        series = _validate_prometheus(to_prometheus(_sample_registry()))
+        assert series["repro_sim_events_fired_total"] == "12345"
+        assert series['repro_device_bursts_total{direction="R"}'] == "7"
+        assert series['repro_device_bursts_total{direction="L"}'] == "9"
+
+    def test_gauge_current_value(self):
+        series = _validate_prometheus(to_prometheus(_sample_registry()))
+        assert series['repro_device_fifo_depth{direction="R"}'] == "1"
+
+    def test_histogram_expands_cumulative_buckets(self):
+        series = _validate_prometheus(to_prometheus(_sample_registry()))
+        base = "repro_device_added_latency_ns"
+        assert series[base + '_bucket{le="100"}'] == "1"
+        assert series[base + '_bucket{le="250"}'] == "2"
+        assert series[base + '_bucket{le="500"}'] == "3"
+        assert series[base + '_bucket{le="+Inf"}'] == "4"
+        assert series[base + "_count"] == "4"
+        assert float(series[base + "_sum"]) == pytest.approx(
+            80 + 240 + 260 + 9001
+        )
+
+    def test_type_lines_precede_samples(self):
+        text = to_prometheus(_sample_registry())
+        seen_types = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+            elif line:
+                name = line.split("{")[0].split(" ")[0]
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in seen_types or base in seen_types, line
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.labels", note='say "hi"\nback\\slash').inc()
+        text = to_prometheus(registry)
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+        assert "\\\\slash" in text
+        _validate_prometheus(text)
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestChromeTraceExporter:
+    def _records(self):
+        tracker = SpanTracker()
+        with tracker.span("campaign", name="t"):
+            with tracker.span("experiment", run=1):
+                pass
+        return tracker.records
+
+    def test_required_keys_on_every_event(self):
+        document = to_chrome_trace(self._records(), label="unit")
+        assert "traceEvents" in document
+        for event in document["traceEvents"]:
+            for key in ("ph", "ts", "pid", "name"):
+                assert key in event, f"missing {key!r}: {event}"
+
+    def test_complete_events_have_duration_and_tid(self):
+        document = to_chrome_trace(self._records())
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        for event in xs:
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+            assert "tid" in event
+            assert event["args"]["path"].startswith("campaign")
+
+    def test_metadata_event_names_the_process(self):
+        document = to_chrome_trace(self._records(), label="my-campaign")
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "my-campaign"
+
+    def test_timestamps_relative_to_earliest_span(self):
+        document = to_chrome_trace(self._records())
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0
+
+    def test_document_is_json_serializable(self):
+        document = to_chrome_trace(self._records())
+        parsed = json.loads(json.dumps(document))
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_open_spans_are_excluded(self):
+        tracker = SpanTracker()
+        context = tracker.span("never-closed")
+        context.__enter__()
+        document = to_chrome_trace(tracker.records + tracker._stack)
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert "never-closed" not in names
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        tracker = SpanTracker()
+        with tracker.span("campaign", experiments=2):
+            with tracker.span("experiment", name="e0", seed=7):
+                pass
+        text = spans_to_jsonl(tracker.records)
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == 2
+        rebuilt = parse_spans_jsonl(text)
+        assert [r.to_dict() for r in rebuilt] == [
+            r.to_dict() for r in tracker.records
+        ]
+
+    def test_each_line_is_standalone_json(self):
+        tracker = SpanTracker()
+        with tracker.span("a"):
+            pass
+        for line in spans_to_jsonl(tracker.records).splitlines():
+            record = json.loads(line)
+            assert {"span_id", "name", "path", "start_wall_ns"} <= set(record)
+
+    def test_empty_and_blank_lines(self):
+        assert spans_to_jsonl([]) == ""
+        assert parse_spans_jsonl("") == []
+        assert parse_spans_jsonl("\n   \n") == []
