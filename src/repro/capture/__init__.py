@@ -1,0 +1,68 @@
+"""Flight recorder, packet provenance, and failure-analysis decode.
+
+The observability layer the paper's §3.2/§3.4 monitoring story implies:
+
+* :mod:`repro.capture.state` — the global on/off switch the hot-path
+  hooks read (one attribute load when capture is off);
+* :mod:`repro.capture.provenance` — correlation ids, the lifecycle
+  flight recorder, and route-invariant packet fingerprints;
+* :mod:`repro.capture.instrument` — the duck-typed hooks instrumented
+  code calls after checking ``CAPTURE.active``;
+* :mod:`repro.capture.format` — the versioned ``.rcap`` binary capture
+  file (writer + lossless reader);
+* :mod:`repro.capture.session` — the ``with``-block session that owns a
+  recorder and writes the artifact;
+* :mod:`repro.capture.decode` — the offline analyzer that reassembles
+  packets, marks injected symbols, and joins §4.4 verdicts.
+"""
+
+from repro.capture.format import (
+    CaptureFileData,
+    CaptureWriter,
+    read_capture,
+)
+from repro.capture.provenance import (
+    ExperimentCapture,
+    FlightRecorder,
+    LifecycleEvent,
+    Stage,
+    packet_key,
+)
+from repro.capture.session import (
+    CAPTURE_FILE_NAME,
+    CaptureSession,
+    capture_experiment,
+)
+from repro.capture.state import CAPTURE, capture_active
+
+#: Names resolved lazily from :mod:`repro.capture.decode`.  The decode
+#: pipeline imports hostsim/nftape, which transitively import the hot
+#: modules that import *us* — deferring it keeps the graph acyclic.
+_DECODE_EXPORTS = ("CaptureAnalysis", "analyze_capture")
+
+
+def __getattr__(name: str):
+    if name in _DECODE_EXPORTS:
+        from repro.capture import decode
+
+        return getattr(decode, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CAPTURE",
+    "CAPTURE_FILE_NAME",
+    "CaptureAnalysis",
+    "CaptureFileData",
+    "CaptureSession",
+    "CaptureWriter",
+    "ExperimentCapture",
+    "FlightRecorder",
+    "LifecycleEvent",
+    "Stage",
+    "analyze_capture",
+    "capture_active",
+    "capture_experiment",
+    "packet_key",
+    "read_capture",
+]

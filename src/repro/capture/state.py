@@ -1,0 +1,58 @@
+"""Global capture switchboard.
+
+Exactly like :mod:`repro.telemetry.state`, the flight recorder must be
+*disabled free*: every provenance hook in the hot layers (host transmit,
+switch forwarding, device transit, injector firing) guards its recording
+call with a single attribute read on the module-level :data:`CAPTURE`
+singleton.  With no :class:`~repro.capture.session.CaptureSession`
+active, ``CAPTURE.active`` is ``False`` and the instrumented code takes
+one predictable branch and does nothing else — no allocation, no dict
+lookup, no id assignment.  The capture determinism tests pin this down
+against the same pre-telemetry golden kernel digests the telemetry
+subsystem is held to.
+
+This module imports nothing from the simulation stack so any layer may
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.capture.provenance import FlightRecorder
+
+__all__ = ["CaptureState", "CAPTURE", "capture_active"]
+
+
+class CaptureState:
+    """The process-wide capture toggle plus its live flight recorder.
+
+    ``__slots__`` keeps the ``active`` check a straight slot load — the
+    only cost instrumented code pays when capture is off.
+    """
+
+    __slots__ = ("active", "recorder")
+
+    def __init__(self) -> None:
+        self.active: bool = False
+        self.recorder: Optional["FlightRecorder"] = None
+
+    def activate(self, recorder: "FlightRecorder") -> None:
+        """Install the live recorder and flip the hot-path switch on."""
+        self.recorder = recorder
+        self.active = True
+
+    def deactivate(self) -> None:
+        """Flip the switch off and drop the recorder."""
+        self.active = False
+        self.recorder = None
+
+
+#: The singleton every provenance hook reads.
+CAPTURE = CaptureState()
+
+
+def capture_active() -> bool:
+    """True while a capture session is running."""
+    return CAPTURE.active

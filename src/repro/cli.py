@@ -7,6 +7,9 @@
     python -m repro run all --scale 0.5 --out report.md
     python -m repro run sec434 --telemetry-dir out/
     python -m repro campaign --experiments 4 --telemetry-dir out/
+    python -m repro campaign --capture-dir out/cap
+    python -m repro capture decode --input out/cap
+    python -m repro capture summarize --input out/cap
     python -m repro metrics --input out/metrics.json --format prom
     python -m repro synthesis
     python -m repro lint          # simlint static analysis (CI gate)
@@ -119,6 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a combined report (.md or .txt)")
     run.add_argument("--telemetry-dir", default=None,
                      help="write metrics.json/spans.jsonl/trace.json here")
+    run.add_argument("--capture-dir", default=None,
+                     help="record packet provenance; write capture.rcap here")
 
     campaign = sub.add_parser(
         "campaign",
@@ -132,8 +137,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="base campaign seed (default 0)")
     campaign.add_argument("--telemetry-dir", default=None,
                           help="write metrics.json/spans.jsonl/trace.json here")
+    campaign.add_argument("--capture-dir", default=None,
+                          help="enable SDRAM capture + packet provenance; "
+                               "write capture.rcap here")
     campaign.add_argument("--no-progress", action="store_true",
                           help="suppress the live progress line")
+
+    capture = sub.add_parser(
+        "capture",
+        help="decode or summarize a capture.rcap artifact offline",
+    )
+    capture_sub = capture.add_subparsers(dest="capture_command")
+    decode = capture_sub.add_parser(
+        "decode",
+        help="reassemble packets, mark injected symbols, join verdicts",
+    )
+    decode.add_argument("--input", default="out/cap",
+                        help="a capture.rcap file or its directory")
+    decode.add_argument("--json", dest="json_out", default=None,
+                        help="also write the full analysis tree as JSON")
+    decode.add_argument("--out", default=None,
+                        help="write the report (.md or .txt)")
+    summarize = capture_sub.add_parser(
+        "summarize",
+        help="print record counts and experiment markers without decoding",
+    )
+    summarize.add_argument("--input", default="out/cap",
+                           help="a capture.rcap file or its directory")
 
     metrics = sub.add_parser(
         "metrics",
@@ -224,9 +254,15 @@ def _run_campaign(args) -> int:
     The campaign cycles through control-symbol corruption pairs with a
     duty-cycled trigger; with ``--telemetry-dir`` the run drops
     ``metrics.json``, ``spans.jsonl``, and a Perfetto-loadable
-    ``trace.json``.
+    ``trace.json``; with ``--capture-dir`` it enables the device's SDRAM
+    monitors and the provenance flight recorder, dropping a binary
+    ``capture.rcap`` that ``python -m repro capture decode`` analyzes.
     """
+    from contextlib import nullcontext
+
+    from repro.capture import CaptureSession
     from repro.core.faults import control_symbol_swap
+    from repro.core.monitor import MonitorConfig
     from repro.hw.registers import MatchMode
     from repro.myrinet.symbols import GAP, GO, IDLE, STOP
     from repro.nftape.campaign import Campaign
@@ -246,6 +282,14 @@ def _run_campaign(args) -> int:
         def progress(message: str) -> None:
             print(f"\r{message:<60}", end="", file=sys.stderr, flush=True)
 
+    device_kwargs = {}
+    if args.capture_dir:
+        # The campaign's ~96-byte wire packets must fit in the windows
+        # for the offline decoder to reassemble them whole.
+        device_kwargs["monitor_config"] = MonitorConfig(
+            enabled=True, pre_symbols=128, post_symbols=128
+        )
+
     campaign = Campaign("cli control-symbol campaign", on_progress=progress)
     for index in range(max(1, args.experiments)):
         source, target = pairs[index % len(pairs)]
@@ -261,12 +305,20 @@ def _run_campaign(args) -> int:
             f"{source}->{target}",
             duration_ps=duration_ps,
             plan=plan,
-            testbed_options=TestbedOptions(seed=args.seed + index),
+            testbed_options=TestbedOptions(
+                seed=args.seed + index,
+                device_kwargs=dict(device_kwargs),
+            ),
         ))
 
     session = TelemetrySession(out_dir=args.telemetry_dir, label=campaign.name)
+    capture = (
+        CaptureSession(out_dir=args.capture_dir, label=campaign.name)
+        if args.capture_dir else nullcontext()
+    )
     with session:
-        table = campaign.run()
+        with capture:
+            table = campaign.run()
     if progress is not None:
         print(file=sys.stderr)
     print(table.render())
@@ -279,6 +331,74 @@ def _run_campaign(args) -> int:
     if args.telemetry_dir:
         print(f"telemetry artifacts written to {args.telemetry_dir}/"
               f" (metrics.json, spans.jsonl, trace.json)")
+    if args.capture_dir:
+        recorder = capture.recorder
+        print(
+            f"capture: {len(recorder.events)} lifecycle events, "
+            f"{recorder.corr_ids_assigned} correlation ids, "
+            f"{len(recorder.experiments)} experiment(s) -> {capture.path}"
+        )
+    return 0
+
+
+def _run_capture(args) -> int:
+    """``capture decode|summarize``: offline ``.rcap`` analysis."""
+    import json
+    from pathlib import Path
+
+    from repro.capture.format import read_capture
+    from repro.capture.session import CAPTURE_FILE_NAME
+
+    path = Path(args.input)
+    if path.is_dir():
+        path = path / CAPTURE_FILE_NAME
+    if not path.exists():
+        print(
+            f"no capture artifact at {path} (run a campaign with "
+            "--capture-dir first)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.capture_command == "summarize":
+        data = read_capture(path)
+        meta = data.meta
+        print(f"capture file: {path}")
+        print(f"label: {meta.get('label', '?')}")
+        print(
+            f"records: {len(data.captures)} capture windows, "
+            f"{len(data.events)} lifecycle events, "
+            f"{len(data.experiments)} experiment markers"
+            + (
+                f", {data.unknown_records_skipped} unknown records skipped"
+                if data.unknown_records_skipped else ""
+            )
+        )
+        print(f"events dropped at record time: {meta.get('events_dropped', 0)}")
+        for marker in data.experiments:
+            print(
+                f"  [{marker.get('index')}] {marker.get('name')} "
+                f"seed={marker.get('seed')} class={marker.get('fault_class')} "
+                f"injections={marker.get('injections')} "
+                f"captures={marker.get('captures')} "
+                f"span={marker.get('span_id')}"
+            )
+        return 0
+
+    from repro.capture.decode import analyze_capture
+
+    analysis = analyze_capture(path)
+    print(analysis.report().render_text())
+    if args.json_out:
+        target = Path(args.json_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(analysis.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"analysis JSON written to {target}")
+    if args.out:
+        target = analysis.report().write(args.out)
+        print(f"report written to {target}")
     return 0
 
 
@@ -341,6 +461,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "metrics":
         return _run_metrics(args)
 
+    if args.command == "capture":
+        if args.capture_command is None:
+            parser.parse_args(["capture", "--help"])
+            return 2
+        return _run_capture(args)
+
     names = list(args.experiments)
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -354,6 +480,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = CampaignReport("DSN 2002 reproduction — experiment report")
     from contextlib import nullcontext
 
+    from repro.capture import CaptureSession
     from repro.telemetry import TelemetrySession
     from repro.telemetry.spans import span
 
@@ -361,21 +488,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         TelemetrySession(out_dir=args.telemetry_dir, label="repro run")
         if args.telemetry_dir else nullcontext()
     )
+    capture = (
+        CaptureSession(out_dir=args.capture_dir, label="repro run")
+        if args.capture_dir else nullcontext()
+    )
     with telemetry:
-        for name in names:
-            description, runner = EXPERIMENTS[name]
-            print(f"== {name}: {description}")
-            with span("paper-experiment", name=name):
-                tables, notes = runner(args.scale)
-            for table in tables:
-                print(table.render())
-                report.add_table(table)
-            for note in notes:
-                print(note)
-                report.add_note(note)
-            print()
+        with capture:
+            for name in names:
+                description, runner = EXPERIMENTS[name]
+                print(f"== {name}: {description}")
+                with span("paper-experiment", name=name):
+                    tables, notes = runner(args.scale)
+                for table in tables:
+                    print(table.render())
+                    report.add_table(table)
+                for note in notes:
+                    print(note)
+                    report.add_note(note)
+                print()
     if args.telemetry_dir:
         print(f"telemetry artifacts written to {args.telemetry_dir}/")
+    if args.capture_dir:
+        recorder = capture.recorder
+        print(
+            f"capture: {len(recorder.events)} lifecycle events, "
+            f"{recorder.corr_ids_assigned} correlation ids -> {capture.path}"
+        )
     if args.out:
         target = report.write(args.out)
         print(f"report written to {target}")

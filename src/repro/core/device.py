@@ -40,6 +40,8 @@ from repro.core.stats import StatisticsGatherer
 from repro.myrinet.link import Channel, Link
 from repro.myrinet.symbols import Symbol
 from repro.sim.kernel import Simulator
+from repro.capture import instrument as _capture
+from repro.capture.state import CAPTURE as _CAPTURE
 from repro.telemetry import instrument as _telemetry
 from repro.telemetry.state import STATE as _TELEMETRY_STATE
 
@@ -101,9 +103,8 @@ class FaultInjectorDevice:
             for d in DIRECTIONS
         }
         for direction in DIRECTIONS:
-            monitor = self._monitors[direction]
             self._injectors[direction].on_injection(
-                lambda event, m=monitor: m.on_injection(self._sim.now, event)
+                lambda event, d=direction: self._on_injection_event(d, event)
             )
 
         self.phy_left = PhyTransceiver(f"{name}:phy-left", medium,
@@ -215,6 +216,12 @@ class FaultInjectorDevice:
     # data path
     # ------------------------------------------------------------------
 
+    def _on_injection_event(self, direction: str, event) -> None:
+        """Injector firing: open the monitor capture, log provenance."""
+        self._monitors[direction].on_injection(self._sim.now, event)
+        if _CAPTURE.active:
+            _capture.injection(self._sim.now, self.name, direction, event)
+
     def on_burst(self, burst: List[Symbol], channel: Channel) -> None:
         """Intercept a burst from one segment, retransmit on the other."""
         direction = self._channel_direction.get(id(channel))
@@ -253,6 +260,10 @@ class FaultInjectorDevice:
         # the paper's ~250 ns pipeline claim.
         if _TELEMETRY_STATE.active:
             _telemetry.device_burst(self, direction, len(burst), len(output))
+        if _CAPTURE.active:
+            _capture.device_transit(
+                self._sim.now, self.name, direction, len(burst), len(output)
+            )
         if output:
             latency = self.pipeline_latency_ps
             self._sim.schedule(

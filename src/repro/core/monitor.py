@@ -18,6 +18,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
+from repro.capture import instrument as _capture
+from repro.capture.state import CAPTURE as _CAPTURE
 from repro.hw.injector import InjectionEvent
 from repro.hw.sdram import SdramBuffer
 from repro.myrinet.symbols import Symbol
@@ -111,8 +113,11 @@ class InjectionMonitor:
         self._open = []
 
     def _finish(self, record: CaptureRecord) -> None:
-        if self._sdram.store(record.time_ps, record, record.size_bytes):
+        stored = self._sdram.store(record.time_ps, record, record.size_bytes)
+        if stored:
             self.captures_taken += 1
+        if _CAPTURE.active:
+            _capture.capture_window(record, stored)
 
     def captures(self) -> List[CaptureRecord]:
         """All completed captures for this direction."""

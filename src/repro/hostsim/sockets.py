@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Dict, Optional
 
+from repro.capture import instrument as _capture
+from repro.capture.state import CAPTURE as _CAPTURE
 from repro.errors import ChecksumError, ProtocolError
 from repro.hostsim.ip import HEADER_LEN as IP_HEADER_LEN
 from repro.hostsim.ip import IpAddress, IpLiteHeader, PROTO_UDP
@@ -165,6 +167,10 @@ class HostStack:
             # "When the corruption did not satisfy the checksum, the
             # packets were dropped." (paper §4.3.4)
             self.checksum_drops += 1
+            if _CAPTURE.active:
+                _capture.udp_checksum_drop(
+                    self._sim.now, self.interface.name, len(raw_udp)
+                )
             return
         except ProtocolError:
             self.parse_drops += 1
@@ -174,4 +180,11 @@ class HostStack:
             self.unbound_drops += 1
             return
         self.udp_delivered += 1
+        if _CAPTURE.active:
+            _capture.udp_deliver(
+                self._sim.now,
+                self.interface.name,
+                datagram.dst_port,
+                len(datagram.payload),
+            )
         handler(src_mac, ip.src, datagram.src_port, datagram.payload)

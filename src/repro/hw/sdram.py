@@ -13,7 +13,7 @@ dropped and counted, as are writes beyond capacity.  Monitoring captures
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -44,12 +44,33 @@ class SdramBuffer:
         self._records: List[Tuple[int, Any]] = []
         self._bytes_used = 0
         self._write_frontier_ps = 0
+        self.records_stored = 0
         self.records_dropped_capacity = 0
         self.records_dropped_bandwidth = 0
+        self.bytes_dropped = 0
+        self.peak_backlog_ps = 0
+        self._last_backlog_ps = 0
 
     @property
     def bytes_used(self) -> int:
         return self._bytes_used
+
+    @property
+    def backlog_ps(self) -> int:
+        """How far the write queue currently lags the last stored record."""
+        return self._last_backlog_ps
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Capture-loss visibility: stores, drops, sheds, backlog."""
+        return {
+            "records_stored": self.records_stored,
+            "records_dropped_capacity": self.records_dropped_capacity,
+            "records_dropped_bandwidth": self.records_dropped_bandwidth,
+            "bytes_used": self._bytes_used,
+            "bytes_dropped": self.bytes_dropped,
+            "peak_backlog_ps": self.peak_backlog_ps,
+        }
 
     @property
     def records(self) -> List[Tuple[int, Any]]:
@@ -64,23 +85,35 @@ class SdramBuffer:
         """
         if self._bytes_used + size_bytes > self.capacity_bytes:
             self.records_dropped_capacity += 1
+            self.bytes_dropped += size_bytes
             return False
         write_duration = (size_bytes * _PS_PER_SECOND) // self.bandwidth_bytes_per_s
         start = max(time_ps, self._write_frontier_ps)
-        if start - time_ps > self.MAX_BACKLOG_PS:
+        backlog = start - time_ps
+        if backlog > self.peak_backlog_ps:
+            self.peak_backlog_ps = backlog
+        if backlog > self.MAX_BACKLOG_PS:
             # The write queue has fallen hopelessly behind the stream.
             self.records_dropped_bandwidth += 1
+            self.bytes_dropped += size_bytes
             return False
+        self._last_backlog_ps = backlog
         self._write_frontier_ps = start + write_duration
         self._bytes_used += size_bytes
         self._records.append((time_ps, record))
+        self.records_stored += 1
         return True
 
     def clear(self) -> None:
-        """Erase the memory (campaign reset)."""
+        """Erase the memory (campaign reset).
+
+        Drop/shed counters survive a clear — they are campaign-level
+        loss evidence, not buffer contents.
+        """
         self._records.clear()
         self._bytes_used = 0
         self._write_frontier_ps = 0
+        self._last_backlog_ps = 0
 
     def __len__(self) -> int:
         return len(self._records)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.capture import instrument as _capture
+from repro.capture.state import CAPTURE as _CAPTURE
 from repro.errors import ConfigurationError, CrcError, ProtocolError
 from repro.myrinet.addresses import MacAddress, McpAddress
 from repro.myrinet.flow import LONG_TIMEOUT_PERIODS, PortFlowControl, long_timeout_ps
@@ -180,6 +182,10 @@ class HostInterface:
             self.tx_queue_rejects += 1
             return False
         self._tx_queue.append((packet.to_bytes(), self._sim.now))
+        if _CAPTURE.active:
+            # Correlation id assigned at transmit-queue entry; the
+            # fingerprint lets the far end recognise this packet again.
+            _capture.host_send(self._sim.now, self.name, packet)
         self._schedule_pump()
         return True
 
@@ -292,19 +298,35 @@ class HostInterface:
             # Source route not exhausted: "consumed and handled as an
             # error" (paper §4.3.2).
             self.consume_errors += 1
+            if _CAPTURE.active:
+                _capture.host_frame_drop(
+                    self._sim.now, self.name, "consume_error", len(frame)
+                )
             return
         try:
             packet = MyrinetPacket.from_bytes(frame, route_len=0)
         except CrcError:
             self.crc_errors += 1
+            if _CAPTURE.active:
+                # No fingerprint survives a CRC failure — the drop is
+                # deliberately provenance-less.
+                _capture.host_frame_drop(
+                    self._sim.now, self.name, "crc_error", len(frame)
+                )
             return
         except ProtocolError:
             self.truncated_frames += 1
+            if _CAPTURE.active:
+                _capture.host_frame_drop(
+                    self._sim.now, self.name, "truncated", len(frame)
+                )
             return
         self._dispatch(packet)
 
     def _dispatch(self, packet: MyrinetPacket) -> None:
         if packet.packet_type == PACKET_TYPE_MAPPING:
+            if _CAPTURE.active:
+                _capture.packet_deliver(self._sim.now, self.name, packet)
             if self._mapping_handler is not None:
                 self._mapping_handler(packet.payload)
             return
@@ -312,9 +334,17 @@ class HostInterface:
             # Unrecognized packet type: dropped; internal structures such
             # as the routing table are unaffected (paper §4.3.2).
             self.unknown_type_drops += 1
+            if _CAPTURE.active:
+                _capture.packet_drop(
+                    self._sim.now, self.name, "unknown_type", packet
+                )
             return
         if len(packet.payload) < DATA_HEADER_LEN:
             self.truncated_frames += 1
+            if _CAPTURE.active:
+                _capture.packet_drop(
+                    self._sim.now, self.name, "truncated_payload", packet
+                )
             return
         dest = MacAddress.from_bytes(packet.payload[:6])
         src = MacAddress.from_bytes(packet.payload[6:12])
@@ -322,8 +352,14 @@ class HostInterface:
             # "the node drops incoming packets that are misaddressed"
             # (paper §4.3.3).
             self.misaddressed_drops += 1
+            if _CAPTURE.active:
+                _capture.packet_drop(
+                    self._sim.now, self.name, "misaddressed", packet
+                )
             return
         self.packets_received += 1
+        if _CAPTURE.active:
+            _capture.packet_deliver(self._sim.now, self.name, packet)
         if self._data_handler is not None:
             self._data_handler(src, packet.payload[DATA_HEADER_LEN:])
 

@@ -17,7 +17,7 @@ paper (see DESIGN.md, substitution table).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, RoutingError
@@ -64,6 +64,26 @@ class NetworkMap:
             if entry.mac == mac:
                 return entry
         return None
+
+    def clone(self) -> "NetworkMap":
+        """An isolated copy: mutating the clone (or the original) never
+        affects the other.
+
+        ``copy.deepcopy`` cannot be used here because the address types
+        are immutable (``__setattr__`` raises), so the mutable shells —
+        the map itself, its ``entries`` dict, and each :class:`MapEntry`
+        — are rebuilt while the immutable leaves (addresses, route
+        tuples) are shared.
+        """
+        return NetworkMap(
+            round_index=self.round_index,
+            completed_at=self.completed_at,
+            entries={
+                position: replace(entry)
+                for position, entry in self.entries.items()
+            },
+            conflict=self.conflict,
+        )
 
     def consistent_with(self, other: "NetworkMap") -> bool:
         """True if both maps agree on positions, addresses, and routes."""

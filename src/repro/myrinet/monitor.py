@@ -41,13 +41,21 @@ class Mmon:
         self._network = network
 
     def snapshot(self) -> NetworkSnapshot:
-        """Capture counters, routing tables, and the current map."""
+        """Capture counters, routing tables, and the current map.
+
+        The snapshot owns every structure it returns: counter dicts are
+        copied and the network map is cloned, so neither advancing
+        the simulation nor mutating the snapshot can make the two views
+        bleed into each other.  (Historically ``network_map`` aliased
+        the MCP's live ``current_map`` object — a consumer clearing its
+        entries would silently corrupt the mapper's history.)
+        """
         host_stats = {
-            name: host.interface.stats
+            name: dict(host.interface.stats)
             for name, host in self._network.hosts.items()
         }
         switch_stats = {
-            name: switch.stats
+            name: dict(switch.stats)
             for name, switch in self._network.switches.items()
         }
         routing_tables = {}
@@ -57,12 +65,13 @@ class Mmon:
                 for mac, route in host.interface.routing_table.items()
             }
         mapper = self._network.mapper()
+        live_map = mapper.mcp.current_map
         return NetworkSnapshot(
             time_ps=self._network.sim.now,
             host_stats=host_stats,
             switch_stats=switch_stats,
             routing_tables=routing_tables,
-            network_map=mapper.mcp.current_map,
+            network_map=live_map.clone() if live_map is not None else None,
         )
 
     def all_nodes_in_network(self) -> bool:

@@ -30,6 +30,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from repro.capture import instrument as _capture
+from repro.capture.state import CAPTURE as _CAPTURE
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Event, Simulator
 from repro.myrinet.crc8 import _TABLE as _FULL_CRC_TABLE
@@ -363,6 +365,10 @@ class MyrinetSwitch:
             output.outbox.append(GAP)
             touched.add(out)
             state.frames_forwarded += 1
+            if _CAPTURE.active:
+                # Cut-through: the switch never holds a whole packet, so
+                # the hop event is frame-scoped (ports), not corr-scoped.
+                _capture.switch_hop(self._sim.now, self.name, i, out)
             state.held = None
             # The path stays claimed until the tail drains onto the wire
             # (wormhole semantics); new arrivals buffer meanwhile.

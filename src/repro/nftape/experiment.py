@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.capture.session import capture_experiment as _capture_experiment
+from repro.capture.state import CAPTURE as _CAPTURE
 from repro.core.device import FaultInjectorDevice
 from repro.core.session import InjectorSession
 from repro.errors import CampaignError
@@ -187,6 +189,12 @@ class Experiment:
             with span("drain", sim=testbed.sim):
                 testbed.sim.run_for(self.drain_ps)
             result = self._collect(testbed, workload)
+            if _CAPTURE.active:
+                # Still inside the experiment span: the marker records
+                # this experiment's span id, SDRAM windows, and verdict.
+                _capture_experiment(
+                    testbed, result, seed=self.testbed_options.seed
+                )
             if _TELEMETRY_STATE.active:
                 self._publish_telemetry(testbed, result)
             return result

@@ -183,6 +183,25 @@ def sample_device(
     registry.gauge("device.pipeline_latency_ns", device=device.name).set(
         device.pipeline_latency_ps / 1_000.0
     )
+    sdram = getattr(device, "sdram", None)
+    if sdram is not None:
+        # Capture loss must be visible, not silent: stores, drops by
+        # cause, shed bytes, and the worst write-queue backlog seen.
+        stats = sdram.stats
+        bridge("sdram.records_stored", stats["records_stored"],
+               device=device.name)
+        bridge("sdram.records_dropped_capacity",
+               stats["records_dropped_capacity"], device=device.name)
+        bridge("sdram.records_dropped_bandwidth",
+               stats["records_dropped_bandwidth"], device=device.name)
+        bridge("sdram.bytes_dropped", stats["bytes_dropped"],
+               device=device.name)
+        registry.gauge("sdram.bytes_used", device=device.name).set(
+            stats["bytes_used"]
+        )
+        registry.gauge("sdram.peak_backlog_ps", device=device.name).set(
+            stats["peak_backlog_ps"]
+        )
 
 
 def publish_direction_stats(

@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.telemetry.state import STATE
 
-__all__ = ["SpanRecord", "SpanTracker", "span", "NOOP_SPAN"]
+__all__ = ["SpanRecord", "SpanTracker", "span", "current_span_id", "NOOP_SPAN"]
 
 
 @dataclass
@@ -181,6 +181,10 @@ class SpanTracker:
         """Completed spans with the given name."""
         return [r for r in self.records if r.name == name]
 
+    def current(self) -> Optional[SpanRecord]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
 
 def span(name: str, /, sim: Any = None, **attrs: Any):
     """Open a span on the active session's tracker, or a no-op.
@@ -191,3 +195,17 @@ def span(name: str, /, sim: Any = None, **attrs: Any):
     if not STATE.active or STATE.spans is None:
         return NOOP_SPAN
     return STATE.spans.span(name, sim=sim, **attrs)
+
+
+def current_span_id() -> Optional[int]:
+    """Span id of the innermost open span, or None.
+
+    Used by the capture subsystem to stamp experiment markers with the
+    ``experiment`` span they ran under, joining ``capture.rcap`` records
+    to ``spans.jsonl`` offline.  Costs one attribute read when telemetry
+    is off.
+    """
+    if not STATE.active or STATE.spans is None:
+        return None
+    record = STATE.spans.current()
+    return None if record is None else record.span_id

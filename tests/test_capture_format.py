@@ -1,0 +1,146 @@
+"""Round-trip tests for the versioned binary ``.rcap`` format."""
+
+import io
+import struct
+
+import pytest
+
+from repro.capture.format import (
+    MAGIC,
+    VERSION,
+    CaptureWriter,
+    pack_symbol,
+    read_capture,
+    unpack_symbol,
+)
+from repro.capture.provenance import LifecycleEvent
+from repro.core.monitor import CaptureRecord
+from repro.errors import ConfigurationError
+from repro.hw.injector import InjectionEvent
+from repro.myrinet.symbols import GAP, GO, IDLE, STOP, data_symbols
+
+
+def _event(**overrides):
+    fields = dict(
+        segment_index=42, window_before=0x11223344, ctl_before=0xF,
+        window_after=0x11FF3344, ctl_after=0xD, lanes_rewritten=2,
+        lanes_unreachable=1, forced=True,
+    )
+    fields.update(overrides)
+    return InjectionEvent(**fields)
+
+
+def _capture_record():
+    return CaptureRecord(
+        time_ps=123_456_789, direction="R", event=_event(),
+        before=[GAP] + data_symbols(b"pre"),
+        after=data_symbols(b"post") + [STOP, GO],
+    )
+
+
+class TestSymbolPacking:
+    def test_nine_bit_flag_survives(self):
+        """0x0C as *data* and GAP (control 0x0C) must stay distinct."""
+        data_0c = data_symbols(bytes([0x0C]))[0]
+        assert pack_symbol(data_0c) != pack_symbol(GAP)
+        assert unpack_symbol(pack_symbol(data_0c)) == data_0c
+        assert unpack_symbol(pack_symbol(GAP)) == GAP
+
+    def test_all_values_round_trip(self):
+        for value in (0, 1, 0x7F, 0xFF):
+            for symbol in (data_symbols(bytes([value]))[0],):
+                assert unpack_symbol(pack_symbol(symbol)) == symbol
+        for control in (GAP, IDLE, STOP, GO):
+            assert unpack_symbol(pack_symbol(control)) == control
+
+
+class TestRoundTrip:
+    def test_full_file_round_trip(self, tmp_path):
+        record = _capture_record()
+        event = LifecycleEvent(
+            time_ps=999, stage="host_send", node="pc", direction="tx",
+            corr_id=17, seq=3, experiment_index=1,
+            attrs={"packet_type": 4, "wire_length": 96},
+        )
+        anonymous = LifecycleEvent(
+            time_ps=1000, stage="drop", node="sparc1", corr_id=None,
+        )
+        marker = {"index": 1, "name": "GAP->IDLE", "seed": 9,
+                  "fault_class": "passive", "span_id": 7,
+                  "injections": 5, "captures": 1}
+
+        path = tmp_path / "capture.rcap"
+        with CaptureWriter(path, meta={"label": "round-trip"}) as writer:
+            writer.write_experiment(marker)
+            writer.write_capture(1, record)
+            writer.write_event(event)
+            writer.write_event(anonymous)
+        assert writer.records_written == 4
+
+        data = read_capture(path)
+        assert data.meta["label"] == "round-trip"
+        assert data.meta["format"] == "rcap"
+        assert data.experiments == [marker]
+        assert data.experiment_meta(1) == marker
+
+        [window] = data.captures
+        assert window.experiment_index == 1
+        assert window.time_ps == record.time_ps
+        assert window.direction == "R"
+        assert window.segment_index == 42
+        assert window.window_before == 0x11223344
+        assert window.window_after == 0x11FF3344
+        assert window.ctl_before == 0xF
+        assert window.ctl_after == 0xD
+        assert window.lanes_rewritten == 2
+        assert window.lanes_unreachable == 1
+        assert window.forced is True
+        assert window.changed is True
+        assert window.before == record.before
+        assert window.after == record.after
+        assert window.symbols == record.before + record.after
+
+        assert data.events == [event, anonymous]
+        assert data.events[1].corr_id is None
+        assert data.captures_for(1) == [window]
+        assert data.events_for(1) == [event]
+
+    def test_bytes_and_stream_sources(self, tmp_path):
+        buffer = io.BytesIO()
+        with CaptureWriter(buffer, meta={"label": "buf"}) as writer:
+            writer.write_experiment({"index": 0, "name": "x"})
+        raw = buffer.getvalue()
+        assert raw.startswith(MAGIC)
+        assert read_capture(raw).meta["label"] == "buf"
+        assert read_capture(io.BytesIO(raw)).meta["label"] == "buf"
+
+    def test_unknown_record_types_are_skipped(self):
+        buffer = io.BytesIO()
+        with CaptureWriter(buffer, meta={}) as writer:
+            writer.write_experiment({"index": 0, "name": "x"})
+            # A future record type the v1 reader has never heard of.
+            writer._write_record(250, b"mystery-bytes")
+            writer.write_event(
+                LifecycleEvent(time_ps=1, stage="drop", node="pc")
+            )
+        data = read_capture(buffer.getvalue())
+        assert data.unknown_records_skipped == 1
+        assert len(data.experiments) == 1
+        assert len(data.events) == 1
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            read_capture(b"NOTACAPTURE")
+
+    def test_future_version_rejected(self):
+        blob = MAGIC + struct.pack("<HI", VERSION + 1, 2) + b"{}"
+        with pytest.raises(ConfigurationError):
+            read_capture(blob)
+
+    def test_truncated_file_rejected(self):
+        buffer = io.BytesIO()
+        with CaptureWriter(buffer, meta={}) as writer:
+            writer.write_capture(0, _capture_record())
+        raw = buffer.getvalue()
+        with pytest.raises(ConfigurationError):
+            read_capture(raw[:-3])

@@ -1,0 +1,110 @@
+"""Unit tests for correlation ids and the lifecycle flight recorder."""
+
+from repro.capture.provenance import (
+    ExperimentCapture,
+    FlightRecorder,
+    Stage,
+    packet_key,
+)
+
+
+class TestPacketKey:
+    def test_route_invariance(self):
+        """The fingerprint ignores everything switches rewrite."""
+        # Same type+payload -> same key, regardless of who computes it.
+        assert packet_key(0x0004, b"hello") == packet_key(0x0004, b"hello")
+
+    def test_corruption_breaks_the_match(self):
+        assert packet_key(0x0004, b"hello") != packet_key(0x0004, b"hellp")
+        assert packet_key(0x0004, b"hello") != packet_key(0x0005, b"hello")
+
+    def test_key_is_compact_hex(self):
+        key = packet_key(0x0004, b"payload")
+        assert len(key) == 16
+        int(key, 16)  # hex-parseable
+
+
+class TestFlightRecorder:
+    def test_corr_ids_are_monotone(self):
+        recorder = FlightRecorder()
+        assert [recorder.next_corr_id() for _ in range(3)] == [0, 1, 2]
+        assert recorder.corr_ids_assigned == 3
+
+    def test_key_registry_round_trip(self):
+        recorder = FlightRecorder()
+        recorder.register_key("k1", 7)
+        assert recorder.lookup_key("k1") == 7
+        assert recorder.lookup_key("nope") is None
+
+    def test_key_registry_is_bounded(self):
+        recorder = FlightRecorder(key_limit=2)
+        recorder.register_key("a", 0)
+        recorder.register_key("b", 1)
+        recorder.register_key("c", 2)  # evicts the oldest ("a")
+        assert recorder.lookup_key("a") is None
+        assert recorder.lookup_key("b") == 1
+        assert recorder.lookup_key("c") == 2
+
+    def test_retransmission_tracks_newest(self):
+        recorder = FlightRecorder(key_limit=2)
+        recorder.register_key("a", 0)
+        recorder.register_key("b", 1)
+        recorder.register_key("a", 5)  # refresh, not insert
+        recorder.register_key("c", 2)  # evicts "b", the actual oldest
+        assert recorder.lookup_key("a") == 5
+        assert recorder.lookup_key("b") is None
+
+    def test_ring_buffer_bounded_with_eviction_count(self):
+        recorder = FlightRecorder(max_events=3)
+        for t in range(5):
+            recorder.record(t, Stage.HOST_SEND, "pc", "tx")
+        assert len(recorder.events) == 3
+        assert recorder.events_dropped == 2
+        # The survivors are the newest, and their per-lane sequence
+        # numbers survive eviction.
+        assert [e.time_ps for e in recorder.events] == [2, 3, 4]
+        assert [e.seq for e in recorder.events] == [2, 3, 4]
+
+    def test_sequence_numbers_are_per_node_and_direction(self):
+        recorder = FlightRecorder()
+        recorder.record(0, Stage.HOST_SEND, "pc", "tx")
+        recorder.record(1, Stage.HOST_SEND, "pc", "tx")
+        recorder.record(2, Stage.HOST_SEND, "sparc1", "tx")
+        recorder.record(3, Stage.DEVICE_TRANSIT, "pc", "rx")
+        seqs = [(e.node, e.direction, e.seq) for e in recorder.events]
+        assert seqs == [
+            ("pc", "tx", 0), ("pc", "tx", 1),
+            ("sparc1", "tx", 0), ("pc", "rx", 0),
+        ]
+
+    def test_events_scoped_to_current_experiment(self):
+        recorder = FlightRecorder()
+        recorder.record(0, Stage.HOST_SEND, "pc")
+        recorder.finish_experiment(ExperimentCapture(index=0, name="first"))
+        recorder.record(1, Stage.HOST_SEND, "pc")
+        indices = [e.experiment_index for e in recorder.events]
+        assert indices == [0, 1]
+        assert recorder.experiments[0].index == 0
+        assert recorder.current_experiment_index == 1
+
+    def test_events_for_and_stage_counts(self):
+        recorder = FlightRecorder()
+        recorder.record(0, Stage.HOST_SEND, "pc", corr_id=4)
+        recorder.record(1, Stage.SWITCH_HOP, "switch")
+        recorder.record(2, Stage.DELIVER, "sparc1", corr_id=4)
+        assert [e.stage for e in recorder.events_for(4)] == [
+            Stage.HOST_SEND, Stage.DELIVER,
+        ]
+        assert recorder.stage_counts() == {
+            Stage.HOST_SEND: 1, Stage.SWITCH_HOP: 1, Stage.DELIVER: 1,
+        }
+
+    def test_event_dict_round_trip(self):
+        from repro.capture.provenance import LifecycleEvent
+
+        recorder = FlightRecorder()
+        event = recorder.record(
+            12, Stage.INJECT, "injector", "R", corr_id=3, lanes=2
+        )
+        clone = LifecycleEvent.from_dict(event.to_dict())
+        assert clone == event

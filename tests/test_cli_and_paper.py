@@ -44,6 +44,45 @@ class TestCli:
         assert args.experiments == ["all"]
         assert args.scale == 0.5
 
+    def test_capture_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--capture-dir", "out/cap", "--no-progress"]
+        )
+        assert args.capture_dir == "out/cap"
+        args = parser.parse_args(["capture", "decode", "--input", "x"])
+        assert args.capture_command == "decode"
+        assert args.input == "x"
+
+    def test_capture_missing_artifact_fails(self, tmp_path, capsys):
+        assert main(
+            ["capture", "summarize", "--input", str(tmp_path)]
+        ) == 2
+        assert "no capture artifact" in capsys.readouterr().err
+
+    def test_campaign_capture_then_decode(self, tmp_path, capsys):
+        """CLI acceptance: campaign --capture-dir, then summarize/decode."""
+        cap_dir = str(tmp_path / "cap")
+        assert main([
+            "campaign", "--experiments", "1", "--duration-ms", "1",
+            "--seed", "1", "--capture-dir", cap_dir, "--no-progress",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "capture:" in out and "correlation ids" in out
+
+        assert main(["capture", "summarize", "--input", cap_dir]) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle events" in out
+
+        json_out = tmp_path / "analysis.json"
+        assert main([
+            "capture", "decode", "--input", cap_dir,
+            "--json", str(json_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Failure analysis" in out
+        assert json_out.exists()
+
 
 class TestPaperExperimentsFast:
     """The fast regeneration functions run inside the unit suite too, so

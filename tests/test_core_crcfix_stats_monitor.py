@@ -158,6 +158,41 @@ def _event():
     )
 
 
+class TestCaptureRecord:
+    def test_control_symbol_only_window(self):
+        """A window of pure control symbols has an SDRAM footprint but
+        no data bytes — data_bytes() must not misread control values
+        (GAP is 0x0C, a perfectly plausible data byte) as payload."""
+        from repro.core.monitor import CaptureRecord
+
+        record = CaptureRecord(
+            time_ps=500, direction="R", event=_event(),
+            before=[GAP, STOP, GO], after=[GO, STOP],
+        )
+        assert record.data_bytes() == b""
+        # 2 bytes per 9-bit symbol + 16 bytes of header.
+        assert record.size_bytes == 2 * 5 + 16
+
+    def test_empty_window_still_has_header_footprint(self):
+        from repro.core.monitor import CaptureRecord
+
+        record = CaptureRecord(time_ps=0, direction="L", event=_event())
+        assert record.size_bytes == 16
+        assert record.data_bytes() == b""
+
+    def test_mixed_window_extracts_only_data_bytes(self):
+        from repro.core.monitor import CaptureRecord
+
+        before = [GAP] + data_symbols(b"ab")
+        after = data_symbols(b"cd") + [STOP]
+        record = CaptureRecord(
+            time_ps=0, direction="R", event=_event(),
+            before=before, after=after,
+        )
+        assert record.data_bytes() == b"abcd"
+        assert record.size_bytes == 2 * 6 + 16
+
+
 class TestInjectionMonitor:
     def test_capture_surrounds_injection(self):
         """Paper §3.2: the FPGA keeps the bytes surrounding the fault

@@ -48,6 +48,61 @@ class TestSdramBuffer:
         with pytest.raises(ConfigurationError):
             SdramBuffer(capacity_bytes=0)
 
+    def test_write_exactly_at_bandwidth_boundary_is_stored(self):
+        """A record arriving exactly when the previous write finishes
+        sees zero backlog; one picosecond earlier sees backlog 1 — and
+        both are stored, because shedding needs MAX_BACKLOG_PS excess."""
+        sdram = SdramBuffer(capacity_bytes=10**9,
+                            bandwidth_bytes_per_s=1000)
+        assert sdram.store(0, "a", 5)  # frontier = 5 ms = 5e9 ps
+        frontier = 5 * 10**9
+        assert sdram.store(frontier, "b", 5)
+        assert sdram.backlog_ps == 0
+        assert sdram.store(2 * frontier - 1, "c", 5)
+        assert sdram.backlog_ps == 1
+        assert sdram.records_dropped_bandwidth == 0
+        assert sdram.records_stored == 3
+
+    def test_backlog_at_exact_max_is_stored_one_past_is_shed(self):
+        sdram = SdramBuffer(capacity_bytes=10**9,
+                            bandwidth_bytes_per_s=1000)
+        max_backlog = SdramBuffer.MAX_BACKLOG_PS
+        assert sdram.store(0, "a", 5)  # frontier = 5e9 ps
+        frontier = 5 * 10**9
+        # Arrive exactly MAX_BACKLOG_PS before the frontier clears.
+        assert sdram.store(frontier - max_backlog, "b", 5)
+        assert sdram.backlog_ps == max_backlog
+        assert sdram.records_dropped_bandwidth == 0
+        # The next record's backlog exceeds the limit by 1 ps: shed.
+        new_frontier = frontier + 5 * 10**9
+        assert not sdram.store(new_frontier - max_backlog - 1, "c", 5)
+        assert sdram.records_dropped_bandwidth == 1
+        assert sdram.bytes_dropped == 5
+        # Shed records still advance the recorded worst-case backlog.
+        assert sdram.peak_backlog_ps == max_backlog + 1
+        # Shedding does not consume capacity or frontier time.
+        assert sdram.bytes_used == 10
+        assert sdram.store(new_frontier, "d", 5)
+
+    def test_stats_and_clear_preserve_loss_evidence(self):
+        sdram = SdramBuffer(capacity_bytes=100,
+                            bandwidth_bytes_per_s=1000)
+        assert sdram.store(0, "a", 80)
+        assert not sdram.store(1, "b", 80)  # capacity drop
+        stats = sdram.stats
+        assert stats["records_stored"] == 1
+        assert stats["records_dropped_capacity"] == 1
+        assert stats["records_dropped_bandwidth"] == 0
+        assert stats["bytes_used"] == 80
+        assert stats["bytes_dropped"] == 80
+        sdram.clear()
+        assert sdram.bytes_used == 0
+        assert sdram.backlog_ps == 0
+        # Drop counters are campaign-level loss evidence: they survive.
+        assert sdram.stats["records_dropped_capacity"] == 1
+        assert sdram.stats["bytes_dropped"] == 80
+        assert sdram.stats["records_stored"] == 1
+
 
 class TestPhy:
     def test_counts_and_latency(self):

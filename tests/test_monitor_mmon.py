@@ -22,6 +22,41 @@ def test_snapshot_structure(sim):
         assert len(table) == 2
 
 
+def test_snapshot_does_not_alias_live_state(sim):
+    """A snapshot is frozen: advancing the network or mutating the
+    snapshot must not make the two views bleed into each other."""
+    network = build_paper_testbed(sim, map_interval_ps=20 * MS)
+    network.settle()
+    mmon = Mmon(network)
+    snap = mmon.snapshot()
+    mapper = network.mapper()
+
+    # The snapshot owns fresh objects, not the mapper's live map.
+    assert snap.network_map is not None
+    assert snap.network_map is not mapper.mcp.current_map
+    frozen_round = snap.network_map.round_index
+    frozen_stats = {name: dict(stats)
+                    for name, stats in snap.host_stats.items()}
+
+    # Advance the network past further traffic and mapping rounds.
+    pc = network.host("pc").interface
+    sparc1 = network.host("sparc1").interface
+    for _index in range(4):
+        pc.send_to(sparc1.mac, b"later traffic")
+    sim.run_for(45 * MS)
+
+    assert mapper.mcp.current_map.round_index > frozen_round
+    assert snap.network_map.round_index == frozen_round
+    assert snap.host_stats == frozen_stats
+
+    # Mutating the snapshot must not corrupt the live mapper state.
+    snap.network_map.entries.clear()
+    snap.host_stats["pc"]["packets_sent"] = 10**9
+    assert mapper.mcp.current_map.entries
+    assert mmon.all_nodes_in_network()
+    assert mmon.snapshot().host_stats["pc"]["packets_sent"] < 10**9
+
+
 def test_total_helper(sim):
     network = build_paper_testbed(sim)
     network.settle()
