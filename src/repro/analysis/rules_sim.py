@@ -4,7 +4,8 @@ These rules guard the invariants that make campaigns replay bit-for-bit
 (the software analogue of the paper's synthesis-time checks, §3.3):
 
 * **SIM001** — no wall-clock time sources anywhere in ``repro``, except
-  the sanctioned :mod:`repro.telemetry` observation boundary;
+  the sanctioned :mod:`repro.telemetry` observation boundary and the
+  :mod:`repro.runtime` host-side worker-orchestration boundary;
 * **SIM002** — no bare ``random`` module use (route through
   :mod:`repro.sim.rng`);
 * **SIM003** — no float arithmetic flowing into the integer picosecond
@@ -59,17 +60,25 @@ class NoWallClockRule(ModuleRule):
 
     The rule covers the *whole* ``repro`` tree, not just the packages
     that run inside simulated time: any layer may end up called from a
-    simulated callback, so the only sanctioned wall-clock boundary is
-    :mod:`repro.telemetry` (``allowed_packages``), which strictly
-    observes — span wall times and session wall_s never flow back into
-    sim scheduling.  See docs/static-analysis.md for the allowance.
+    simulated callback, so the sanctioned wall-clock boundaries are the
+    scoped allowances in ``allowed_packages``:
+
+    * :mod:`repro.telemetry` — strictly observes; span wall times and
+      session wall_s never flow back into sim scheduling;
+    * :mod:`repro.runtime` — the sharded campaign engine times and
+      kills *host-side* worker processes (per-experiment wall-clock
+      timeouts); workers rebuild their simulators from derived seeds
+      alone, so no wall-clock value can reach simulated time.
+
+    See docs/static-analysis.md for both allowances.
     """
 
     rule_id = "SIM001"
     title = "no wall-clock time in simulation code"
 
-    #: The one package allowed to read the wall clock (observation only).
-    allowed_packages = ("repro.telemetry",)
+    #: Packages allowed to read the wall clock (observation and
+    #: host-side worker orchestration only — see class docstring).
+    allowed_packages = ("repro.telemetry", "repro.runtime")
 
     def check(self, module: ModuleInfo) -> List[Finding]:
         if not module.in_package("repro"):

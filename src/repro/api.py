@@ -1,0 +1,123 @@
+"""repro.api — the stable public surface of the reproduction.
+
+Import from here, not from the implementation packages: the names in
+``__all__`` are the ones guaranteed across minor versions, whatever
+internal layering changes underneath.  One import serves the three ways
+of using the repository:
+
+* **drive the device directly** — :class:`Simulator`,
+  :class:`FaultInjectorDevice`, :class:`InjectorSession`,
+  :func:`build_paper_testbed`, and the fault-model helpers
+  (:func:`replace_bytes`, :func:`control_symbol_swap`);
+* **run campaigns** — describe experiments as data with
+  :class:`ExperimentSpec` / :class:`PlanSpec`, collect them in a
+  :class:`CampaignSpec`, and execute through
+  :meth:`Campaign.run <repro.nftape.campaign.Campaign.run>` with a
+  :class:`SerialExecutor` or a sharded :class:`PooledExecutor`
+  (bit-identical results at any worker count — see docs/runtime.md);
+* **regenerate the paper** — the ``table*``/``sec*`` entry points, one
+  per table/figure of the evaluation, each taking the same
+  ``seed: int = 0`` base seed (per-experiment seeds derive from it via
+  :func:`derive_seed`).
+
+Example::
+
+    from repro.api import (
+        Campaign, CampaignSpec, ExperimentSpec, PlanSpec,
+        PooledExecutor, control_symbol_swap, MatchMode,
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.capture import CaptureSession
+from repro.core import FaultInjectorDevice, InjectorSession
+from repro.core.faults import control_symbol_swap, replace_bytes
+from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.myrinet import build_paper_testbed
+from repro.nftape.campaign import Campaign, default_row
+from repro.nftape.classify import classify_result
+from repro.nftape.experiment import Experiment, Testbed, TestbedOptions
+from repro.nftape.paper import (
+    sec35_passthrough,
+    sec431_throughput,
+    sec432_packet_types,
+    sec433_addresses,
+    sec434_udp_checksum,
+    table2_latency,
+    table4_control_symbols,
+    table4_spec,
+)
+from repro.nftape.results import ExperimentResult, ResultTable
+from repro.nftape.workload import WorkloadConfig
+from repro.runtime import (
+    CampaignSpec,
+    ExperimentSpec,
+    PlanSpec,
+    PooledExecutor,
+    SerialExecutor,
+    derive_seed,
+)
+from repro.sim import DeterministicRng, Simulator
+from repro.telemetry import TelemetrySession
+
+__all__ = [
+    # simulation substrate
+    "Simulator",
+    "DeterministicRng",
+    # the device and its host-side session
+    "FaultInjectorDevice",
+    "InjectorSession",
+    "InjectorConfig",
+    "MatchMode",
+    "CorruptMode",
+    "replace_bytes",
+    "control_symbol_swap",
+    "build_paper_testbed",
+    # test beds and experiments
+    "Testbed",
+    "TestbedOptions",
+    "build_testbed",
+    "Experiment",
+    "WorkloadConfig",
+    "ExperimentResult",
+    "ResultTable",
+    "classify_result",
+    # declarative campaigns and executors
+    "Campaign",
+    "default_row",
+    "CampaignSpec",
+    "ExperimentSpec",
+    "PlanSpec",
+    "SerialExecutor",
+    "PooledExecutor",
+    "derive_seed",
+    # observation sessions
+    "TelemetrySession",
+    "CaptureSession",
+    # the paper's evaluation, one entry point per table/figure
+    "table2_latency",
+    "table4_spec",
+    "table4_control_symbols",
+    "sec35_passthrough",
+    "sec431_throughput",
+    "sec432_packet_types",
+    "sec433_addresses",
+    "sec434_udp_checksum",
+]
+
+
+def build_testbed(**options: Any) -> Testbed:
+    """A fresh known-good-state test bed from keyword options.
+
+    Thin convenience over ``Testbed(TestbedOptions(**options))`` — the
+    keywords are exactly the
+    :class:`~repro.nftape.experiment.TestbedOptions` fields (``seed``,
+    ``with_device``, ``host_kwargs``, …)::
+
+        testbed = build_testbed(seed=7, with_device=True)
+        testbed.settle()
+    """
+    return Testbed(TestbedOptions(**options))

@@ -198,6 +198,35 @@ class CaptureWriter:
         )
         self._write_record(RECORD_CAPTURE, fixed + packed)
 
+    def write_window(self, window: CaptureWindow) -> None:
+        """Re-serialize a decoded :class:`CaptureWindow`.
+
+        The inverse of the type-1 decoder: lets tools that read a
+        capture file back (e.g. the sharded campaign engine's artifact
+        merge, which rewrites per-shard experiment indices to
+        campaign-global ones) re-emit windows losslessly.
+        """
+        fixed = _CAPTURE_FIXED.pack(
+            window.experiment_index,
+            window.time_ps,
+            ord(window.direction[0]) if window.direction else 0,
+            1 if window.forced else 0,
+            window.lanes_rewritten,
+            window.lanes_unreachable,
+            window.segment_index,
+            window.window_before,
+            window.window_after,
+            window.ctl_before,
+            window.ctl_after,
+            len(window.before),
+            len(window.after),
+        )
+        packed = struct.pack(
+            f"<{len(window.before) + len(window.after)}H",
+            *(pack_symbol(s) for s in window.before + window.after),
+        )
+        self._write_record(RECORD_CAPTURE, fixed + packed)
+
     def write_event(self, event: LifecycleEvent) -> None:
         """Serialize one lifecycle event."""
         blob = json.dumps(

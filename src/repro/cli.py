@@ -5,11 +5,11 @@
     python -m repro list
     python -m repro run table2 sec434
     python -m repro run all --scale 0.5 --out report.md
-    python -m repro run sec434 --telemetry-dir out/
-    python -m repro campaign --experiments 4 --telemetry-dir out/
-    python -m repro campaign --capture-dir out/cap
-    python -m repro capture decode --input out/cap
-    python -m repro capture summarize --input out/cap
+    python -m repro run sec434 --artifacts-dir out/
+    python -m repro campaign --experiments 8 --workers 4 --artifacts-dir out/
+    python -m repro campaign --resume --artifacts-dir out/
+    python -m repro capture decode --input out/capture
+    python -m repro capture summarize --input out/capture
     python -m repro metrics --input out/metrics.json --format prom
     python -m repro synthesis
     python -m repro lint          # simlint static analysis (CI gate)
@@ -19,6 +19,14 @@ Each experiment regenerates one of the paper's tables/figures (the same
 code paths the benchmarks drive) and prints it; ``--out`` additionally
 collects everything into a text or markdown report via
 :class:`repro.nftape.report.CampaignReport`.
+
+Artifacts land under one umbrella: ``--artifacts-dir DIR`` writes
+``DIR/telemetry/`` (metrics.json, spans.jsonl, trace.json) and
+``DIR/capture/`` (capture.rcap); sharded campaigns additionally keep
+``DIR/journal.jsonl`` and per-experiment shards under
+``DIR/experiments/``.  The older ``--telemetry-dir``/``--capture-dir``
+flags still work but are deprecated aliases (they warn on stderr and
+will be removed two minor releases after 0.4 — see docs/runtime.md).
 """
 
 from __future__ import annotations
@@ -120,10 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="duration scale factor (default 1.0)")
     run.add_argument("--out", default=None,
                      help="write a combined report (.md or .txt)")
+    run.add_argument("--artifacts-dir", default=None,
+                     help="write all artifacts under this directory "
+                          "(DIR/telemetry/ and DIR/capture/)")
     run.add_argument("--telemetry-dir", default=None,
-                     help="write metrics.json/spans.jsonl/trace.json here")
+                     help="(deprecated: use --artifacts-dir) write "
+                          "metrics.json/spans.jsonl/trace.json here")
     run.add_argument("--capture-dir", default=None,
-                     help="record packet provenance; write capture.rcap here")
+                     help="(deprecated: use --artifacts-dir) record packet "
+                          "provenance; write capture.rcap here")
 
     campaign = sub.add_parser(
         "campaign",
@@ -134,12 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--duration-ms", type=float, default=3.0,
                           help="per-experiment duration in simulated ms")
     campaign.add_argument("--seed", type=int, default=0,
-                          help="base campaign seed (default 0)")
+                          help="base campaign seed (default 0); per-"
+                               "experiment seeds are derived from it")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes; >1 shards experiments "
+                               "across a pool with bit-identical results "
+                               "(default 1 = in-process serial)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="resume an interrupted campaign from "
+                               "ARTIFACTS_DIR/journal.jsonl (requires "
+                               "--artifacts-dir)")
+    campaign.add_argument("--artifacts-dir", default=None,
+                          help="write all artifacts under this directory: "
+                               "DIR/telemetry/, DIR/capture/, "
+                               "DIR/journal.jsonl, DIR/experiments/")
     campaign.add_argument("--telemetry-dir", default=None,
-                          help="write metrics.json/spans.jsonl/trace.json here")
+                          help="(deprecated: use --artifacts-dir) write "
+                               "metrics.json/spans.jsonl/trace.json here")
     campaign.add_argument("--capture-dir", default=None,
-                          help="enable SDRAM capture + packet provenance; "
-                               "write capture.rcap here")
+                          help="(deprecated: use --artifacts-dir) enable "
+                               "SDRAM capture + packet provenance; write "
+                               "capture.rcap here")
     campaign.add_argument("--no-progress", action="store_true",
                           help="suppress the live progress line")
 
@@ -202,6 +230,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_artifact_dirs(args) -> Tuple[Optional[str], Optional[str]]:
+    """Map ``--artifacts-dir`` (and its deprecated aliases) to dirs.
+
+    Returns ``(telemetry_dir, capture_dir)``.  ``--artifacts-dir DIR``
+    wins and expands to ``DIR/telemetry`` and ``DIR/capture``; the old
+    per-artifact flags still work but print a deprecation warning (see
+    docs/runtime.md for the removal timeline).
+    """
+    from pathlib import Path
+
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    capture_dir = getattr(args, "capture_dir", None)
+    if telemetry_dir or capture_dir:
+        print(
+            "warning: --telemetry-dir/--capture-dir are deprecated; use "
+            "--artifacts-dir DIR (writes DIR/telemetry/ and DIR/capture/)",
+            file=sys.stderr,
+        )
+    artifacts_dir = getattr(args, "artifacts_dir", None)
+    if artifacts_dir:
+        root = Path(artifacts_dir)
+        telemetry_dir = str(root / "telemetry")
+        capture_dir = str(root / "capture")
+    return telemetry_dir, capture_dir
+
+
 def _list_experiments() -> str:
     width = max(len(name) for name in EXPERIMENTS)
     lines = ["available experiments:"]
@@ -248,27 +302,14 @@ def _run_lint(args) -> int:
     return 1 if findings else 0
 
 
-def _run_campaign(args) -> int:
-    """``campaign``: a Table 4 style control-symbol swap campaign.
-
-    The campaign cycles through control-symbol corruption pairs with a
-    duty-cycled trigger; with ``--telemetry-dir`` the run drops
-    ``metrics.json``, ``spans.jsonl``, and a Perfetto-loadable
-    ``trace.json``; with ``--capture-dir`` it enables the device's SDRAM
-    monitors and the provenance flight recorder, dropping a binary
-    ``capture.rcap`` that ``python -m repro capture decode`` analyzes.
-    """
-    from contextlib import nullcontext
-
-    from repro.capture import CaptureSession
+def _campaign_spec(args, capture_enabled: bool):
+    """The CLI campaign as a declarative, picklable CampaignSpec."""
     from repro.core.faults import control_symbol_swap
     from repro.core.monitor import MonitorConfig
     from repro.hw.registers import MatchMode
     from repro.myrinet.symbols import GAP, GO, IDLE, STOP
-    from repro.nftape.campaign import Campaign
-    from repro.nftape.experiment import Experiment, TestbedOptions
-    from repro.nftape.plan import DutyCyclePlan
-    from repro.telemetry import TelemetrySession
+    from repro.nftape.experiment import TestbedOptions
+    from repro.runtime.spec import CampaignSpec, ExperimentSpec, PlanSpec
 
     pairs = [
         ("IDLE", "GAP"), ("GAP", "IDLE"), ("STOP", "GO"), ("GO", "STOP"),
@@ -277,44 +318,133 @@ def _run_campaign(args) -> int:
     symbols = {"IDLE": IDLE, "GAP": GAP, "STOP": STOP, "GO": GO}
     duration_ps = max(1 * MS, int(args.duration_ms * MS))
 
-    progress = None
-    if not args.no_progress:
-        def progress(message: str) -> None:
-            print(f"\r{message:<60}", end="", file=sys.stderr, flush=True)
-
     device_kwargs = {}
-    if args.capture_dir:
+    if capture_enabled:
         # The campaign's ~96-byte wire packets must fit in the windows
         # for the offline decoder to reassemble them whole.
         device_kwargs["monitor_config"] = MonitorConfig(
             enabled=True, pre_symbols=128, post_symbols=128
         )
 
-    campaign = Campaign("cli control-symbol campaign", on_progress=progress)
+    specs = []
     for index in range(max(1, args.experiments)):
         source, target = pairs[index % len(pairs)]
-        plan = DutyCyclePlan(
-            "RL",
-            control_symbol_swap(symbols[source], symbols[target],
-                                MatchMode.ON),
-            on_ps=duration_ps // 8,
-            off_ps=duration_ps // 2,
-            use_serial=False,
-        )
-        campaign.add(Experiment(
-            f"{source}->{target}",
+        specs.append(ExperimentSpec(
+            name=f"{source}->{target}",
             duration_ps=duration_ps,
-            plan=plan,
-            testbed_options=TestbedOptions(
-                seed=args.seed + index,
-                device_kwargs=dict(device_kwargs),
+            plan=PlanSpec(
+                "duty_cycle", "RL",
+                control_symbol_swap(symbols[source], symbols[target],
+                                    MatchMode.ON),
+                use_serial=False,
+                on_ps=duration_ps // 8,
+                off_ps=duration_ps // 2,
             ),
+            testbed=TestbedOptions(device_kwargs=dict(device_kwargs)),
         ))
+    return CampaignSpec.build(
+        "cli control-symbol campaign", specs, base_seed=args.seed
+    )
 
-    session = TelemetrySession(out_dir=args.telemetry_dir, label=campaign.name)
+
+def _run_campaign(args) -> int:
+    """``campaign``: a Table 4 style control-symbol swap campaign.
+
+    The campaign cycles through control-symbol corruption pairs with a
+    duty-cycled trigger.  With ``--artifacts-dir`` the run is journalled
+    (``--resume`` restores completed experiments) and drops merged
+    telemetry (``metrics.json``, ``spans.jsonl``, a Perfetto-loadable
+    ``trace.json``) plus a binary ``capture.rcap`` that ``python -m
+    repro capture decode`` analyzes; ``--workers N`` shards the
+    experiments across N worker processes with bit-identical output.
+    The deprecated ``--telemetry-dir``/``--capture-dir`` aliases keep
+    the pre-engine in-process behaviour.
+    """
+    from contextlib import nullcontext
+    from pathlib import Path
+
+    from repro.capture import CaptureSession
+    from repro.nftape.campaign import Campaign
+    from repro.runtime.executors import PooledExecutor, SerialExecutor
+    from repro.telemetry import TelemetrySession
+
+    telemetry_dir, capture_dir = _resolve_artifact_dirs(args)
+    workers = max(1, args.workers)
+    engine_root = args.artifacts_dir
+
+    if workers > 1 and engine_root is None and (telemetry_dir or capture_dir):
+        print(
+            "--workers > 1 shards artifacts per experiment; pass "
+            "--artifacts-dir DIR instead of the deprecated "
+            "--telemetry-dir/--capture-dir flags",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and engine_root is None:
+        print(
+            "--resume reads the campaign journal; pass --artifacts-dir DIR "
+            "(the journal lives at DIR/journal.jsonl)",
+            file=sys.stderr,
+        )
+        return 2
+
+    progress = None
+    if not args.no_progress:
+        def progress(message: str) -> None:
+            print(f"\r{message:<60}", end="", file=sys.stderr, flush=True)
+
+    capture_enabled = bool(capture_dir) or engine_root is not None
+    spec = _campaign_spec(args, capture_enabled)
+    campaign = Campaign.from_spec(spec, on_progress=progress)
+
+    if engine_root is not None or workers > 1:
+        # Engine path: journal + per-experiment artifact shards, merged
+        # deterministically on completion (same layout at any -w).
+        journal_path = (
+            None if engine_root is None
+            else Path(engine_root) / "journal.jsonl"
+        )
+        if workers > 1:
+            executor = PooledExecutor(
+                workers=workers, journal_path=journal_path,
+                resume=args.resume, artifacts_dir=engine_root,
+                label=spec.name,
+            )
+        else:
+            executor = SerialExecutor(
+                journal_path=journal_path, resume=args.resume,
+                artifacts_dir=engine_root, label=spec.name,
+            )
+        table = campaign.run(executor=executor)
+        if progress is not None:
+            print(file=sys.stderr)
+        print(table.render())
+        line = (
+            f"campaign: {len(executor.executed)} experiment(s) executed "
+            f"with {workers} worker(s)"
+        )
+        if executor.skipped:
+            line += f", {len(executor.skipped)} restored from journal"
+        retries = sum(executor.retries.values())
+        if retries:
+            line += f", {retries} retried"
+        print(line)
+        summary = executor.merge_summary
+        if summary is not None:
+            print(
+                f"artifacts merged under {engine_root}/: "
+                f"{summary['telemetry_shards']} telemetry shard(s) -> "
+                f"telemetry/, {summary['capture_shards']} capture "
+                f"shard(s) -> capture/capture.rcap"
+            )
+        return 0
+
+    # Legacy ambient-session path (serial, deprecated per-artifact
+    # flags): one process-wide session brackets the whole campaign.
+    session = TelemetrySession(out_dir=telemetry_dir, label=spec.name)
     capture = (
-        CaptureSession(out_dir=args.capture_dir, label=campaign.name)
-        if args.capture_dir else nullcontext()
+        CaptureSession(out_dir=capture_dir, label=spec.name)
+        if capture_dir else nullcontext()
     )
     with session:
         with capture:
@@ -328,10 +458,10 @@ def _run_campaign(args) -> int:
         f"telemetry: {int(fired)} kernel events in {session.wall_s:.2f}s "
         f"wall ({rate:,.0f} events/s)"
     )
-    if args.telemetry_dir:
-        print(f"telemetry artifacts written to {args.telemetry_dir}/"
+    if telemetry_dir:
+        print(f"telemetry artifacts written to {telemetry_dir}/"
               f" (metrics.json, spans.jsonl, trace.json)")
-    if args.capture_dir:
+    if capture_dir:
         recorder = capture.recorder
         print(
             f"capture: {len(recorder.events)} lifecycle events, "
@@ -484,13 +614,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.telemetry import TelemetrySession
     from repro.telemetry.spans import span
 
+    telemetry_dir, capture_dir = _resolve_artifact_dirs(args)
     telemetry = (
-        TelemetrySession(out_dir=args.telemetry_dir, label="repro run")
-        if args.telemetry_dir else nullcontext()
+        TelemetrySession(out_dir=telemetry_dir, label="repro run")
+        if telemetry_dir else nullcontext()
     )
     capture = (
-        CaptureSession(out_dir=args.capture_dir, label="repro run")
-        if args.capture_dir else nullcontext()
+        CaptureSession(out_dir=capture_dir, label="repro run")
+        if capture_dir else nullcontext()
     )
     with telemetry:
         with capture:
@@ -506,9 +637,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(note)
                     report.add_note(note)
                 print()
-    if args.telemetry_dir:
-        print(f"telemetry artifacts written to {args.telemetry_dir}/")
-    if args.capture_dir:
+    if telemetry_dir:
+        print(f"telemetry artifacts written to {telemetry_dir}/")
+    if capture_dir:
         recorder = capture.recorder
         print(
             f"capture: {len(recorder.events)} lifecycle events, "

@@ -3,12 +3,24 @@
 Each experiment builds its own fresh :class:`~repro.nftape.experiment.Testbed`
 (the paper's known-good-state precondition), runs to completion, and its
 result row lands in a :class:`~repro.nftape.results.ResultTable`.
+
+A campaign comes in two flavours sharing one ``run()`` code path:
+
+* **live** — :meth:`Campaign.add` appends live ``Experiment`` objects;
+  execution is always in-process (the pre-engine behaviour);
+* **declarative** — :meth:`Campaign.from_spec` wraps a picklable
+  :class:`~repro.runtime.spec.CampaignSpec`; execution can then be
+  handed to any executor, including the sharded
+  :class:`~repro.runtime.executors.PooledExecutor`, and results remain
+  bit-identical regardless of worker count (per-experiment seeds are
+  derived, and the executor order-merges).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.errors import CampaignError
 from repro.nftape.classify import classify_result
 from repro.nftape.experiment import Experiment
 from repro.nftape.results import ExperimentResult, ResultTable
@@ -45,30 +57,75 @@ class Campaign:
         self._on_progress = on_progress
         self.experiments: List[Experiment] = []
         self.results: List[ExperimentResult] = []
+        #: The declarative description, when built via :meth:`from_spec`.
+        self.spec: Optional[Any] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Any,
+        row_builder: RowBuilder = default_row,
+        on_progress: Optional[Callable[[str], None]] = None,
+    ) -> "Campaign":
+        """A declarative campaign from a
+        :class:`~repro.runtime.spec.CampaignSpec`.
+
+        The spec carries the experiment list and the base seed;
+        per-experiment seeds are derived by the
+        :func:`~repro.runtime.seeding.derive_seed` rule at execution
+        time, inside whichever process runs each experiment.
+        """
+        campaign = cls(spec.name, row_builder=row_builder,
+                       on_progress=on_progress)
+        campaign.spec = spec
+        return campaign
+
+    def __len__(self) -> int:
+        if self.spec is not None:
+            return len(self.spec.experiments)
+        return len(self.experiments)
 
     def add(self, experiment: Experiment) -> "Campaign":
-        """Append an experiment (chainable)."""
+        """Append a live experiment (chainable; live campaigns only)."""
+        if self.spec is not None:
+            raise CampaignError(
+                "declarative campaigns are immutable; extend the "
+                "CampaignSpec (spec.with_experiments(...)) and rebuild"
+            )
         self.experiments.append(experiment)
         return self
 
-    def run(self) -> ResultTable:
+    def run(self, executor: Optional[Any] = None) -> ResultTable:
         """Run every experiment on a fresh test bed; return the table.
 
+        ``executor`` selects *how* experiments run —
+        :class:`~repro.runtime.executors.SerialExecutor` (the default)
+        runs them in-process one at a time, while
+        :class:`~repro.runtime.executors.PooledExecutor` shards a
+        spec-based campaign across worker processes.  Whatever the
+        executor, results arrive here in experiment order, so the table
+        (and the telemetry outcome counters) are identical across
+        executors and worker counts.
+
         With a telemetry session active the whole run is bracketed in a
-        ``campaign`` span, each experiment lands in its own nested span
+        ``campaign`` span, in-process experiments land in nested spans
         (see :meth:`Experiment.run`), and per-outcome counters
         (``campaign.experiments``, ``campaign.outcomes{fault_class=…}``)
         accumulate in the registry.
         """
+        if executor is None:
+            # Local import: repro.runtime sits above nftape in the
+            # layering; importing it lazily keeps module import cheap
+            # and the package graph acyclic.
+            from repro.runtime.executors import SerialExecutor
+
+            executor = SerialExecutor()
         table = ResultTable(self.name)
-        total = len(self.experiments)
+        total = len(self)
         with span("campaign", name=self.name, experiments=total):
-            for index, experiment in enumerate(self.experiments):
-                if self._on_progress is not None:
-                    self._on_progress(
-                        f"[{index + 1}/{total}] running {experiment.name}"
-                    )
-                result = experiment.run()
+            for _index, result in executor.execute(
+                self, progress=self._on_progress
+            ):
                 self.results.append(result)
                 table.add(result, **self._row_builder(result))
                 self._account(result)

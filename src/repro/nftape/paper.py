@@ -11,11 +11,25 @@ milliseconds of simulated time; rates and loss fractions are reported
 normalized so the comparison is scale-free.  Where a run depends on the
 long-period timeout (~50 ms, §4.3.1), the timeout is scaled by the same
 factor as the run and the scaling is recorded in the row.
+
+Seed derivation rule
+--------------------
+Every ``table*``/``sec*`` builder takes ``seed: int = 0`` with one
+meaning: it is the campaign's **base seed**.  The seed of experiment
+``i`` named ``n`` is ``derive_seed(seed, i, n)``
+(:mod:`repro.runtime.seeding` — blake2b of ``"{seed}:{i}:{n}"``,
+truncated to 63 bits) and is threaded into
+:attr:`TestbedOptions.seed <repro.nftape.experiment.TestbedOptions.seed>`
+identically everywhere.  Paired-comparison experiments (Table 2's
+with/without-device runs, §3.5's direct/injector runs) share the *same*
+derived seed across the pair by design — the comparison is the
+experiment.  This is the same rule the sharded campaign engine applies,
+so paper campaigns replay bit-identically at any worker count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.faults import control_symbol_swap, replace_bytes
 from repro.hostsim.apps import MessageSink, PingPong
@@ -28,11 +42,14 @@ from repro.myrinet.symbols import (
     STOP,
     GAP_VALUE,
 )
+from repro.nftape.campaign import Campaign
 from repro.nftape.classify import classify_result
 from repro.nftape.experiment import Experiment, Testbed, TestbedOptions
-from repro.nftape.plan import DutyCyclePlan, FaultPlan
+from repro.nftape.plan import FaultPlan
 from repro.nftape.results import ExperimentResult, ResultTable
 from repro.nftape.workload import WorkloadConfig
+from repro.runtime.seeding import derive_seed
+from repro.runtime.spec import CampaignSpec, ExperimentSpec, PlanSpec
 from repro.sim.timebase import MS, NS, US, to_ns
 
 # ---------------------------------------------------------------------------
@@ -115,18 +132,22 @@ def _run_pingpong(with_device: bool, seed: int, exchanges: int) -> float:
 
 
 def table2_latency(exchanges: int = 1500,
-                   experiments: int = 5) -> ResultTable:
+                   experiments: int = 5,
+                   seed: int = 0) -> ResultTable:
     """Table 2: ping-pong latency with and without the injector.
 
     The paper sent 2M packets per experiment on real hardware; each
     scaled experiment here uses ``exchanges`` round trips and a distinct
-    seed (distinct timer phases and jitter draws, the dominant noise
-    source the paper identified).
+    derived seed (distinct timer phases and jitter draws, the dominant
+    noise source the paper identified).  Seed of experiment ``i``:
+    ``derive_seed(seed, i, f"experiment-{i + 1}")``, shared by the
+    with/without pair (paired comparison — see the module's seed rule).
     """
     table = ResultTable("Table 2 — added latency per packet (ns)")
     for index in range(experiments):
-        without = _run_pingpong(False, seed=100 + index, exchanges=exchanges)
-        with_dev = _run_pingpong(True, seed=100 + index, exchanges=exchanges)
+        run_seed = derive_seed(seed, index, f"experiment-{index + 1}")
+        without = _run_pingpong(False, seed=run_seed, exchanges=exchanges)
+        with_dev = _run_pingpong(True, seed=run_seed, exchanges=exchanges)
         paper = PAPER_TABLE2[index % len(PAPER_TABLE2)]
         result = ExperimentResult(
             name=f"experiment-{index + 1}",
@@ -151,51 +172,88 @@ def table2_latency(exchanges: int = 1500,
 # ---------------------------------------------------------------------------
 
 
+def table4_spec(
+    duration_ps: int = 20 * MS,
+    duty_on_ps: int = int(1.5 * MS),
+    duty_off_ps: int = int(8.5 * MS),
+    seed: int = 0,
+) -> CampaignSpec:
+    """The Table 4 campaign as a declarative, picklable description.
+
+    One :class:`~repro.runtime.spec.ExperimentSpec` per mask/replacement
+    pair, named ``"{mask}->{replacement}"``; the paper's published
+    numbers travel in ``params`` so the row builder can place them next
+    to the measured ones in any process.  Seed of row ``i`` is
+    ``derive_seed(seed, i, name)`` (the module's seed rule), applied by
+    whichever executor runs the campaign.
+    """
+    specs = []
+    for mask, replacement, p_sent, p_recv, p_loss in PAPER_TABLE4:
+        config = control_symbol_swap(
+            _SYMBOLS[mask], _SYMBOLS[replacement], MatchMode.ON
+        )
+        specs.append(ExperimentSpec(
+            name=f"{mask}->{replacement}",
+            duration_ps=duration_ps,
+            plan=PlanSpec(
+                "duty_cycle", "RL", config, use_serial=False,
+                on_ps=duty_on_ps, off_ps=duty_off_ps,
+            ),
+            workload=OVERLOAD_WORKLOAD,
+            testbed=TestbedOptions(host_kwargs=dict(OVERLOAD_HOST_KWARGS)),
+            params={
+                "mask": mask,
+                "replacement": replacement,
+                "paper_sent": p_sent,
+                "paper_received": p_recv,
+                "paper_loss": p_loss,
+            },
+        ))
+    return CampaignSpec.build(
+        "Table 4 — control symbol corruption", specs, base_seed=seed
+    )
+
+
+def _table4_row(result: ExperimentResult) -> Dict[str, Any]:
+    """Table 4 row: measured numbers next to the paper's, from params."""
+    params = result.params
+    return {
+        "mask": params["mask"],
+        "replacement": params["replacement"],
+        "sent": result.messages_sent,
+        "received": result.messages_received,
+        "loss": f"{result.loss_rate:.1%}",
+        "paper_loss": f"{params['paper_loss']:.0%}",
+        "injections": result.injections,
+        "fault_class": classify_result(result).fault_class.value,
+    }
+
+
 def table4_control_symbols(
     duration_ps: int = 20 * MS,
     duty_on_ps: int = int(1.5 * MS),
     duty_off_ps: int = int(8.5 * MS),
     seed: int = 0,
+    executor: Optional[Any] = None,
 ) -> ResultTable:
     """Table 4: corrupt each flow-control symbol into each other symbol.
 
     The trigger is duty-cycled (armed/disarmed windows over the serial
     link) as NFTAPE paced the campaign; the workload keeps the network
     at full capacity with every node running a message-sending program.
+
+    The campaign is described by :func:`table4_spec` and run through
+    whichever ``executor`` is supplied —
+    :class:`~repro.runtime.executors.SerialExecutor` by default, or a
+    :class:`~repro.runtime.executors.PooledExecutor` to shard the nine
+    rows across worker processes with bit-identical output.
     """
-    table = ResultTable("Table 4 — control symbol corruption")
-    for row_index, (mask, replacement, p_sent, p_recv, p_loss) in enumerate(
-        PAPER_TABLE4
-    ):
-        config = control_symbol_swap(
-            _SYMBOLS[mask], _SYMBOLS[replacement], MatchMode.ON
-        )
-        plan = DutyCyclePlan(
-            "RL", config, on_ps=duty_on_ps, off_ps=duty_off_ps,
-            use_serial=False,
-        )
-        experiment = Experiment(
-            f"{mask}->{replacement}",
-            duration_ps=duration_ps,
-            plan=plan,
-            workload_config=OVERLOAD_WORKLOAD,
-            testbed_options=TestbedOptions(
-                seed=seed + row_index, host_kwargs=dict(OVERLOAD_HOST_KWARGS)
-            ),
-        )
-        result = experiment.run()
-        table.add(
-            result,
-            mask=mask,
-            replacement=replacement,
-            sent=result.messages_sent,
-            received=result.messages_received,
-            loss=f"{result.loss_rate:.1%}",
-            paper_loss=f"{p_loss:.0%}",
-            injections=result.injections,
-            fault_class=classify_result(result).fault_class.value,
-        )
-    return table
+    spec = table4_spec(
+        duration_ps=duration_ps, duty_on_ps=duty_on_ps,
+        duty_off_ps=duty_off_ps, seed=seed,
+    )
+    campaign = Campaign.from_spec(spec, row_builder=_table4_row)
+    return campaign.run(executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -216,33 +274,38 @@ def sec431_throughput(duration_ps: int = 20 * MS,
       normal throughput.
 
     The long-period timeout is scaled with the run (recorded per row).
+    Seed of run ``i`` named ``n`` is ``derive_seed(seed, i, n)`` with
+    ``baseline``/``faulty-stop-conditions``/``lost-gaps`` at indices
+    0/1/2; this campaign stays in-process because the fraction rows read
+    the live workload objects out of ``result.extras``.
     """
     scaled_timeout_periods = 160_000  # 2 ms at 12.5 ns — scaled from 50 ms
     table = ResultTable("§4.3.1 — throughput under flow-control faults")
 
-    def _run(name: str, plan, paper_fraction: Optional[float]):
+    def _run(index: int, name: str, plan,
+             paper_fraction: Optional[float]):
         experiment = Experiment(
             name,
             duration_ps=duration_ps,
             plan=plan,
             workload_config=OVERLOAD_WORKLOAD,
             testbed_options=TestbedOptions(
-                seed=seed,
+                seed=derive_seed(seed, index, name),
                 host_kwargs=dict(OVERLOAD_HOST_KWARGS),
                 long_timeout_periods=scaled_timeout_periods,
             ),
         )
         return experiment.run(), paper_fraction
 
-    baseline, _ = _run("baseline", None, None)
+    baseline, _ = _run(0, "baseline", None, None)
     stop_fault, stop_paper = _run(
-        "faulty-stop-conditions",
+        1, "faulty-stop-conditions",
         FaultPlan("L", control_symbol_swap(GAP, STOP, MatchMode.ON),
                   use_serial=False),
         5038 / 48000,
     )
     gap_loss, gap_paper = _run(
-        "lost-gaps",
+        2, "lost-gaps",
         FaultPlan("RL", control_symbol_swap(GAP, IDLE, MatchMode.ON),
                   use_serial=False),
         0.12,
@@ -293,11 +356,19 @@ def _mapping_type_config() -> InjectorConfig:
 
 
 def sec432_packet_types(seed: int = 0) -> ResultTable:
-    """§4.3.2: corrupt mapping headers, data headers, and source routes."""
+    """§4.3.2: corrupt mapping headers, data headers, and source routes.
+
+    Five sub-experiments, seeded by the module's rule at indices 0–4:
+    ``mapping-type-corruption``, ``data-type-corruption``,
+    ``route-msb-corruption``, ``route-to-wrong-host``,
+    ``route-to-dead-port``.
+    """
     table = ResultTable("§4.3.2 — packet type and source route corruption")
 
     # --- mapping packet corruption (0x0005 -> 0x000x) -------------------
-    testbed = Testbed(TestbedOptions(seed=seed))
+    testbed = Testbed(TestbedOptions(
+        seed=derive_seed(seed, 0, "mapping-type-corruption")
+    ))
     testbed.settle()
     mapper = testbed.network.mapper().mcp
     assert testbed.device is not None
@@ -344,7 +415,9 @@ def sec432_packet_types(seed: int = 0) -> ResultTable:
         ),
         workload_config=WorkloadConfig(send_interval_ps=200 * US,
                                        flood_ping=False),
-        testbed_options=TestbedOptions(seed=seed),
+        testbed_options=TestbedOptions(
+            seed=derive_seed(seed, 1, "data-type-corruption")
+        ),
     )
     data_result = experiment.run()
     testbed2 = data_result.extras["testbed"]
@@ -383,7 +456,9 @@ def sec432_packet_types(seed: int = 0) -> ResultTable:
         plan=FaultPlan("L", msb_config, use_serial=False),
         workload_config=WorkloadConfig(send_interval_ps=200 * US,
                                        flood_ping=False),
-        testbed_options=TestbedOptions(seed=seed),
+        testbed_options=TestbedOptions(
+            seed=derive_seed(seed, 2, "route-msb-corruption")
+        ),
     )
     msb_result = experiment.run()
     consume_errors = msb_result.host_stats["pc"]["consume_errors"]
@@ -399,12 +474,12 @@ def sec432_packet_types(seed: int = 0) -> ResultTable:
     )
 
     # --- misrouting: redirect and dead-port route bytes ------------------
-    for name, new_route, paper_text in (
+    for index, (name, new_route, paper_text) in enumerate((
         ("route-to-wrong-host", 0x82,
          "expected losses; not accepted by incorrect nodes"),
         ("route-to-dead-port", 0x87,
          "expected losses; no error propagation"),
-    ):
+    ), start=3):
         route_config = InjectorConfig(
             match_mode=MatchMode.ON,
             # Window: GAP then the route byte 0x81 (pc -> switch port 1).
@@ -423,7 +498,9 @@ def sec432_packet_types(seed: int = 0) -> ResultTable:
             plan=FaultPlan("R", route_config, use_serial=False),
             workload_config=WorkloadConfig(send_interval_ps=200 * US,
                                            flood_ping=False),
-            testbed_options=TestbedOptions(seed=seed),
+            testbed_options=TestbedOptions(
+                seed=derive_seed(seed, index, name)
+            ),
         )
         result = experiment.run()
         table.add(
@@ -456,14 +533,18 @@ def sec433_addresses(seed: int = 0) -> Tuple[ResultTable, Dict[str, List[str]]]:
 
     Returns the result table and the Figure 11 artifacts (network map
     renders before and during the controller-address conflict).
+
+    Seeds follow the module's rule at indices 0–3:
+    ``destination-corruption``, ``own-address-corruption``,
+    ``controller-address-conflict``, ``nonexistent-address``.
     """
     table = ResultTable("§4.3.3 — physical address corruption")
     artifacts: Dict[str, List[str]] = {}
 
     # --- (a) destination corruption, CRC left stale ----------------------
-    def _address_swap_run(name: str, direction: str, crc_fixup: bool,
-                          source: str, target: str, seed_offset: int):
-        options = TestbedOptions(seed=seed + seed_offset)
+    def _address_swap_run(index: int, name: str, direction: str,
+                          crc_fixup: bool, source: str, target: str):
+        options = TestbedOptions(seed=derive_seed(seed, index, name))
         probe = Testbed(options)  # to read the auto-assigned addresses
         match = _mac_pattern(probe, source)
         replacement = _mac_pattern(probe, target)
@@ -479,8 +560,8 @@ def sec433_addresses(seed: int = 0) -> Tuple[ResultTable, Dict[str, List[str]]]:
         )
         return experiment.run()
 
-    dest = _address_swap_run("destination-corruption", "R", False,
-                             "sparc1", "sparc2", 1)
+    dest = _address_swap_run(0, "destination-corruption", "R", False,
+                             "sparc1", "sparc2")
     table.add(
         dest,
         campaign="destination address, stale CRC",
@@ -493,8 +574,8 @@ def sec433_addresses(seed: int = 0) -> Tuple[ResultTable, Dict[str, List[str]]]:
     )
 
     # --- (b) own address corrupted (CRC fixed up) ------------------------
-    own = _address_swap_run("own-address-corruption", "L", True,
-                            "pc", "sparc1", 2)
+    own = _address_swap_run(1, "own-address-corruption", "L", True,
+                            "pc", "sparc1")
     own_testbed = own.extras["testbed"]
     still_mapped = "pc" in own_testbed.network.mapper().mcp.map_history[-1].entries
     table.add(
@@ -509,7 +590,9 @@ def sec433_addresses(seed: int = 0) -> Tuple[ResultTable, Dict[str, List[str]]]:
     )
 
     # --- (c) address corrupted to the controller's ------------------------
-    options = TestbedOptions(seed=seed + 3)
+    options = TestbedOptions(
+        seed=derive_seed(seed, 2, "controller-address-conflict")
+    )
     testbed = Testbed(options)
     testbed.settle()
     mapper = testbed.network.mapper().mcp
@@ -571,7 +654,9 @@ def sec433_addresses(seed: int = 0) -> Tuple[ResultTable, Dict[str, List[str]]]:
     artifacts["fig11_after"] = [m.render() for m in conflict_maps[:3]]
 
     # --- (d) address corrupted to a non-existent one ----------------------
-    options = TestbedOptions(seed=seed + 4)
+    options = TestbedOptions(
+        seed=derive_seed(seed, 3, "nonexistent-address")
+    )
     testbed = Testbed(options)
     testbed.settle()
     mapper = testbed.network.mapper().mcp
@@ -618,6 +703,9 @@ def sec434_udp_checksum(messages: int = 40,
       passed to the application;
     * any other corruption fails the checksum and the datagram is
       dropped by the UDP layer.
+
+    Seeds follow the module's rule at indices 0–1 (swap, then plain
+    corruption).
     """
     table = ResultTable("§4.3.4 — UDP checksum corruption")
     cases = [
@@ -626,8 +714,8 @@ def sec434_udp_checksum(messages: int = 40,
         ("plain corruption", b"Have", b"HAVE",
          "checksum fails; packets dropped"),
     ]
-    for name, match, replacement, paper_text in cases:
-        testbed = Testbed(TestbedOptions(seed=seed))
+    for index, (name, match, replacement, paper_text) in enumerate(cases):
+        testbed = Testbed(TestbedOptions(seed=derive_seed(seed, index, name)))
         testbed.settle()
         network = testbed.network
         sender = HostStack(testbed.sim, network.host("pc").interface,
@@ -679,15 +767,20 @@ def sec35_passthrough(duration_ps: int = 10 * MS,
     Both Myrinet control and data packets transfer seamlessly, routes
     map through in both directions, and the data transfer rate is
     unchanged.
+
+    The direct/injector runs are a paired comparison: both share the
+    single derived seed ``derive_seed(seed, 0, "passthrough")`` so the
+    only difference between them is the device in the path.
     """
     table = ResultTable("§3.5 — pass-through transparency")
+    run_seed = derive_seed(seed, 0, "passthrough")
     results: Dict[bool, ExperimentResult] = {}
     for with_device in (False, True):
         experiment = Experiment(
             "with-device" if with_device else "without-device",
             duration_ps=duration_ps,
             workload_config=WorkloadConfig(send_interval_ps=100 * US),
-            testbed_options=TestbedOptions(seed=seed,
+            testbed_options=TestbedOptions(seed=run_seed,
                                            with_device=with_device),
         )
         results[with_device] = experiment.run()

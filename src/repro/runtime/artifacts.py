@@ -1,0 +1,295 @@
+"""Per-experiment artifact layout and the deterministic shard merge.
+
+A sharded campaign run with ``--artifacts-dir out/`` produces::
+
+    out/
+      journal.jsonl                       # checkpoint journal
+      experiments/
+        exp-000-STOP-IDLE/
+          telemetry/metrics.json|spans.jsonl|trace.json
+          capture/capture.rcap
+        exp-001-…/…
+      telemetry/                          # merged views (this module)
+        metrics.json  spans.jsonl  trace.json
+      capture/
+        capture.rcap
+
+Each worker runs its experiment under private telemetry/capture
+sessions writing into that experiment's shard directory; after the
+order-merge of results the parent folds the shards into campaign-level
+artifacts.  The merge is deterministic — shards are visited in
+experiment-index order, never completion order — with these rules:
+
+* ``metrics.json`` — counters and histogram buckets are **summed**
+  across shards; gauges take the **maximum** (peak semantics), with
+  high/low watermarks and sample counts folded accordingly.
+* ``spans.jsonl`` — concatenated in experiment order; every record
+  gains a ``"shard": <experiment index>`` provenance field (span ids
+  restart per shard, so shard+span_id is the unique key).
+* ``trace.json`` — regenerated from the concatenated span records so
+  the whole campaign loads as one Perfetto timeline.
+* ``capture.rcap`` — re-encoded into one file: experiment markers,
+  capture windows, and lifecycle events get their per-shard experiment
+  index rewritten to the campaign-global index, and each marker gains a
+  ``"shard"`` field naming its source directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.capture.format import CaptureWriter, read_capture
+from repro.capture.session import CAPTURE_FILE_NAME
+from repro.telemetry.exporters import parse_spans_jsonl, to_chrome_trace
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "EXPERIMENTS_SUBDIR",
+    "TELEMETRY_SUBDIR",
+    "CAPTURE_SUBDIR",
+    "slugify",
+    "shard_dir",
+    "merge_artifacts",
+]
+
+#: Directory (under the artifacts root) holding one shard per experiment.
+EXPERIMENTS_SUBDIR = "experiments"
+#: Telemetry subdirectory name, used both per shard and for the merge.
+TELEMETRY_SUBDIR = "telemetry"
+#: Capture subdirectory name, used both per shard and for the merge.
+CAPTURE_SUBDIR = "capture"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def slugify(name: str, max_length: int = 48) -> str:
+    """A filesystem-safe slug of an experiment name."""
+    slug = _SLUG_RE.sub("-", name).strip("-") or "experiment"
+    return slug[:max_length]
+
+
+def shard_dir(root: Union[str, Path], index: int, name: str) -> Path:
+    """The shard directory of experiment ``index`` under ``root``."""
+    return (
+        Path(root) / EXPERIMENTS_SUBDIR / f"exp-{index:03d}-{slugify(name)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# metrics merge
+# ---------------------------------------------------------------------------
+
+
+def _merge_metrics_docs(documents: Sequence[Dict[str, Any]],
+                        label: str) -> Dict[str, Any]:
+    """Fold shard ``metrics.json`` documents into one (see module doc)."""
+    registry = MetricsRegistry()
+    wall_s = 0.0
+    for document in documents:
+        wall_s += float(document.get("wall_s") or 0.0)
+        for entry in document.get("metrics", {}).get("series", []):
+            name = entry["name"]
+            labels = entry.get("labels", {})
+            kind = entry.get("kind")
+            if kind == "counter":
+                registry.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = registry.gauge(name, **labels)
+                gauge.value = max(gauge.value, entry["value"]) \
+                    if gauge.samples else entry["value"]
+                for bound in ("high",):
+                    new = entry.get(bound)
+                    if new is not None:
+                        old = gauge.high
+                        gauge.high = new if old is None else max(old, new)
+                low = entry.get("low")
+                if low is not None:
+                    gauge.low = low if gauge.low is None \
+                        else min(gauge.low, low)
+                gauge.samples += entry.get("samples", 0)
+            elif kind == "histogram":
+                histogram = registry.histogram(
+                    name, buckets=entry["buckets"], **labels
+                )
+                if len(histogram.counts) == len(entry["counts"]):
+                    histogram.counts = [
+                        a + b
+                        for a, b in zip(histogram.counts, entry["counts"])
+                    ]
+                histogram.total += entry["sum"]
+                histogram.count += entry["count"]
+    registry.gauge("campaign.shards_merged").set(len(documents))
+    return {
+        "generated_by": "repro.runtime",
+        "version": 1,
+        "label": label,
+        "wall_s": wall_s,
+        "shards": len(documents),
+        "metrics": registry.to_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# whole-campaign merge
+# ---------------------------------------------------------------------------
+
+
+def merge_artifacts(
+    root: Union[str, Path],
+    entries: Sequence[Tuple[int, str]],
+    label: str = "campaign",
+) -> Dict[str, Any]:
+    """Fold every shard under ``root`` into campaign-level artifacts.
+
+    ``entries`` is the ordered ``(index, name)`` list of the campaign's
+    experiments; shards that never produced an artifact (e.g. an
+    experiment restored from the resume journal on a later run) are
+    skipped, and the skip is reported in the returned summary.
+    """
+    root = Path(root)
+    summary: Dict[str, Any] = {
+        "telemetry_shards": 0, "capture_shards": 0, "missing_shards": []
+    }
+
+    metrics_docs: List[Dict[str, Any]] = []
+    span_lines: List[str] = []
+    span_records = []
+    capture_sources: List[Tuple[int, str, Path]] = []
+
+    for index, name in sorted(entries):
+        shard = shard_dir(root, index, name)
+        telemetry = shard / TELEMETRY_SUBDIR
+        metrics_path = telemetry / "metrics.json"
+        if metrics_path.exists():
+            summary["telemetry_shards"] += 1
+            metrics_docs.append(json.loads(metrics_path.read_text()))
+            spans_path = telemetry / "spans.jsonl"
+            if spans_path.exists():
+                text = spans_path.read_text()
+                for line in text.splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    record["shard"] = index
+                    span_lines.append(json.dumps(record, sort_keys=True))
+                span_records.extend(parse_spans_jsonl(text))
+        else:
+            summary["missing_shards"].append(index)
+        capture_path = shard / CAPTURE_SUBDIR / CAPTURE_FILE_NAME
+        if capture_path.exists():
+            summary["capture_shards"] += 1
+            capture_sources.append((index, name, capture_path))
+
+    if metrics_docs:
+        out = root / TELEMETRY_SUBDIR
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "metrics.json").write_text(
+            json.dumps(_merge_metrics_docs(metrics_docs, label),
+                       indent=2, sort_keys=True) + "\n"
+        )
+        (out / "spans.jsonl").write_text(
+            "\n".join(span_lines) + ("\n" if span_lines else "")
+        )
+        (out / "trace.json").write_text(
+            json.dumps(to_chrome_trace(span_records, label=label)) + "\n"
+        )
+        summary["telemetry_dir"] = str(out)
+
+    if capture_sources:
+        out = root / CAPTURE_SUBDIR
+        out.mkdir(parents=True, exist_ok=True)
+        path = _merge_captures(out / CAPTURE_FILE_NAME, capture_sources,
+                               label)
+        summary["capture_path"] = str(path)
+
+    return summary
+
+
+def _merge_captures(
+    target: Path,
+    sources: Sequence[Tuple[int, str, Path]],
+    label: str,
+) -> Path:
+    """Re-encode shard ``.rcap`` files into one campaign capture file."""
+    shards_meta: List[Dict[str, Any]] = []
+    datasets = []
+    for global_index, name, path in sources:
+        data = read_capture(path)
+        datasets.append((global_index, name, data))
+        shards_meta.append({
+            "index": global_index,
+            "name": name,
+            "source": str(path.parent.parent.name),
+            "events": len(data.events),
+            "captures": len(data.captures),
+        })
+    meta = {
+        "label": label,
+        "sim_epoch_ps": 0,
+        "merged_by": "repro.runtime",
+        "shards": shards_meta,
+        "experiments": len(datasets),
+        "events_retained": sum(len(d.events) for _, _, d in datasets),
+        "events_dropped": sum(
+            d.meta.get("events_dropped", 0) for _, _, d in datasets
+        ),
+        "corr_ids_assigned": sum(
+            d.meta.get("corr_ids_assigned", 0) for _, _, d in datasets
+        ),
+    }
+    with CaptureWriter(target, meta=meta) as writer:
+        for global_index, name, data in datasets:
+            # Per-shard experiment indices restart at 0; remap them to
+            # the campaign-global index (one experiment per shard, but
+            # the loop tolerates shards carrying several).
+            local_indices = sorted(
+                {marker.get("index", 0) for marker in data.experiments}
+            ) or [0]
+            remap = {
+                local: global_index + offset
+                for offset, local in enumerate(local_indices)
+            }
+            for marker in data.experiments:
+                marker = dict(marker)
+                marker["index"] = remap.get(marker.get("index", 0),
+                                            global_index)
+                marker["shard"] = shard_dir(".", global_index, name).name
+                writer.write_experiment(marker)
+            for window in data.captures:
+                writer.write_window(dataclasses.replace(
+                    window,
+                    experiment_index=remap.get(window.experiment_index,
+                                               global_index),
+                ))
+            for event in data.events:
+                writer.write_event(dataclasses.replace(
+                    event,
+                    experiment_index=remap.get(event.experiment_index,
+                                               global_index),
+                ))
+    return target
+
+
+def telemetry_dir(shard: Union[str, Path]) -> Path:
+    """A shard's telemetry output directory."""
+    return Path(shard) / TELEMETRY_SUBDIR
+
+
+def capture_dir(shard: Union[str, Path]) -> Path:
+    """A shard's capture output directory."""
+    return Path(shard) / CAPTURE_SUBDIR
+
+
+def merged_metrics_path(root: Union[str, Path]) -> Path:
+    """Where the merged ``metrics.json`` lands under an artifacts root."""
+    return Path(root) / TELEMETRY_SUBDIR / "metrics.json"
+
+
+def merged_capture_path(root: Union[str, Path]) -> Path:
+    """Where the merged ``capture.rcap`` lands under an artifacts root."""
+    return Path(root) / CAPTURE_SUBDIR / CAPTURE_FILE_NAME

@@ -1,0 +1,381 @@
+"""Campaign executors: one code path, serial or sharded.
+
+:meth:`repro.nftape.campaign.Campaign.run` drives an executor's
+``execute()`` generator and consumes ``(index, result)`` pairs **in
+experiment order** — the executor decides *how* the experiments run:
+
+* :class:`SerialExecutor` — in-process, one at a time.  Runs live
+  ``Experiment`` objects for legacy campaigns, or spec jobs through the
+  same :func:`~repro.runtime.worker.execute_job` path the workers use.
+* :class:`PooledExecutor` — a ``multiprocessing`` worker pool running
+  spec jobs N-at-a-time, each in a fresh process on a fresh test bed
+  with its deterministically derived seed.  Results are **order-merged**:
+  however the shards race, the pairs come out sorted by experiment
+  index, so the resulting table is bit-identical to a serial run.
+
+Robustness (pooled): every experiment gets a wall-clock timeout; a
+worker that crashes or times out is replaced by a fresh worker re-running
+the same seed, up to ``max_retries`` times; completions stream into a
+JSONL :class:`~repro.runtime.journal.CampaignJournal` so an interrupted
+campaign resumes without re-running finished experiments.
+
+Wall-clock note: this module (and :mod:`repro.runtime.worker`) carries
+the scoped SIM001 allowance alongside :mod:`repro.telemetry` — the
+engine times and kills *host* worker processes, and no wall-clock value
+can reach simulated time (workers rebuild their simulators from the
+derived seed alone).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import CampaignError
+from repro.nftape.results import ExperimentResult
+from repro.runtime.artifacts import merge_artifacts
+from repro.runtime.journal import CampaignJournal, result_from_dict
+from repro.runtime.spec import CampaignSpec
+from repro.runtime.worker import (
+    ExperimentJob,
+    execute_job,
+    job_for,
+    run_job_in_child,
+)
+
+__all__ = [
+    "SerialExecutor",
+    "PooledExecutor",
+    "DEFAULT_TIMEOUT_S",
+    "default_start_method",
+]
+
+#: Default per-experiment wall-clock timeout (generous: scaled paper
+#: experiments run in seconds; a stuck shard should not stall a shift).
+DEFAULT_TIMEOUT_S = 900.0
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (fast), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _ExecutorBase:
+    """Journal/resume/artifact plumbing shared by both executors."""
+
+    def __init__(
+        self,
+        journal_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        artifacts_dir: Optional[Union[str, Path]] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.journal_path = None if journal_path is None else Path(journal_path)
+        self.resume = resume
+        self.artifacts_dir = (
+            None if artifacts_dir is None else Path(artifacts_dir)
+        )
+        self.label = label
+        #: Experiment indices actually executed this run (for tests/UX).
+        self.executed: List[int] = []
+        #: Indices restored from the journal instead of re-run.
+        self.skipped: List[int] = []
+        #: Retries performed, keyed by experiment index.
+        self.retries: Dict[int, int] = {}
+        #: Summary dict of the artifact merge (once performed).
+        self.merge_summary: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+
+    def _open_journal(
+        self, spec: Optional[CampaignSpec]
+    ) -> Tuple[Optional[CampaignJournal], Dict[int, ExperimentResult]]:
+        """Create/validate the journal; load completed results on resume."""
+        if self.journal_path is None:
+            if self.resume:
+                raise CampaignError(
+                    "resume requested but no journal path configured"
+                )
+            return None, {}
+        if spec is None:
+            raise CampaignError(
+                "journalling requires a spec-based campaign "
+                "(build it with Campaign.from_spec)"
+            )
+        journal = CampaignJournal(self.journal_path)
+        completed: Dict[int, ExperimentResult] = {}
+        if self.resume:
+            completed = journal.completed(spec) if journal.path.exists() \
+                else {}
+        journal.begin(spec, resume=self.resume)
+        return journal, completed
+
+    def _merge(self, spec: CampaignSpec) -> None:
+        if self.artifacts_dir is None:
+            return
+        entries = [
+            (index, experiment.name)
+            for index, experiment in enumerate(spec.experiments)
+        ]
+        self.merge_summary = merge_artifacts(
+            self.artifacts_dir, entries, label=self.label or spec.name
+        )
+
+
+class SerialExecutor(_ExecutorBase):
+    """Run every experiment in-process, in order.
+
+    ``Campaign.run()`` with no executor argument uses this with default
+    options — behaviourally identical to the pre-engine serial loop.
+    Spec-based campaigns additionally get journalling, resume, and
+    per-experiment artifact shards (merged on completion) through the
+    exact same code path the pooled workers run.
+    """
+
+    def execute(self, campaign: Any,
+                progress: Optional[Any] = None
+                ) -> Iterator[Tuple[int, ExperimentResult]]:
+        """Yield ``(index, result)`` pairs in experiment order."""
+        spec: Optional[CampaignSpec] = getattr(campaign, "spec", None)
+        journal, completed = self._open_journal(spec)
+        total = len(campaign.experiments) if spec is None else len(spec)
+        for index in range(total):
+            if index in completed:
+                self.skipped.append(index)
+                if progress is not None:
+                    progress(f"[{index + 1}/{total}] restored "
+                             f"{completed[index].name} from journal")
+                yield index, completed[index]
+                continue
+            if spec is not None:
+                job = job_for(
+                    spec, index,
+                    artifacts_root=(
+                        None if self.artifacts_dir is None
+                        else str(self.artifacts_dir)
+                    ),
+                    label=self.label,
+                )
+                if progress is not None:
+                    progress(f"[{index + 1}/{total}] running {job.name}")
+                result = execute_job(job, in_process=True)
+                if journal is not None:
+                    journal.record(index, job.name, job.seed, result)
+            else:
+                experiment = campaign.experiments[index]
+                if progress is not None:
+                    progress(
+                        f"[{index + 1}/{total}] running {experiment.name}"
+                    )
+                result = experiment.run()
+            self.executed.append(index)
+            yield index, result
+        if spec is not None:
+            self._merge(spec)
+
+
+class _Slot:
+    """One live worker process and its result pipe."""
+
+    __slots__ = ("job", "process", "conn", "deadline")
+
+    def __init__(self, job: ExperimentJob, process: Any, conn: Any,
+                 deadline: Optional[float]) -> None:
+        self.job = job
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+class PooledExecutor(_ExecutorBase):
+    """Shard a spec-based campaign across a worker-process pool.
+
+    Parameters
+    ----------
+    workers:
+        Maximum experiments in flight at once.
+    timeout_s:
+        Per-experiment wall-clock budget; ``None`` disables the timeout.
+    max_retries:
+        How many fresh-worker re-runs (same derived seed) a crashed or
+        timed-out experiment gets before the campaign fails.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` when
+        available, else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+        max_retries: int = 1,
+        start_method: Optional[str] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        artifacts_dir: Optional[Union[str, Path]] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        super().__init__(journal_path=journal_path, resume=resume,
+                         artifacts_dir=artifacts_dir, label=label)
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.start_method = start_method or default_start_method()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, campaign: Any,
+                progress: Optional[Any] = None
+                ) -> Iterator[Tuple[int, ExperimentResult]]:
+        """Yield ``(index, result)`` in experiment order (order-merge)."""
+        spec: Optional[CampaignSpec] = getattr(campaign, "spec", None)
+        if spec is None:
+            raise CampaignError(
+                "PooledExecutor needs a declarative campaign: build it "
+                "with Campaign.from_spec(CampaignSpec(...)) so experiments "
+                "can be shipped to worker processes"
+            )
+        journal, ready = self._open_journal(spec)
+        self.skipped = sorted(ready)
+        total = len(spec)
+        context = multiprocessing.get_context(self.start_method)
+        pending: List[int] = [i for i in range(total) if i not in ready]
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        running: Dict[int, _Slot] = {}
+        next_yield = 0
+
+        def _spawn(index: int) -> None:
+            job = job_for(
+                spec, index,
+                attempt=attempts[index],
+                artifacts_root=(
+                    None if self.artifacts_dir is None
+                    else str(self.artifacts_dir)
+                ),
+                label=self.label,
+            )
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=run_job_in_child, args=(child_conn, job),
+                daemon=True,
+                name=f"repro-exp-{index:03d}-a{attempts[index]}",
+            )
+            process.start()
+            child_conn.close()
+            deadline = (
+                None if self.timeout_s is None
+                else time.monotonic() + self.timeout_s
+            )
+            running[index] = _Slot(job, process, parent_conn, deadline)
+
+        def _reap(index: int, reason: str) -> None:
+            """Kill a slot and either re-queue its job or fail."""
+            slot = running.pop(index)
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join(timeout=5)
+            slot.conn.close()
+            attempts[index] += 1
+            if attempts[index] > self.max_retries:
+                self._shutdown(running)
+                raise CampaignError(
+                    f"experiment {index} ({slot.job.name!r}) failed after "
+                    f"{attempts[index]} attempt(s): {reason}"
+                )
+            self.retries[index] = self.retries.get(index, 0) + 1
+            if progress is not None:
+                progress(
+                    f"retrying {slot.job.name} ({reason}, attempt "
+                    f"{attempts[index] + 1}/{self.max_retries + 1})"
+                )
+            pending.insert(0, index)
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    _spawn(pending.pop(0))
+                wait_timeout: Optional[float] = None
+                if self.timeout_s is not None and running:
+                    now = time.monotonic()
+                    wait_timeout = max(
+                        0.05,
+                        min(slot.deadline for slot in running.values())
+                        - now,
+                    )
+                ready_conns = multiprocessing.connection.wait(
+                    [slot.conn for slot in running.values()],
+                    timeout=wait_timeout,
+                )
+                now = time.monotonic()
+                for index in list(running):
+                    slot = running[index]
+                    # A slot counts as ready if wait() flagged it OR a
+                    # message is already buffered: a worker may finish
+                    # and exit between wait() returning (woken by some
+                    # *other* slot) and this liveness sweep — its result
+                    # must be read, not mistaken for a crash.
+                    if slot.conn in ready_conns or slot.conn.poll():
+                        try:
+                            status, payload = slot.conn.recv()
+                        except EOFError:
+                            _reap(index, "worker crashed "
+                                         f"(exit {slot.process.exitcode})")
+                            continue
+                        slot.process.join()
+                        slot.conn.close()
+                        running.pop(index)
+                        if status != "ok":
+                            self._shutdown(running)
+                            raise CampaignError(
+                                f"experiment {index} "
+                                f"({payload.get('name')!r}) raised "
+                                f"{payload.get('type')}: "
+                                f"{payload.get('message')}\n"
+                                f"{payload.get('traceback', '')}"
+                            )
+                        ready[index] = result_from_dict(payload["result"])
+                        self.executed.append(index)
+                        if journal is not None:
+                            journal.record(
+                                index, payload["name"], payload["seed"],
+                                ready[index], attempt=payload["attempt"],
+                            )
+                        if progress is not None:
+                            progress(
+                                f"[{len(ready)}/{total}] finished "
+                                f"{payload['name']}"
+                            )
+                    elif slot.deadline is not None and now >= slot.deadline:
+                        _reap(
+                            index,
+                            f"timed out after {self.timeout_s:.0f}s wall",
+                        )
+                    elif not slot.process.is_alive():
+                        _reap(index, "worker crashed "
+                                     f"(exit {slot.process.exitcode})")
+                while next_yield in ready:
+                    yield next_yield, ready.pop(next_yield)
+                    next_yield += 1
+            while next_yield in ready:
+                yield next_yield, ready.pop(next_yield)
+                next_yield += 1
+        finally:
+            self._shutdown(running)
+        self.executed.sort()
+        self._merge(spec)
+
+    @staticmethod
+    def _shutdown(running: Dict[int, _Slot]) -> None:
+        """Terminate any still-live workers (error/interrupt path)."""
+        for slot in running.values():
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join(timeout=5)
+            slot.conn.close()
+        running.clear()

@@ -1,0 +1,206 @@
+"""JSONL checkpoint journal and result (de)serialization.
+
+Every completed experiment is appended to a journal file as one JSON
+line, so a campaign interrupted by a crash, a timeout storm, or Ctrl-C
+can be resumed with ``--resume``: already-completed experiments are
+loaded from the journal and **not re-run**, and the merged
+:class:`~repro.nftape.results.ResultTable` is still bit-identical to an
+uninterrupted run (results are reconstructed from the journal, and the
+merge is ordered by experiment index, not completion time).
+
+File layout (one JSON object per line)::
+
+    {"type": "campaign", "version": 1, "name": …, "base_seed": …,
+     "experiments": N}
+    {"type": "result", "index": 0, "name": …, "seed": …, "attempt": 0,
+     "result": {…}}
+    …
+
+Lines are appended in *completion* order (which varies with worker
+count); resume and merge only ever key on ``index``.  A torn final line
+(the process died mid-write) is detected and ignored on load.
+
+The ``result`` payload is the JSON-safe subset of
+:class:`~repro.nftape.results.ExperimentResult` —
+:data:`RESULT_FIELDS` plus the host/switch counter maps.  ``extras``
+(live test beds, workload objects) deliberately does not survive the
+journal or the worker boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import CampaignError
+from repro.nftape.results import ExperimentResult
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "RESULT_FIELDS",
+    "result_to_dict",
+    "result_from_dict",
+    "CampaignJournal",
+]
+
+#: Journal file-format version (bump on incompatible layout changes).
+JOURNAL_VERSION = 1
+
+#: Scalar :class:`ExperimentResult` fields that cross the worker /
+#: journal boundary (plus ``params``/``notes`` and the counter maps).
+RESULT_FIELDS = (
+    "name",
+    "duration_ps",
+    "messages_sent",
+    "messages_received",
+    "injections",
+    "active_misdeliveries",
+    "corrupted_deliveries",
+    "send_failures",
+    "checksum_drops",
+)
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """The JSON-safe projection of a result (drops ``extras``)."""
+    payload: Dict[str, Any] = {
+        name: getattr(result, name) for name in RESULT_FIELDS
+    }
+    payload["params"] = dict(result.params)
+    payload["notes"] = list(result.notes)
+    payload["host_stats"] = {
+        host: dict(stats) for host, stats in result.host_stats.items()
+    }
+    payload["switch_stats"] = {
+        switch: dict(stats) for switch, stats in result.switch_stats.items()
+    }
+    return payload
+
+
+def result_from_dict(payload: Dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    result = ExperimentResult(
+        name=payload["name"],
+        params=dict(payload.get("params", {})),
+    )
+    for name in RESULT_FIELDS[1:]:
+        setattr(result, name, payload.get(name, 0))
+    result.notes = list(payload.get("notes", []))
+    result.host_stats = {
+        host: dict(stats)
+        for host, stats in payload.get("host_stats", {}).items()
+    }
+    result.switch_stats = {
+        switch: dict(stats)
+        for switch, stats in payload.get("switch_stats", {}).items()
+    }
+    return result
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint for one campaign run."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # header
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def header_for(spec: Any) -> Dict[str, Any]:
+        """The identity line a journal must carry to be resumable."""
+        return {
+            "type": "campaign",
+            "version": JOURNAL_VERSION,
+            "name": spec.name,
+            "base_seed": spec.base_seed,
+            "experiments": len(spec.experiments),
+        }
+
+    def begin(self, spec: Any, resume: bool = False) -> None:
+        """Create (or, when resuming, validate) the journal file.
+
+        A fresh run truncates any stale journal; a resumed run keeps the
+        existing file and appends to it.
+        """
+        header = self.header_for(spec)
+        if resume and self.path.exists():
+            self._validate_header(spec)
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as stream:
+            stream.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def _validate_header(self, spec: Any) -> None:
+        entries = self._read_lines()
+        if not entries or entries[0].get("type") != "campaign":
+            raise CampaignError(
+                f"journal {self.path} has no campaign header; "
+                "cannot resume (delete it to start fresh)"
+            )
+        header = entries[0]
+        expected = self.header_for(spec)
+        for key in ("version", "name", "base_seed", "experiments"):
+            if header.get(key) != expected[key]:
+                raise CampaignError(
+                    f"journal {self.path} was written by a different "
+                    f"campaign ({key}={header.get(key)!r}, expected "
+                    f"{expected[key]!r}); refusing to resume"
+                )
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+
+    def record(self, index: int, name: str, seed: int,
+               result: ExperimentResult, attempt: int = 0) -> None:
+        """Append one completed experiment (flushed per line)."""
+        entry = {
+            "type": "result",
+            "index": index,
+            "name": name,
+            "seed": seed,
+            "attempt": attempt,
+            "result": result_to_dict(result),
+        }
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(entry, sort_keys=True) + "\n")
+            stream.flush()
+
+    def completed(self, spec: Optional[Any] = None
+                  ) -> Dict[int, ExperimentResult]:
+        """Results already in the journal, keyed by experiment index.
+
+        With ``spec`` given the header is validated first; a missing
+        file simply yields an empty map (nothing completed yet).
+        """
+        if not self.path.exists():
+            return {}
+        if spec is not None:
+            self._validate_header(spec)
+        results: Dict[int, ExperimentResult] = {}
+        for entry in self._read_lines():
+            if entry.get("type") != "result":
+                continue
+            results[int(entry["index"])] = result_from_dict(entry["result"])
+        return results
+
+    def _read_lines(self) -> list:
+        """Parsed journal lines; a torn trailing line is dropped."""
+        entries = []
+        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
+        for number, raw in enumerate(raw_lines):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                entries.append(json.loads(raw))
+            except json.JSONDecodeError:
+                if number == len(raw_lines) - 1:
+                    break  # torn final line: the writer died mid-append
+                raise CampaignError(
+                    f"journal {self.path} is corrupt at line {number + 1}"
+                )
+        return entries

@@ -1,0 +1,176 @@
+"""The per-experiment unit of work, shared by every executor.
+
+One :class:`ExperimentJob` fully describes one experiment run: the
+(picklable) spec, the derived seed, the attempt number, and where the
+shard's artifacts go.  :func:`execute_job` is **the** code path that
+runs an experiment — the serial executor calls it in-process, the
+pooled executor ships the job to a child process whose entry point
+(:func:`run_job_in_child`) calls the very same function — so serial and
+sharded campaigns cannot drift apart behaviourally.
+
+When a job carries an artifacts directory, the experiment runs under
+its own private :class:`~repro.telemetry.TelemetrySession` and
+:class:`~repro.capture.CaptureSession`, dropping shard artifacts that
+:mod:`repro.runtime.artifacts` later merges.
+
+Fault-injection hooks
+---------------------
+Fittingly for a fault-injection framework, the engine can inject faults
+into *itself*: two reserved ``params`` keys let tests (and CI) exercise
+the crash-retry and timeout paths end-to-end —
+
+* ``"_crash_until_attempt": n`` — the child process dies abruptly
+  (``os._exit``) on attempts ``< n``, then succeeds;
+* ``"_hang_wall_s": s`` — the child sleeps ``s`` wall seconds before
+  running, tripping the per-experiment timeout.
+
+Both only ever fire inside a sacrificial worker process; the in-process
+serial executor ignores them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.capture import CaptureSession
+from repro.nftape.results import ExperimentResult
+from repro.runtime import artifacts as _artifacts
+from repro.runtime.journal import result_to_dict
+from repro.runtime.spec import CampaignSpec, ExperimentSpec
+from repro.telemetry import TelemetrySession
+
+__all__ = [
+    "ExperimentJob",
+    "job_for",
+    "execute_job",
+    "payload_for",
+    "run_job_in_child",
+    "CRASH_PARAM",
+    "HANG_PARAM",
+]
+
+#: Reserved params key: crash the worker on attempts below the value.
+CRASH_PARAM = "_crash_until_attempt"
+#: Reserved params key: sleep this many wall seconds before running.
+HANG_PARAM = "_hang_wall_s"
+#: Exit code of a deliberately crashed worker (distinctive in logs).
+CRASH_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """Everything a process needs to run one experiment."""
+
+    index: int
+    name: str
+    seed: int
+    spec: ExperimentSpec
+    attempt: int = 0
+    artifacts_dir: Optional[str] = None
+    label: str = "campaign"
+
+
+def job_for(
+    spec: CampaignSpec,
+    index: int,
+    attempt: int = 0,
+    artifacts_root: Optional[str] = None,
+    label: Optional[str] = None,
+) -> ExperimentJob:
+    """Build the job for experiment ``index`` of a campaign spec.
+
+    The seed comes from the campaign's derivation rule and the shard
+    directory from the artifact layout — both pure functions of
+    ``(spec, index)``, so every attempt of every executor builds the
+    same job (modulo ``attempt``).
+    """
+    experiment = spec.experiments[index]
+    shard = (
+        None if artifacts_root is None
+        else str(_artifacts.shard_dir(artifacts_root, index,
+                                      experiment.name))
+    )
+    return ExperimentJob(
+        index=index,
+        name=experiment.name,
+        seed=spec.seed_for(index),
+        spec=experiment,
+        attempt=attempt,
+        artifacts_dir=shard,
+        label=label or spec.name,
+    )
+
+
+def execute_job(job: ExperimentJob,
+                in_process: bool = False) -> ExperimentResult:
+    """Run one experiment job to completion; the shared code path.
+
+    With ``job.artifacts_dir`` set, telemetry and capture sessions are
+    opened around the run and shard artifacts written on exit.  The
+    fault-injection hooks (module docstring) fire only when
+    ``in_process`` is false — they exist to kill sacrificial workers,
+    never the orchestrating process.
+    """
+    if not in_process:
+        crash_until = job.spec.params.get(CRASH_PARAM)
+        if crash_until is not None and job.attempt < int(crash_until):
+            os._exit(CRASH_EXIT_CODE)
+        hang_s = job.spec.params.get(HANG_PARAM)
+        if hang_s:
+            time.sleep(float(hang_s))
+
+    experiment = job.spec.materialize(seed=job.seed)
+    label = f"{job.label}/{job.name}"
+    if job.artifacts_dir is not None:
+        telemetry = TelemetrySession(
+            out_dir=_artifacts.telemetry_dir(job.artifacts_dir), label=label
+        )
+        capture = CaptureSession(
+            out_dir=_artifacts.capture_dir(job.artifacts_dir), label=label
+        )
+        with telemetry, capture:
+            return experiment.run()
+    return experiment.run()
+
+
+def payload_for(job: ExperimentJob,
+                result: ExperimentResult) -> Dict[str, Any]:
+    """The JSON/pickle-safe completion message for a finished job."""
+    return {
+        "index": job.index,
+        "name": job.name,
+        "seed": job.seed,
+        "attempt": job.attempt,
+        "result": result_to_dict(result),
+    }
+
+
+def run_job_in_child(conn: Any, job: ExperimentJob) -> None:
+    """Child-process entry point: run the job, send one message back.
+
+    Protocol: exactly one ``("ok", payload)`` or ``("error", info)``
+    tuple is sent over ``conn``; a connection that closes without a
+    message means the worker crashed (the parent then retries with a
+    fresh worker and the same seed).
+    """
+    try:
+        result = execute_job(job)
+    except BaseException as exc:  # deterministic failure: do not retry
+        import traceback
+
+        try:
+            conn.send(("error", {
+                "index": job.index,
+                "name": job.name,
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", payload_for(job, result)))
+    conn.close()

@@ -91,6 +91,21 @@ def test_sim001_allows_the_telemetry_boundary(tmp_path):
     assert findings == []
 
 
+def test_sim001_allows_the_runtime_boundary(tmp_path):
+    """repro.runtime times and kills *host-side* worker processes
+    (per-experiment wall-clock timeouts); workers rebuild simulators
+    from derived seeds alone, so the allowance is sound."""
+    findings = lint_tree(tmp_path, {
+        "repro/runtime/executors_like.py": """\
+            import time
+
+            def deadline(timeout_s):
+                return time.monotonic() + timeout_s
+            """,
+    })
+    assert findings == []
+
+
 def test_sim001_ignores_code_outside_repro(tmp_path):
     findings = lint_tree(tmp_path, {
         "tools/report_tool.py": """\

@@ -60,6 +60,52 @@ class TestCli:
         ) == 2
         assert "no capture artifact" in capsys.readouterr().err
 
+    def test_campaign_artifacts_dir_parallel(self, tmp_path, capsys):
+        """--workers N --artifacts-dir DIR: journal + merged artifacts."""
+        root = tmp_path / "art"
+        assert main([
+            "campaign", "--experiments", "2", "--duration-ms", "1",
+            "--workers", "2", "--artifacts-dir", str(root), "--no-progress",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 experiment(s) executed with 2 worker(s)" in out
+        assert "artifacts merged" in out
+        assert (root / "journal.jsonl").exists()
+        assert (root / "telemetry" / "metrics.json").exists()
+        assert (root / "capture" / "capture.rcap").exists()
+        assert (root / "experiments").is_dir()
+
+    def test_campaign_resume_requires_artifacts_dir(self, capsys):
+        assert main(["campaign", "--resume", "--no-progress"]) == 2
+        assert "--artifacts-dir" in capsys.readouterr().err
+
+    def test_campaign_workers_reject_deprecated_dirs(self, tmp_path, capsys):
+        assert main([
+            "campaign", "--workers", "2",
+            "--telemetry-dir", str(tmp_path / "t"), "--no-progress",
+        ]) == 2
+        assert "--artifacts-dir" in capsys.readouterr().err
+
+    def test_deprecated_flags_warn_but_work(self, tmp_path, capsys):
+        tel = tmp_path / "tel"
+        assert main([
+            "campaign", "--experiments", "1", "--duration-ms", "1",
+            "--telemetry-dir", str(tel), "--no-progress",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert (tel / "metrics.json").exists()
+
+    def test_artifacts_dir_umbrella_on_run(self, tmp_path, capsys):
+        root = tmp_path / "art"
+        assert main([
+            "run", "sec434", "--artifacts-dir", str(root),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" not in captured.err
+        assert (root / "telemetry" / "metrics.json").exists()
+        assert (root / "capture" / "capture.rcap").exists()
+
     def test_campaign_capture_then_decode(self, tmp_path, capsys):
         """CLI acceptance: campaign --capture-dir, then summarize/decode."""
         cap_dir = str(tmp_path / "cap")

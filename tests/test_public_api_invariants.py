@@ -36,7 +36,10 @@ PUBLIC_MODULES = [
     "repro.nftape.workload", "repro.nftape.plan", "repro.nftape.results",
     "repro.nftape.classify", "repro.nftape.report",
     "repro.nftape.random_faults", "repro.nftape.paper",
-    "repro.errors", "repro.cli",
+    "repro.runtime", "repro.runtime.spec", "repro.runtime.seeding",
+    "repro.runtime.executors", "repro.runtime.journal",
+    "repro.runtime.artifacts", "repro.runtime.worker",
+    "repro.errors", "repro.cli", "repro.api",
 ]
 
 
