@@ -1,0 +1,216 @@
+"""Fast-path speedup on the §3.5 pass-through workload.
+
+The fast path exists for exactly one reason: §3.5 traffic is almost
+entirely pass-through, and the scalar pipeline pays full per-symbol
+Python cost to *not* inject into it.  This benchmark drives the same
+framed pass-through symbol stream through the scalar reference and the
+:class:`~repro.fastpath.engine.FastPathEngine` and records symbols/sec
+for both, plus the wall clock of the full §3.5 scenario under each
+pipeline, in ``BENCH_fastpath.json`` at the repo root.
+
+Honesty contract: the two runs must be symbol-exact (streams and
+injector stats are asserted identical before any rate is reported), and
+the ≥3× speedup target is reported as a pass/fail gate — if the armed
+pass-through speedup falls short, ``speedup_gate_waived`` is set with
+the measured number in the reason rather than quietly dropping the
+field.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import List
+
+from benchmarks.conftest import bench_scale, record_result, scaled_ps
+from repro.core.faults import replace_bytes
+from repro.fastpath import FastPathEngine, pipeline_override
+from repro.hw.injector import FifoInjector
+from repro.hw.registers import InjectorConfig, MatchMode
+from repro.myrinet.crc8 import crc8
+from repro.myrinet.symbols import GAP, Symbol, data_symbol, symbol_bytes
+from repro.nftape.paper import sec35_passthrough
+from repro.sim.timebase import MS
+
+#: Repo-root artifact: variant -> {symbols_per_s, ...} + the gate verdict.
+BENCH_FASTPATH_PATH = (
+    pathlib.Path(__file__).parent.parent / "BENCH_fastpath.json"
+)
+
+PIPELINE_DEPTH = 8
+
+#: The trigger byte the armed variant watches for; the workload below
+#: never emits it, so the stream is 100% pass-through (§3.5: "the fault
+#: injector caused no observable impact on the data transfer rate").
+TRIGGER_BYTE = 0xEE
+
+
+def _workload(n_bursts: int, frames_per_burst: int = 8,
+              payload_len: int = 60) -> List[List[Symbol]]:
+    """Framed bidirectional-style traffic: payload + CRC + GAP frames.
+
+    Payload bytes cycle over 0x20..0x7F (never ``TRIGGER_BYTE``), so an
+    armed injector watching for it does full compare work per symbol
+    without ever firing — the pure §3.5 pass-through regime.
+    """
+    bursts: List[List[Symbol]] = []
+    counter = 0
+    for _ in range(n_bursts):
+        burst: List[Symbol] = []
+        for _ in range(frames_per_burst):
+            payload = bytes(
+                0x20 + ((counter + i) % 0x60) for i in range(payload_len)
+            )
+            counter += 7
+            burst.extend(data_symbol(b) for b in payload)
+            burst.append(data_symbol(crc8(payload)))
+            burst.append(GAP)
+        bursts.append(burst)
+    return bursts
+
+
+def _drive(front, bursts: List[List[Symbol]]) -> tuple:
+    """Feed every burst through ``front``; return (wall_s, stream digest)."""
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    start = time.perf_counter()
+    for burst in bursts:
+        output = front.process_burst(list(burst))
+        digest.update(symbol_bytes(output))
+    wall_s = time.perf_counter() - start
+    return wall_s, digest.hexdigest()
+
+
+def _variant(config: InjectorConfig,
+             bursts: List[List[Symbol]], repeats: int = 3) -> dict:
+    """Best-of-N scalar vs fast rates for one register file."""
+    total_symbols = sum(len(b) for b in bursts)
+    best = {}
+    digests = {}
+    stats = {}
+    for label, wrap in (("scalar", False), ("fast", True)):
+        walls = []
+        for _ in range(repeats):
+            injector = FifoInjector(name=label,
+                                    pipeline_depth=PIPELINE_DEPTH)
+            injector.configure(config)
+            front = FastPathEngine(injector) if wrap else injector
+            wall_s, digest = _drive(front, bursts)
+            walls.append(wall_s)
+            digests[label] = digest
+            stats[label] = injector.stats
+        best[label] = min(walls)
+    # Exactness before any rate is reported: same stream, same counters.
+    assert digests["scalar"] == digests["fast"], digests
+    assert stats["scalar"] == stats["fast"], stats
+    speedup = best["scalar"] / best["fast"] if best["fast"] else 0.0
+    return {
+        "symbols": total_symbols,
+        "scalar": {
+            "wall_s": round(best["scalar"], 6),
+            "symbols_per_s": round(total_symbols / best["scalar"], 1),
+        },
+        "fast": {
+            "wall_s": round(best["fast"], 6),
+            "symbols_per_s": round(total_symbols / best["fast"], 1),
+        },
+        "speedup": round(speedup, 2),
+    }
+
+
+def _scenario_walls(duration_ps: int) -> dict:
+    """Full §3.5 scenario wall clock under each pipeline (context row).
+
+    Event-kernel and host-model time dilute the data-path speedup here;
+    the row is reported for honesty, not gated.
+    """
+    out = {}
+    tables = {}
+    for pipeline in ("scalar", "fast"):
+        with pipeline_override(pipeline):
+            start = time.perf_counter()
+            table = sec35_passthrough(duration_ps=duration_ps)
+            out[pipeline] = round(time.perf_counter() - start, 6)
+            tables[pipeline] = table.render()
+    assert tables["scalar"] == tables["fast"]
+    ratio = out["scalar"] / out["fast"] if out["fast"] else 0.0
+    return {
+        "scalar_wall_s": out["scalar"],
+        "fast_wall_s": out["fast"],
+        "speedup": round(ratio, 2),
+    }
+
+
+def test_fastpath_speedup(benchmark):
+    n_bursts = max(20, int(120 * bench_scale()))
+    bursts = _workload(n_bursts)
+
+    def run_all():
+        return {
+            # Disarmed transparent pipe: both paths short-circuit, so
+            # this row is a no-regression check, not a speedup claim.
+            "disarmed_passthrough": _variant(InjectorConfig(), bursts),
+            # Armed, never firing: the scalar path does full per-symbol
+            # compare work; the fast path prefilters and bulk-accounts.
+            # This is the gated §3.5 pass-through regime.
+            "armed_passthrough": _variant(
+                replace_bytes(bytes([TRIGGER_BYTE]), b"\x00",
+                              match_mode=MatchMode.ON),
+                bursts,
+            ),
+            "sec35_scenario": _scenario_walls(scaled_ps(2 * MS)),
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    gated = rows["armed_passthrough"]["speedup"]
+    gate_met = gated >= 3.0
+    document = {
+        "generated_by": "benchmarks/bench_fastpath.py",
+        "schema": (
+            "variant -> {scalar, fast: {wall_s, symbols_per_s}, speedup}"
+        ),
+        "bench_scale": bench_scale(),
+        "workload": {
+            "bursts": n_bursts,
+            "symbols": rows["armed_passthrough"]["symbols"],
+            "shape": "8 frames/burst x (60B payload + CRC + GAP)",
+        },
+        "variants": rows,
+        "speedup_target": 3.0,
+        "speedup_measured": gated,
+        "speedup_gate_waived": (
+            False
+            if gate_met
+            else (
+                f"armed pass-through speedup {gated}x below the 3x "
+                "target on this host; symbol exactness still holds"
+            )
+        ),
+    }
+    BENCH_FASTPATH_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "fastpath speedup (scalar vs fast, symbol-exact runs)",
+        "  disarmed pass-through: "
+        f"{rows['disarmed_passthrough']['speedup']}x "
+        f"({rows['disarmed_passthrough']['fast']['symbols_per_s']:,.0f} "
+        "symbols/s fast)",
+        "  armed pass-through:    "
+        f"{gated}x "
+        f"({rows['armed_passthrough']['fast']['symbols_per_s']:,.0f} "
+        "symbols/s fast) "
+        f"[gate >= 3x: {'met' if gate_met else 'WAIVED'}]",
+        "  sec35 scenario wall:   "
+        f"{rows['sec35_scenario']['speedup']}x "
+        f"({rows['sec35_scenario']['scalar_wall_s']:.3f}s -> "
+        f"{rows['sec35_scenario']['fast_wall_s']:.3f}s)",
+    ]
+    record_result("fastpath_speedup", "\n".join(lines))
+
+    # The fast path must never be slower than scalar on its home turf.
+    assert gated > 1.0, rows["armed_passthrough"]

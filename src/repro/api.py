@@ -35,6 +35,12 @@ from typing import Any
 from repro.capture import CaptureSession
 from repro.core import FaultInjectorDevice, InjectorSession
 from repro.core.faults import control_symbol_swap, replace_bytes
+from repro.fastpath import (
+    PIPELINES,
+    pipeline_override,
+    resolve_pipeline,
+    set_default_pipeline,
+)
 from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
 from repro.myrinet import build_paper_testbed
 from repro.nftape.campaign import Campaign, default_row
@@ -76,6 +82,11 @@ __all__ = [
     "replace_bytes",
     "control_symbol_swap",
     "build_paper_testbed",
+    # data-path pipeline selection (scalar reference vs batched fast path)
+    "PIPELINES",
+    "pipeline_override",
+    "resolve_pipeline",
+    "set_default_pipeline",
     # test beds and experiments
     "Testbed",
     "TestbedOptions",

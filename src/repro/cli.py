@@ -126,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment names, or 'all'")
     run.add_argument("--scale", type=float, default=1.0,
                      help="duration scale factor (default 1.0)")
+    run.add_argument("--pipeline", choices=("scalar", "fast"), default=None,
+                     help="data-path implementation: the cycle-stepped "
+                          "reference ('scalar', default) or the batched "
+                          "symbol-stream engine ('fast'); see "
+                          "docs/fastpath.md")
     run.add_argument("--out", default=None,
                      help="write a combined report (.md or .txt)")
     run.add_argument("--artifacts-dir", default=None,
@@ -149,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0,
                           help="base campaign seed (default 0); per-"
                                "experiment seeds are derived from it")
+    campaign.add_argument("--pipeline", choices=("scalar", "fast"),
+                          default=None,
+                          help="data-path implementation (scalar|fast); "
+                               "exported as REPRO_PIPELINE so pooled "
+                               "workers inherit it")
     campaign.add_argument("--workers", type=int, default=1,
                           help="worker processes; >1 shards experiments "
                                "across a pool with bit-identical results "
@@ -227,6 +237,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of identical replays (default 2)")
     sanitize.add_argument("--duration-ms", type=float, default=4.0,
                           help="workload duration in simulated ms (default 4)")
+    sanitize.add_argument("--pipeline", choices=("scalar", "fast"),
+                          default=None,
+                          help="data-path implementation to replay under")
+
+    golden = sub.add_parser(
+        "golden",
+        help="check or regenerate the tests/golden/*.digest corpus",
+    )
+    golden_mode = golden.add_mutually_exclusive_group(required=True)
+    golden_mode.add_argument("--check", action="store_true",
+                             help="recompute every digest and compare "
+                                  "against the committed corpus")
+    golden_mode.add_argument("--regen", action="store_true",
+                             help="rewrite the corpus from the current "
+                                  "scalar reference pipeline")
+    golden.add_argument("--dir", default="tests/golden",
+                        help="corpus directory (default tests/golden)")
+    golden.add_argument("--pipeline", choices=("scalar", "fast"),
+                        default=None,
+                        help="pipeline to check with (--check only; "
+                             "--regen always uses the scalar reference)")
+    golden.add_argument("--only", default=None,
+                        help="restrict to one scenario by name")
     return parser
 
 
@@ -565,10 +598,32 @@ def _run_sanitize(args) -> int:
     return 0 if report.deterministic else 1
 
 
+def _run_golden(args) -> int:
+    """``golden --check|--regen``: the digest corpus gate."""
+    from repro.fastpath.golden import check_corpus, regen_corpus
+
+    if args.regen:
+        written = regen_corpus(args.dir, only=args.only)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    report = check_corpus(args.dir, pipeline=args.pipeline, only=args.only)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    pipeline = getattr(args, "pipeline", None)
+    if pipeline is not None and args.command != "golden":
+        from repro.fastpath import set_default_pipeline
+        set_default_pipeline(pipeline)
+
+    if args.command == "golden":
+        return _run_golden(args)
 
     if args.command in (None, "list"):
         print(_list_experiments())

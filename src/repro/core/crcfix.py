@@ -16,7 +16,7 @@ laundered accidentally.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.myrinet.crc8 import crc8_update
 from repro.myrinet.symbols import GAP, Symbol, data_symbol, decode_control
@@ -42,19 +42,39 @@ class CrcFixupStage:
         self._frame_dirty = True
 
     def feed(self, symbols: List[Symbol], enabled: bool,
-             dirty: bool = False) -> List[Symbol]:
+             dirty: Union[bool, Sequence[int]] = False) -> List[Symbol]:
         """Run a burst through the stage.
 
-        ``enabled`` is the injector's crc_fixup register; ``dirty``
-        marks that an injection fired somewhere in this burst.  With the
-        stage disabled and idle the burst passes through untouched.
+        ``enabled`` is the injector's crc_fixup register.  ``dirty``
+        localises the injection damage:
+
+        * a sequence of burst-relative positions (the injector's
+          ``last_burst_rewrites``) marks *exactly the frames containing
+          those positions* dirty — a clean frame sharing a burst with a
+          corrupted one passes through byte-identical, and every
+          corrupted frame in the burst is fixed, not just the first;
+        * ``True`` keeps the legacy burst-scoped behaviour (the whole
+          current frame is considered dirty) for direct callers.
+
+        With the stage disabled and idle (and no positions to latch)
+        the burst passes through untouched.
         """
-        if dirty:
+        positions: Sequence[int] = ()
+        if dirty is True:
             self._frame_dirty = True
-        if not enabled and self.idle:
+        elif dirty:
+            positions = dirty if isinstance(dirty, (set, frozenset)) \
+                else frozenset(dirty)
+        if not enabled and self.idle and not positions:
             return symbols
         out: List[Symbol] = []
+        idx = 0
         for symbol in symbols:
+            if idx in positions:
+                # The injector rewrote this position: whatever frame it
+                # belongs to carries the damage.
+                self._frame_dirty = True
+            idx += 1
             if symbol.is_data:
                 if self._held is not None:
                     out.append(self._held)

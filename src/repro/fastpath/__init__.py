@@ -1,0 +1,50 @@
+"""repro.fastpath — batched symbol fast path for the device pipeline.
+
+The paper's FPGA forwards pass-through traffic at wire speed and only
+ever *inspects* most symbols: the two-phase FIFO pipeline moves symbols
+along, the compare unit fires rarely, and the injector touches the
+stream only inside a narrow window around a match (§3.3, §3.5).  The
+scalar simulator pays full per-symbol event-kernel cost for every one of
+those symbols, which makes the scalar pipeline the dominant wall-clock
+term of every benchmark.
+
+This package adds the batched equivalent: whole-burst value/flag planes
+(:mod:`repro.fastpath.buffer`), a compare-mask prefilter that scans
+those planes with C-level ``bytes`` primitives
+(:mod:`repro.fastpath.prefilter`), and a per-direction engine
+(:mod:`repro.fastpath.engine`) that bulk-accounts pass-through stretches
+and falls back to the *existing* scalar ``hw`` path inside a guard
+window around trigger matches, armed injections, pending forced
+injections and non-empty FIFOs.  The scalar path remains the reference
+implementation; the fast path must be symbol-exact against it — proven
+by the differential harness in ``tests/differential`` and the golden
+corpus under ``tests/golden``.
+
+Pipeline selection lives in :mod:`repro.fastpath.state`:
+``Device(pipeline="fast"|"scalar")``, ``set_default_pipeline()``, the
+``REPRO_PIPELINE`` environment variable and the CLI ``--pipeline`` flag.
+The default stays ``scalar``.
+"""
+
+from repro.fastpath.buffer import SymbolBuffer
+from repro.fastpath.engine import FastPathEngine
+from repro.fastpath.prefilter import CompiledMatcher, compile_matcher
+from repro.fastpath.state import (
+    PIPELINES,
+    default_pipeline,
+    pipeline_override,
+    resolve_pipeline,
+    set_default_pipeline,
+)
+
+__all__ = [
+    "CompiledMatcher",
+    "FastPathEngine",
+    "PIPELINES",
+    "SymbolBuffer",
+    "compile_matcher",
+    "default_pipeline",
+    "pipeline_override",
+    "resolve_pipeline",
+    "set_default_pipeline",
+]

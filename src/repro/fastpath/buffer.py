@@ -1,0 +1,121 @@
+"""Whole-burst symbol buffers with cached value/flag planes.
+
+A :class:`SymbolBuffer` *is* a list of :class:`~repro.myrinet.symbols.Symbol`
+objects — every scalar consumer (the FIFO injector, the CRC fixup stage,
+the statistics gatherer, slicing, iteration) works on it unchanged.  On
+top of the list it lazily materialises two parallel byte planes:
+
+``values``
+    one byte per symbol: the 8-bit payload value;
+``flags``
+    one byte per symbol: 1 for data, 0 for control (the D/C bit).
+
+Both planes are built in a single C-level pass by joining the symbols'
+precomputed 2-byte ``pair`` slots and slicing the result — measured at
+~31 ns/symbol, versus ~70 ns/symbol for a per-symbol generator
+expression.  The planes are what the prefilter scans with ``bytes.find``
+and what the batched statistics/frame paths consume with
+``bytes.count`` / slice-extends.
+
+Producers that already hold raw payload bytes (the host interface's
+packet pump) should use :meth:`SymbolBuffer.from_frame`, which seeds the
+planes directly without touching Symbol objects at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.myrinet.symbols import GAP, Symbol, data_symbols
+
+_GAP_PAIR = GAP.pair
+
+
+class SymbolBuffer(List[Symbol]):
+    """A symbol list with lazily cached ``values``/``flags`` byte planes.
+
+    The planes are invalidated implicitly: they are only trusted when
+    their length still matches ``len(self)``.  In-place *same-length*
+    mutation would defeat that guard, but no consumer in the tree
+    mutates a burst in place — the injector and CRC stage both build
+    fresh output lists.  The sanitizer-facing invariant is checked in
+    the differential suite.
+    """
+
+    __slots__ = ("_values", "_flags")
+
+    def __init__(self, symbols: Iterable[Symbol] = ()) -> None:
+        super().__init__(symbols)
+        self._values: Optional[bytes] = None
+        self._flags: Optional[bytes] = None
+
+    # -- plane construction -------------------------------------------------
+
+    def _materialize(self) -> None:
+        joined = b"".join([s.pair for s in self])
+        self._flags = joined[0::2]
+        self._values = joined[1::2]
+
+    @property
+    def values(self) -> bytes:
+        """One byte per symbol: the 8-bit payload value."""
+        if self._values is None or len(self._values) != len(self):
+            self._materialize()
+        assert self._values is not None
+        return self._values
+
+    @property
+    def flags(self) -> bytes:
+        """One byte per symbol: 1 = data, 0 = control."""
+        if self._flags is None or len(self._flags) != len(self):
+            self._materialize()
+        assert self._flags is not None
+        return self._flags
+
+    def planes(self) -> Tuple[bytes, bytes]:
+        """``(values, flags)`` as one call (single staleness check)."""
+        if (
+            self._values is None
+            or self._flags is None
+            or len(self._values) != len(self)
+        ):
+            self._materialize()
+        assert self._values is not None and self._flags is not None
+        return self._values, self._flags
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_frame(cls, payload: Sequence[int], gap: bool = True) -> "SymbolBuffer":
+        """Buffer for a raw payload byte sequence (+ trailing GAP).
+
+        Seeds the planes directly from the payload bytes, so producers
+        that already hold ``bytes`` pay nothing per symbol beyond the
+        interned-symbol list build they were already doing.
+        """
+        buf = cls(data_symbols(payload))
+        raw = bytes(payload)
+        if gap:
+            buf.append(GAP)
+            buf._values = raw + _GAP_PAIR[1:2]
+            buf._flags = b"\x01" * len(raw) + b"\x00"
+        else:
+            buf._values = raw
+            buf._flags = b"\x01" * len(raw)
+        return buf
+
+    @classmethod
+    def wrap(cls, symbols: Sequence[Symbol]) -> "SymbolBuffer":
+        """Wrap an existing symbol sequence (reuses planes if present)."""
+        if type(symbols) is cls:
+            return symbols
+        buf = cls(symbols)
+        return buf
+
+    @classmethod
+    def copy_from(cls, other: "SymbolBuffer") -> "SymbolBuffer":
+        """A defensive copy that shares the (immutable) cached planes."""
+        buf = cls(other)
+        buf._values = other._values
+        buf._flags = other._flags
+        return buf

@@ -1,0 +1,641 @@
+"""Differential conformance between the scalar and fast pipelines.
+
+The contract of :mod:`repro.fastpath` is *symbol exactness*: for any
+workload, the batched engine must deliver byte-for-byte the same symbol
+streams, statistics tables, telemetry counters and ``.rcap`` capture
+artifacts as the cycle-stepped scalar reference.  This module is the
+executable form of that contract — a registry of named scenarios, each
+of which can be run under either pipeline and reduced to a comparable
+:class:`RunArtifacts` record.
+
+Scenario classes:
+
+* **paper** — the §4.3 nftape campaigns (throughput under flow-control
+  faults, packet-type corruption, physical-address corruption, UDP
+  checksum corruption), run through the full Figure 10 test bed at a
+  reduced duration.
+* **device** — the device driven directly over two links: fuzzed symbol
+  soup (seeded, reproducible), pathological back-to-back triggers, and
+  mid-campaign serial reconfiguration including ``PL`` pipeline
+  switches (serial-command epochs).
+
+Comparison rules:
+
+* Delivered streams, statistics and ``.rcap`` bytes must be identical.
+* Telemetry must be identical *except* the ``fastpath.*`` namespace
+  (which exists only so operators can see what the engine did) and the
+  wall-clock-derived series (``sim.events_per_s``, ``session.wall_s``)
+  — simulation results never depend on the wall clock, but these two
+  series report it by design.
+
+The pytest harness in ``tests/differential/`` asserts every scenario;
+``REPRO_DIFF_ROUNDS=N`` widens the fuzz sweep.  The golden corpus
+(:mod:`repro.fastpath.golden`) pins a digest of the scalar reference's
+artifacts so *both* pipelines are also anchored across commits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.capture.session import CAPTURE_FILE_NAME, CaptureSession
+from repro.core.device import FaultInjectorDevice
+from repro.core.faults import control_symbol_swap, replace_bytes
+from repro.core.monitor import MonitorConfig
+from repro.core.session import InjectorSession
+from repro.fastpath.state import pipeline_override
+from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.myrinet.link import Channel, Link
+from repro.myrinet.symbols import (
+    GAP,
+    GO,
+    IDLE,
+    STOP,
+    Symbol,
+    control_symbol,
+    data_symbol,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.timebase import MS
+from repro.telemetry import TelemetrySession
+
+__all__ = [
+    "Mismatch",
+    "RunArtifacts",
+    "Scenario",
+    "SCENARIOS",
+    "compare_runs",
+    "filtered_metrics",
+    "fuzz_scenario",
+    "iter_scenarios",
+    "run_scenario",
+    "verify_scenario",
+]
+
+#: Telemetry series that report the host wall clock by design; they are
+#: the only non-``fastpath.*`` series allowed to differ between runs.
+WALL_CLOCK_SERIES = frozenset({"sim.events_per_s", "session.wall_s"})
+
+#: The namespace that exists only under the fast pipeline.
+FASTPATH_PREFIX = "fastpath."
+
+
+def _digest(*parts: bytes) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part)
+    return h.hexdigest()
+
+
+def filtered_metrics(registry) -> Dict[str, Any]:
+    """A registry snapshot with the allowed-to-differ series removed."""
+    document = registry.to_dict()
+    document["series"] = [
+        series
+        for series in document["series"]
+        if not series["name"].startswith(FASTPATH_PREFIX)
+        and series["name"] not in WALL_CLOCK_SERIES
+    ]
+    return document
+
+
+# ----------------------------------------------------------------------
+# artifacts and comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunArtifacts:
+    """Everything one scenario run produced, reduced to comparables."""
+
+    scenario: str
+    pipeline: str
+    #: blake2b over each delivered symbol stream (device scenarios) or
+    #: over the rendered result tables (paper scenarios).
+    stream_digests: Dict[str, str] = field(default_factory=dict)
+    #: Statistics tables / counters, JSON-comparable.
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: Rendered human-readable tables (paper scenarios).
+    tables: str = ""
+    #: Filtered telemetry snapshot (no fastpath.*, no wall series).
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: blake2b over the raw bytes of the ``.rcap`` artifact.
+    rcap_digest: str = ""
+    #: Fast-path engine counters (diagnostics only — never compared,
+    #: never part of the fingerprint; used to assert the fast pipeline
+    #: actually exercised its bulk path rather than always falling back).
+    fastpath: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """One digest over every comparable field (golden corpus key)."""
+        return _digest(
+            json.dumps(
+                {
+                    "streams": self.stream_digests,
+                    "stats": self.stats,
+                    "tables": self.tables,
+                    "telemetry": self.telemetry,
+                    "rcap": self.rcap_digest,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        )
+
+
+@dataclass
+class Mismatch:
+    """One field where two runs of the same scenario diverged."""
+
+    scenario: str
+    fieldname: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.scenario}: {self.fieldname}: {self.detail}"
+
+
+def _diff_series(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """Name the telemetry series that differ (bounded, readable)."""
+    index_a = {
+        (s["name"], json.dumps(s.get("labels", {}), sort_keys=True)): s
+        for s in a.get("series", [])
+    }
+    index_b = {
+        (s["name"], json.dumps(s.get("labels", {}), sort_keys=True)): s
+        for s in b.get("series", [])
+    }
+    names: List[str] = []
+    for key in sorted(set(index_a) | set(index_b)):
+        if index_a.get(key) != index_b.get(key):
+            names.append(f"{key[0]}{key[1]}")
+    head = ", ".join(names[:8])
+    if len(names) > 8:
+        head += f" (+{len(names) - 8} more)"
+    return f"{len(names)} series differ: {head}"
+
+
+def compare_runs(a: RunArtifacts, b: RunArtifacts) -> List[Mismatch]:
+    """Every way two runs of one scenario disagree (empty = conformant)."""
+    mismatches: List[Mismatch] = []
+    if a.stream_digests != b.stream_digests:
+        mismatches.append(Mismatch(
+            a.scenario, "stream",
+            f"{a.pipeline}={a.stream_digests} {b.pipeline}={b.stream_digests}",
+        ))
+    if a.stats != b.stats:
+        keys = sorted(
+            k for k in set(a.stats) | set(b.stats)
+            if a.stats.get(k) != b.stats.get(k)
+        )
+        mismatches.append(Mismatch(
+            a.scenario, "stats", f"differing keys: {', '.join(keys)}"
+        ))
+    if a.tables != b.tables:
+        mismatches.append(Mismatch(
+            a.scenario, "tables", "rendered result tables differ"
+        ))
+    if a.telemetry != b.telemetry:
+        mismatches.append(Mismatch(
+            a.scenario, "telemetry", _diff_series(a.telemetry, b.telemetry)
+        ))
+    if a.rcap_digest != b.rcap_digest:
+        mismatches.append(Mismatch(
+            a.scenario, "rcap",
+            f"{a.pipeline}={a.rcap_digest} {b.pipeline}={b.rcap_digest}",
+        ))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# device-level harness
+# ----------------------------------------------------------------------
+
+
+class _StreamTap:
+    """Link endpoint that folds every delivered symbol into a digest."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.symbols = 0
+
+    def on_burst(self, burst: List[Symbol], channel: Channel) -> None:
+        self.symbols += len(burst)
+        self._hash.update(b"".join([s.pair for s in burst]))
+
+    def digest(self) -> str:
+        return f"{self._hash.hexdigest()}:{self.symbols}"
+
+
+class _DeviceHarness:
+    """The device alone on a bench: two links, two taps, one session."""
+
+    def __init__(self, pipeline: str, *, monitor: bool = False,
+                 pipeline_depth: int = 8) -> None:
+        self.sim = Simulator()
+        config = (
+            MonitorConfig(enabled=True, pre_symbols=64, post_symbols=64)
+            if monitor else None
+        )
+        self.device = FaultInjectorDevice(
+            self.sim,
+            pipeline_depth=pipeline_depth,
+            monitor_config=config,
+            pipeline=pipeline,
+        )
+        left = Link(self.sim, "conf-left")
+        right = Link(self.sim, "conf-right")
+        self.device.attach_left(left, "b")
+        self.device.attach_right(right, "a")
+        # Left endpoint transmits rightward (direction R) and receives
+        # the leftward (L) output; the right endpoint mirrors it.
+        self.tap_l = _StreamTap()
+        self.tap_r = _StreamTap()
+        self.tx_r = left.attach_a(self.tap_l)
+        self.tx_l = right.attach_b(self.tap_r)
+        self.session = InjectorSession(self.sim, self.device)
+
+    def send(self, direction: str, burst: List[Symbol], at_ps: int) -> None:
+        channel = self.tx_r if direction == "R" else self.tx_l
+        self.sim.schedule_at(at_ps, lambda: channel.send(burst), "conf-drive")
+
+    def artifacts(self, scenario: str, pipeline: str) -> RunArtifacts:
+        stats: Dict[str, Any] = dict(self.device.stats.as_dict())
+        stats["monitor"] = {
+            d: self.device.monitor_summary(d) for d in ("L", "R")
+        }
+        stats["bursts_forwarded"] = self.device.bursts_forwarded
+        stats["decoder"] = {
+            "ok": self.device.comm.decoder.commands_ok,
+            "error": self.device.comm.decoder.commands_error,
+        }
+        stats["serial"] = {
+            "sent": self.session.commands_sent,
+            "errors": self.session.errors_seen,
+            # PL exchanges are the one legitimately pipeline-dependent
+            # serial traffic (the command text names the pipeline), so
+            # they are excluded from the byte-compared transcript.
+            "responses": [
+                (command, response)
+                for command, response in self.session.responses
+                if not command.startswith("PL ")
+            ],
+        }
+        return RunArtifacts(
+            scenario=scenario,
+            pipeline=pipeline,
+            stream_digests={
+                "L": self.tap_l.digest(),
+                "R": self.tap_r.digest(),
+            },
+            stats=stats,
+            fastpath={
+                d: self.device.fastpath_engine(d).stats for d in ("L", "R")
+            },
+        )
+
+
+def _with_sessions(
+    name: str, pipeline: str, drive: Callable[[], _DeviceHarness]
+) -> RunArtifacts:
+    """Run a device scenario under telemetry + capture sessions."""
+    with tempfile.TemporaryDirectory() as tmp:
+        with TelemetrySession(label=f"conformance:{name}") as tele:
+            with CaptureSession(out_dir=tmp, label=f"conformance:{name}"):
+                harness = drive()
+        rcap_digest = _digest((Path(tmp) / CAPTURE_FILE_NAME).read_bytes())
+    artifacts = harness.artifacts(name, pipeline)
+    artifacts.telemetry = filtered_metrics(tele.registry)
+    artifacts.rcap_digest = rcap_digest
+    return artifacts
+
+
+def _soup_burst(rng: DeterministicRng, length: int) -> List[Symbol]:
+    """A burst of random data/control symbol soup."""
+    specials = (GAP, IDLE, STOP, GO)
+    burst: List[Symbol] = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.85:
+            burst.append(data_symbol(rng.randint(0, 255)))
+        elif roll < 0.97:
+            burst.append(specials[rng.randint(0, 3)])
+        else:
+            burst.append(control_symbol(rng.randint(0, 255)))
+    return burst
+
+
+def _fuzz_config(rng: DeterministicRng) -> InjectorConfig:
+    """A randomized register file covering the guard-condition space."""
+    kind = rng.randint(0, 3)
+    if kind == 0:
+        # Strong single-byte pattern: scannable, frequent-ish matches.
+        match = bytes([rng.randint(0, 255)])
+        replacement = bytes([rng.randint(0, 255)])
+        return replace_bytes(
+            match, replacement,
+            match_mode=MatchMode.ON if rng.random() < 0.5 else MatchMode.ONCE,
+            crc_fixup=rng.random() < 0.5,
+        )
+    if kind == 1:
+        # Two-byte pattern: rarer matches, long bulk stretches.
+        match = bytes([rng.randint(0, 255), rng.randint(0, 255)])
+        replacement = bytes([rng.randint(0, 255), rng.randint(0, 255)])
+        return replace_bytes(
+            match, replacement,
+            match_mode=MatchMode.ON,
+            crc_fixup=rng.random() < 0.5,
+        )
+    if kind == 2:
+        # Control-symbol swap: exercises the ctl-lane scan plan.
+        symbols = (GAP, IDLE, STOP, GO)
+        source = symbols[rng.randint(0, 3)]
+        target = symbols[rng.randint(0, 3)]
+        if target is source:
+            target = symbols[(rng.randint(0, 3) + 1) % 4]
+        return control_symbol_swap(source, target, MatchMode.ON)
+    # Sparse mask: below the scan threshold, forcing the "unfiltered"
+    # fallback — the fast path must still be exact when it never runs.
+    return InjectorConfig(
+        match_mode=MatchMode.ON,
+        compare_data=rng.randint(0, 255),
+        compare_mask=0x0000_0003,
+        corrupt_mode=CorruptMode.TOGGLE,
+        corrupt_data=0,
+        corrupt_mask=0x0000_00FF,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, pipeline-parameterized conformance workload."""
+
+    name: str
+    title: str
+    kind: str  # "paper" | "device"
+    runner: Callable[[str], RunArtifacts]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(name: str, title: str, kind: str):
+    def decorate(fn: Callable[[str], RunArtifacts]) -> Callable:
+        SCENARIOS[name] = Scenario(name, title, kind, fn)
+        return fn
+    return decorate
+
+
+def _run_fuzz(seed: int, pipeline: str, name: str) -> RunArtifacts:
+    def drive() -> _DeviceHarness:
+        rng = DeterministicRng(seed).fork("conformance")
+        harness = _DeviceHarness(pipeline, monitor=seed % 2 == 0)
+        device = harness.device
+        device.configure("R", _fuzz_config(rng.fork("config-R")))
+        device.configure("L", _fuzz_config(rng.fork("config-L")))
+
+        traffic = rng.fork("traffic")
+        t = 0
+        for index in range(40):
+            direction = "R" if traffic.random() < 0.6 else "L"
+            burst = _soup_burst(traffic, traffic.randint(80, 400))
+            harness.send(direction, burst, t)
+            # Mix back-to-back and gapped bursts.
+            t += traffic.randint(1, 3) * len(burst) * 12_500
+            if index % 10 == 9:
+                # Re-arm a once-mode trigger mid-stream, as campaigns do.
+                harness.sim.schedule_at(
+                    t,
+                    lambda d=direction: device.injector(d).set_match_mode(
+                        MatchMode.ONCE
+                    ),
+                    "conf-rearm",
+                )
+        # Read the register file back over the serial link at the end.
+        harness.session.read_stats("R", lambda values: None)
+        harness.session.read_stats("L", lambda values: None)
+        harness.sim.run()
+        return harness
+
+    return _with_sessions(name, pipeline, drive)
+
+
+def fuzz_scenario(seed: int) -> Scenario:
+    """A fuzz-soup scenario for an arbitrary seed (REPRO_DIFF_ROUNDS)."""
+    name = f"fuzz_soup_{seed}"
+    return Scenario(
+        name,
+        f"seeded symbol soup, seed {seed}",
+        "device",
+        lambda pipeline: _run_fuzz(seed, pipeline, name),
+    )
+
+
+for _seed in (1, 2, 3):
+    _sc = fuzz_scenario(_seed)
+    SCENARIOS[_sc.name] = _sc
+
+
+@_register("back_to_back", "pathological back-to-back triggers", "device")
+def _run_back_to_back(pipeline: str) -> RunArtifacts:
+    return _with_sessions("back_to_back", pipeline, lambda:
+                          _drive_back_to_back(pipeline))
+
+
+def _drive_back_to_back(pipeline: str) -> _DeviceHarness:
+    harness = _DeviceHarness(pipeline, monitor=True)
+    device = harness.device
+    # Phase 1: every symbol matches (m=0 forever: permanent guard
+    # fallback).  A full-byte lane-0 compare against a constant stream.
+    device.configure("R", InjectorConfig(
+        match_mode=MatchMode.ON,
+        compare_data=0x0000_00AA,
+        compare_mask=0x0000_00FF,
+        compare_ctl=0x1,        # lane 0 must be a *data* symbol
+        compare_ctl_mask=0x1,
+        corrupt_mode=CorruptMode.TOGGLE,
+        corrupt_data=0,
+        corrupt_mask=0x0000_0001,
+    ))
+    wall = [data_symbol(0xAA)] * 256
+    t = 0
+    for _ in range(6):
+        harness.send("R", list(wall), t)
+        t += 256 * 12_500  # back-to-back: next burst queues immediately
+    # Phase 2: matches every 8th symbol, first at position 7 — the
+    # bulk prefix is non-empty, so every burst takes a guard split.
+    comb = []
+    for index in range(512):
+        comb.append(data_symbol(0x55 if index % 8 == 7 else 0x11))
+    harness.sim.schedule_at(t, lambda: device.configure("R", InjectorConfig(
+        match_mode=MatchMode.ON,
+        compare_data=0x0000_0055,
+        compare_mask=0x0000_00FF,
+        compare_ctl=0x1,        # lane 0 must be a *data* symbol
+        compare_ctl_mask=0x1,
+        corrupt_mode=CorruptMode.REPLACE,
+        corrupt_data=0x0000_0077,
+        corrupt_mask=0x0000_00FF,
+    )), "conf-reconfig")
+    for _ in range(4):
+        harness.send("R", list(comb), t)
+        t += 512 * 12_500
+    harness.sim.run()
+    return harness
+
+
+@_register("mid_burst_reconfig",
+           "serial reconfiguration and PL switches mid-campaign", "device")
+def _run_mid_reconfig(pipeline: str) -> RunArtifacts:
+    """Serial-command epochs: reconfigure and *switch pipelines* midway.
+
+    The run starts under ``pipeline``, flips to the other implementation
+    through the ``PL`` serial command while traffic is in flight, then
+    flips back.  Both starting points must produce identical artifacts,
+    which pins the epoch semantics (switches take effect between bursts
+    over shared compare/FIFO state).
+    """
+    return _with_sessions("mid_burst_reconfig", pipeline, lambda:
+                          _drive_mid_reconfig(pipeline))
+
+
+def _drive_mid_reconfig(pipeline: str) -> _DeviceHarness:
+    other = "fast" if pipeline == "scalar" else "scalar"
+    harness = _DeviceHarness(pipeline)
+    device = harness.device
+    session = harness.session
+    rng = DeterministicRng(99).fork("mid-reconfig")
+
+    session.configure("R", replace_bytes(b"\x18\x18", b"\x19\x18",
+                                         match_mode=MatchMode.ON,
+                                         crc_fixup=False))
+    traffic = rng.fork("traffic")
+    t = 30 * MS  # let the serial upload (~10 ms) finish first
+    for index in range(24):
+        burst = _soup_burst(traffic, traffic.randint(120, 300))
+        harness.send("R", burst, t)
+        t += 2 * len(burst) * 12_500
+        if index == 7:
+            harness.sim.schedule_at(
+                t, lambda: session.select_pipeline(other), "conf-pl"
+            )
+        if index == 11:
+            harness.sim.schedule_at(
+                t,
+                lambda: session.configure(
+                    "R",
+                    control_symbol_swap(STOP, GO, MatchMode.ON),
+                ),
+                "conf-reconfig",
+            )
+            t += 15 * MS  # serial upload pacing
+        if index == 17:
+            harness.sim.schedule_at(
+                t, lambda: session.select_pipeline(pipeline), "conf-pl"
+            )
+    harness.sim.run()
+    return harness
+
+
+# ----------------------------------------------------------------------
+# paper campaigns (§4.3.1–§4.3.4)
+# ----------------------------------------------------------------------
+
+
+def _render_tables(result: Any) -> str:
+    if isinstance(result, tuple):  # sec433 returns (table, artifacts)
+        table, artifacts = result
+        extra = json.dumps(artifacts, sort_keys=True, default=str)
+        return table.render() + "\n" + extra
+    return result.render()
+
+
+def _paper_runner(name: str, entry: Callable[[], Any]):
+    def run(pipeline: str) -> RunArtifacts:
+        with pipeline_override(pipeline):
+            with tempfile.TemporaryDirectory() as tmp:
+                with TelemetrySession(label=f"conformance:{name}") as tele:
+                    with CaptureSession(out_dir=tmp,
+                                        label=f"conformance:{name}"):
+                        result = entry()
+                rcap = Path(tmp) / CAPTURE_FILE_NAME
+                rcap_digest = _digest(rcap.read_bytes())
+        tables = _render_tables(result)
+        return RunArtifacts(
+            scenario=name,
+            pipeline=pipeline,
+            stream_digests={"tables": _digest(tables.encode("utf-8"))},
+            tables=tables,
+            telemetry=filtered_metrics(tele.registry),
+            rcap_digest=rcap_digest,
+        )
+    return run
+
+
+def _sec431() -> Any:
+    from repro.nftape.paper import sec431_throughput
+    return sec431_throughput(duration_ps=3 * MS)
+
+
+def _sec432() -> Any:
+    from repro.nftape.paper import sec432_packet_types
+    return sec432_packet_types()
+
+
+def _sec433() -> Any:
+    from repro.nftape.paper import sec433_addresses
+    return sec433_addresses()
+
+
+def _sec434() -> Any:
+    from repro.nftape.paper import sec434_udp_checksum
+    return sec434_udp_checksum()
+
+
+for _name, _title, _entry in (
+    ("sec431", "throughput under flow-control faults (§4.3.1)", _sec431),
+    ("sec432", "packet type and source route corruption (§4.3.2)", _sec432),
+    ("sec433", "physical address corruption (§4.3.3)", _sec433),
+    ("sec434", "UDP checksum corruption (§4.3.4)", _sec434),
+):
+    SCENARIOS[_name] = Scenario(_name, _title, "paper",
+                                _paper_runner(_name, _entry))
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def iter_scenarios(kind: Optional[str] = None) -> Iterable[Scenario]:
+    """Registered scenarios, optionally filtered by kind."""
+    for scenario in SCENARIOS.values():
+        if kind is None or scenario.kind == kind:
+            yield scenario
+
+
+def run_scenario(name: str, pipeline: str) -> RunArtifacts:
+    """Run one scenario (registered or ``fuzz_soup_<seed>``)."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None and name.startswith("fuzz_soup_"):
+        scenario = fuzz_scenario(int(name.rsplit("_", 1)[1]))
+    if scenario is None:
+        raise KeyError(f"unknown conformance scenario {name!r}")
+    return scenario.runner(pipeline)
+
+
+def verify_scenario(name: str) -> List[Mismatch]:
+    """Run ``name`` under both pipelines and return every divergence."""
+    scalar = run_scenario(name, "scalar")
+    fast = run_scenario(name, "fast")
+    return compare_runs(scalar, fast)

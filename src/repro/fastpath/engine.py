@@ -1,0 +1,202 @@
+"""The per-direction batched symbol-stream engine.
+
+:class:`FastPathEngine` wraps one scalar :class:`FifoInjector` and
+offers the same ``process_burst`` contract with bulk accounting for
+pass-through stretches.  The invariant is **symbol exactness**: for any
+burst sequence, the engine's outputs, the injector's counters, its
+event list and its register state are byte-for-byte identical to what
+the scalar path would have produced.  The scalar path stays the
+reference — the engine *re-enters it* whenever anything interesting
+might happen.
+
+Guard conditions (each names a ``fallback_reasons`` bucket):
+
+``fifo``
+    The FIFO is not empty at burst start (someone drove ``step()``
+    directly) — the scalar path preserves cycle-accurate FIFO state.
+``forced``
+    An ``inject now`` pulse is pending; its even-cycle timing is
+    scalar-exact only.
+``unfiltered``
+    The armed compare config has no selective scan lane (see
+    :mod:`repro.fastpath.prefilter`) — a prefilter would not narrow
+    anything, so the whole burst runs scalar.
+``match``
+    The first trigger match sits too close to the burst start for a
+    bulk prefix (``m < 5``); the whole burst runs scalar.
+
+When the first match position ``m`` allows it, the burst is *split*: a
+bulk-accounted prefix of ``g = m - 4`` symbols (strictly before any
+window lane of the match) followed by the scalar path over the suffix.
+The guard margin keeps every lane of the matched window inside the
+scalar suffix, so corruption, reachability accounting and subsequent
+matches are handled by the unmodified reference code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.fastpath.buffer import SymbolBuffer
+from repro.fastpath.prefilter import CompiledMatcher
+from repro.hw.injector import FifoInjector
+from repro.myrinet.symbols import Symbol
+from repro.telemetry import instrument as _telemetry
+from repro.telemetry.state import STATE as _TELEMETRY_STATE
+
+#: Symbols of slack kept ahead of a match so the whole compare window —
+#: and the occupancy ramp feeding it — stays inside the scalar suffix.
+GUARD_MARGIN = 4
+
+
+class FastPathEngine:
+    """Batched front end for one direction's scalar injector."""
+
+    def __init__(self, injector: FifoInjector) -> None:
+        self.injector = injector
+        self.name = injector.name
+        self._matcher: Optional[CompiledMatcher] = None
+
+        # Always-on plain counters (cheap ints/dict; telemetry mirrors
+        # them under fastpath.* when a session is active).
+        self.bursts_fast = 0
+        self.bursts_scalar = 0
+        self.guard_splits = 0
+        self.symbols_bulk = 0
+        self.symbols_scalar = 0
+        self.fallback_reasons: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _scalar(
+        self, burst: List[Symbol], reason: str
+    ) -> List[Symbol]:
+        """Delegate the whole burst to the scalar reference path."""
+        n = len(burst)
+        self.bursts_scalar += 1
+        self.symbols_scalar += n
+        self.fallback_reasons[reason] = (
+            self.fallback_reasons.get(reason, 0) + 1
+        )
+        output = self.injector.process_burst(burst)
+        if _TELEMETRY_STATE.active:
+            _telemetry.fastpath_burst(self.name, "fallback", 0, n, reason)
+        return output
+
+    def _matcher_for(self, config) -> CompiledMatcher:
+        matcher = self._matcher
+        if matcher is None or matcher.config is not config:
+            matcher = CompiledMatcher(config)
+            self._matcher = matcher
+        return matcher
+
+    # ------------------------------------------------------------------
+
+    def process_burst(
+        self, burst: Union[SymbolBuffer, List[Symbol]]
+    ) -> List[Symbol]:
+        """Process one burst; same contract as the scalar method.
+
+        Returns the delivered symbol stream; ``injector.last_burst_rewrites``
+        holds burst-relative rewrite positions exactly as after a scalar
+        ``process_burst`` call.
+        """
+        inj = self.injector
+        n = len(burst)
+
+        # Guards that force the exact scalar path for the whole burst.
+        if not inj.fifo.empty:
+            return self._scalar(burst, "fifo")
+        if inj.inject_pending:
+            return self._scalar(burst, "forced")
+
+        if type(burst) is not SymbolBuffer:
+            # Wrap once so downstream batched consumers (statistics,
+            # monitor window) can use the value/flag planes too.
+            burst = SymbolBuffer(burst)
+
+        if not inj.armed:
+            # Disarmed transparent pipe: identical accounting to the
+            # scalar early-return branch (symbol counters only).
+            inj.last_burst_rewrites = []
+            inj.symbols_processed += n
+            inj._segment_index += n
+            self.bursts_fast += 1
+            self.symbols_bulk += n
+            if _TELEMETRY_STATE.active:
+                _telemetry.fastpath_burst(self.name, "chunk", n, 0)
+            return burst
+
+        matcher = self._matcher_for(inj.config)
+        if not matcher.scannable:
+            return self._scalar(burst, "unfiltered")
+
+        values, flags = burst.planes()
+        window, ctl = inj.compare.snapshot()
+        m = matcher.first_match(values, flags, window, ctl)
+
+        if m is None:
+            # Whole burst is pass-through under an armed trigger:
+            # identical accounting to the fused loop with zero matches.
+            inj.last_burst_rewrites = []
+            inj.advance_passthrough(
+                n,
+                armed=True,
+                tail_values=values[-GUARD_MARGIN:],
+                tail_flags=flags[-GUARD_MARGIN:],
+            )
+            self.bursts_fast += 1
+            self.symbols_bulk += n
+            if _TELEMETRY_STATE.active:
+                _telemetry.fastpath_burst(self.name, "chunk", n, 0)
+            return burst
+
+        g = m - GUARD_MARGIN
+        if g <= 0:
+            return self._scalar(burst, "match")
+
+        # Split: bulk prefix [0, g), scalar guard window [g, n).
+        lo = g - GUARD_MARGIN
+        if lo < 0:
+            lo = 0
+        inj.advance_passthrough(
+            g,
+            armed=True,
+            tail_values=values[lo:g],
+            tail_flags=flags[lo:g],
+        )
+        suffix = list.__getitem__(burst, slice(g, None))
+        out_suffix = inj.process_burst(suffix)
+        if inj.last_burst_rewrites:
+            # Rebase the suffix-relative rewrite positions to the burst.
+            inj.last_burst_rewrites = [
+                p + g for p in inj.last_burst_rewrites
+            ]
+        # The scalar suffix only saw n - g pushes; restore the burst's
+        # true occupancy peak (the per-step path would have ramped to
+        # min(n, depth + 1) across the whole burst).
+        inj.fifo.note_occupancy(min(n, inj.pipeline_depth + 1))
+
+        self.guard_splits += 1
+        self.symbols_bulk += g
+        self.symbols_scalar += n - g
+        if _TELEMETRY_STATE.active:
+            _telemetry.fastpath_burst(self.name, "split", g, n - g)
+
+        output: List[Symbol] = list.__getitem__(burst, slice(0, g))
+        output.extend(out_suffix)
+        return output
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot (diagnostics; not part of conformance)."""
+        return {
+            "bursts_fast": self.bursts_fast,
+            "bursts_scalar": self.bursts_scalar,
+            "guard_splits": self.guard_splits,
+            "symbols_bulk": self.symbols_bulk,
+            "symbols_scalar": self.symbols_scalar,
+            "fallback_reasons": dict(self.fallback_reasons),
+        }

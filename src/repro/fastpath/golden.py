@@ -1,0 +1,204 @@
+"""The golden digest corpus: pinned artifacts across commits.
+
+The differential harness (:mod:`repro.fastpath.conformance`) proves the
+two pipelines agree *with each other*; the golden corpus pins what they
+agree *on*.  Each file in ``tests/golden/`` holds blake2b digests of
+one scenario's delivered streams, statistics tables, telemetry snapshot
+and ``.rcap`` artifact, computed from the scalar reference.  Any change
+to simulation behaviour — intended or not — shows up as a digest
+mismatch, component by component.
+
+Workflow::
+
+    python -m repro golden --check            # CI gate (scalar)
+    python -m repro golden --check --pipeline fast
+    python -m repro golden --regen            # after an intended change
+
+``--regen`` always recomputes from the scalar reference; the fast
+pipeline never defines the baseline, it only has to hit it.  The pytest
+gate (``tests/test_golden_corpus.py``) checks under the suite's default
+pipeline, so the CI ``--pipeline fast`` matrix leg anchors both
+implementations to the same corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fastpath.conformance import RunArtifacts, _digest, run_scenario
+
+__all__ = [
+    "GOLDEN_SCENARIOS",
+    "CheckReport",
+    "artifact_digests",
+    "check_corpus",
+    "compute_digests",
+    "read_digest_file",
+    "regen_corpus",
+]
+
+#: The pinned corpus: the four §4.3 paper campaigns + three fuzz seeds.
+GOLDEN_SCENARIOS: Tuple[str, ...] = (
+    "sec431",
+    "sec432",
+    "sec433",
+    "sec434",
+    "fuzz_soup_1",
+    "fuzz_soup_2",
+    "fuzz_soup_3",
+)
+
+_COMPONENTS = ("streams", "stats", "tables", "telemetry", "rcap")
+
+_HEADER = (
+    "# repro golden digest — scenario {name}\n"
+    "# blake2b over the scalar reference's delivered streams, stats,\n"
+    "# telemetry and .rcap artifact; both pipelines must reproduce it.\n"
+    "# regenerate after an *intended* behaviour change:\n"
+    "#   python -m repro golden --regen\n"
+)
+
+
+def artifact_digests(run: RunArtifacts) -> Dict[str, str]:
+    """Component digests of one run (localizes mismatches)."""
+    digests = {
+        "streams": _digest(
+            json.dumps(run.stream_digests, sort_keys=True).encode()
+        ),
+        "stats": _digest(json.dumps(run.stats, sort_keys=True).encode()),
+        "tables": _digest(run.tables.encode("utf-8")),
+        "telemetry": _digest(
+            json.dumps(run.telemetry, sort_keys=True).encode()
+        ),
+        "rcap": run.rcap_digest or "-",
+    }
+    digests["fingerprint"] = run.fingerprint()
+    return digests
+
+
+def compute_digests(name: str, pipeline: str = "scalar") -> Dict[str, str]:
+    """Run one golden scenario and reduce it to its digest record."""
+    return artifact_digests(run_scenario(name, pipeline))
+
+
+def _digest_path(directory: Path, name: str) -> Path:
+    return directory / f"{name}.digest"
+
+
+def read_digest_file(path: Path) -> Dict[str, str]:
+    """Parse one ``*.digest`` file into its key/value record."""
+    record: Dict[str, str] = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.partition(" ")
+        record[key] = value.strip()
+    return record
+
+
+def _write_digest_file(path: Path, name: str,
+                       digests: Dict[str, str]) -> None:
+    lines = [_HEADER.format(name=name)]
+    lines.append(f"fingerprint {digests['fingerprint']}")
+    for component in _COMPONENTS:
+        lines.append(f"{component} {digests[component]}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _select(only: Optional[str]) -> Tuple[str, ...]:
+    if only is None:
+        return GOLDEN_SCENARIOS
+    if only not in GOLDEN_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown golden scenario {only!r}; "
+            f"choose from {', '.join(GOLDEN_SCENARIOS)}"
+        )
+    return (only,)
+
+
+def regen_corpus(directory, only: Optional[str] = None) -> List[Path]:
+    """Recompute the corpus from the scalar reference; returns paths."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in _select(only):
+        digests = compute_digests(name, "scalar")
+        path = _digest_path(root, name)
+        _write_digest_file(path, name, digests)
+        written.append(path)
+    return written
+
+
+@dataclass
+class CheckEntry:
+    """One scenario's verdict against the committed corpus."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+@dataclass
+class CheckReport:
+    """The corpus-wide verdict, renderable for CLI and CI logs."""
+
+    pipeline: str
+    entries: List[CheckEntry]
+
+    @property
+    def ok(self) -> bool:
+        return all(entry.ok for entry in self.entries)
+
+    def render(self) -> str:
+        lines = [f"golden corpus check (pipeline: {self.pipeline})"]
+        for entry in self.entries:
+            marker = "ok  " if entry.ok else "FAIL"
+            lines.append(f"  {marker} {entry.name}  {entry.detail}")
+        passed = sum(1 for e in self.entries if e.ok)
+        lines.append(f"{passed}/{len(self.entries)} scenarios match")
+        if not self.ok:
+            lines.append(
+                "mismatching components name the artifact that moved; "
+                "regen only after confirming the change is intended "
+                "(python -m repro golden --regen)"
+            )
+        return "\n".join(lines)
+
+
+def check_corpus(
+    directory,
+    pipeline: Optional[str] = None,
+    only: Optional[str] = None,
+) -> CheckReport:
+    """Recompute every digest under ``pipeline`` and diff the corpus."""
+    root = Path(directory)
+    pipeline = pipeline or "scalar"
+    entries: List[CheckEntry] = []
+    for name in _select(only):
+        path = _digest_path(root, name)
+        if not path.exists():
+            entries.append(CheckEntry(
+                name, False,
+                f"missing {path} (run: python -m repro golden --regen)",
+            ))
+            continue
+        expected = read_digest_file(path)
+        actual = compute_digests(name, pipeline)
+        if actual.get("fingerprint") == expected.get("fingerprint"):
+            entries.append(CheckEntry(
+                name, True, f"fingerprint {actual['fingerprint']}"
+            ))
+            continue
+        moved = [
+            component for component in _COMPONENTS
+            if actual.get(component) != expected.get(component)
+        ]
+        entries.append(CheckEntry(
+            name, False, f"components moved: {', '.join(moved) or '?'}"
+        ))
+    return CheckReport(pipeline=pipeline, entries=entries)

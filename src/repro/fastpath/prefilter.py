@@ -1,0 +1,244 @@
+"""Compare-mask prefilter: find the first trigger match in a buffer.
+
+The compare unit asserts its trigger at stream position ``p`` (the index
+of the symbol whose odd-cycle shift completes the window) when, for each
+lane ``k`` in 0..3::
+
+    (value[p-k] ^ cd_k) & cm_k == 0   and   (flag[p-k] ^ cc_k) & ccm_k == 0
+
+where ``cd_k``/``cm_k`` are the lane's compare-data/compare-mask bytes
+and ``cc_k``/``ccm_k`` its control-bit expectation.  Positions 0..2 of a
+burst reach back into the *carried* window — the compare registers
+persist across bursts (and start from the reset-state zeros; the
+hardware "compares whatever the registers hold").
+
+:class:`CompiledMatcher` compiles one :class:`InjectorConfig` into:
+
+* per-lane byte tuples for exact verification;
+* a *scan plan*: the most selective lane (compare-mask popcount >= 6,
+  i.e. at most four accepted byte values) is scanned over the whole
+  ``values`` plane with C-level ``bytes.find``; if no lane is selective
+  on data but some lane requires a *control* symbol, the ``flags`` plane
+  is scanned for 0-bytes instead (control symbols are rare in
+  pass-through traffic).  A config with no selective lane is
+  *unscannable* and the engine falls back to the scalar path.
+
+``first_match`` is exact, not approximate: the scan produces a superset
+of true match positions in ascending order and each candidate is
+verified against all four lanes, so the returned position equals the
+position at which the scalar compare unit would first assert its
+trigger.  This is proven by the differential suite and the
+``prefilter == scalar replay`` property test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.hw.registers import SEGMENT_LANES, InjectorConfig
+
+_MASK32 = 0xFFFF_FFFF
+_MASK4 = 0xF
+
+#: Minimum compare-mask popcount for a lane to be used as the scan lane
+#: (>= 6 set bits => at most 2**(8-6) = 4 accepted byte values).
+SCAN_POPCOUNT_THRESHOLD = 6
+
+
+class CompiledMatcher:
+    """A prefilter compiled from one injector configuration."""
+
+    __slots__ = (
+        "config",
+        "cd",
+        "cm",
+        "cc",
+        "ccm",
+        "scannable",
+        "_scan_lane",
+        "_scan_plane",
+        "_accepted",
+        "_scan_flag",
+    )
+
+    def __init__(self, config: InjectorConfig) -> None:
+        self.config = config
+        #: Per-lane compare bytes; index = lane (0 = newest symbol).
+        self.cd: Tuple[int, ...] = tuple(
+            (config.compare_data >> (8 * k)) & 0xFF
+            for k in range(SEGMENT_LANES)
+        )
+        self.cm: Tuple[int, ...] = tuple(
+            (config.compare_mask >> (8 * k)) & 0xFF
+            for k in range(SEGMENT_LANES)
+        )
+        self.cc: Tuple[int, ...] = tuple(
+            (config.compare_ctl >> k) & 1 for k in range(SEGMENT_LANES)
+        )
+        self.ccm: Tuple[int, ...] = tuple(
+            (config.compare_ctl_mask >> k) & 1 for k in range(SEGMENT_LANES)
+        )
+        self._compile_scan_plan()
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile_scan_plan(self) -> None:
+        best_lane = -1
+        best_bits = -1
+        for k in range(SEGMENT_LANES):
+            bits = bin(self.cm[k]).count("1")
+            if bits > best_bits:
+                best_bits = bits
+                best_lane = k
+        if best_bits >= SCAN_POPCOUNT_THRESHOLD:
+            self.scannable = True
+            self._scan_lane = best_lane
+            self._scan_plane = "values"
+            mask = self.cm[best_lane]
+            want = self.cd[best_lane] & mask
+            free_bits = [b for b in range(8) if not (mask >> b) & 1]
+            accepted: List[int] = []
+            for combo in range(1 << len(free_bits)):
+                value = want
+                for i, bit in enumerate(free_bits):
+                    if (combo >> i) & 1:
+                        value |= 1 << bit
+                accepted.append(value)
+            self._accepted = tuple(sorted(accepted))
+            # Fold in the lane's control-bit expectation when present so
+            # the scan itself rejects wrong-kind symbols.
+            self._scan_flag = (
+                self.cc[best_lane] if self.ccm[best_lane] else None
+            )
+            return
+        # No selective data lane; a lane demanding a *control* symbol is
+        # still a usable scan axis (control symbols are rare in traffic).
+        for k in range(SEGMENT_LANES):
+            if self.ccm[k] and self.cc[k] == 0:
+                self.scannable = True
+                self._scan_lane = k
+                self._scan_plane = "flags"
+                self._accepted = (0,)
+                self._scan_flag = None
+                return
+        self.scannable = False
+        self._scan_lane = -1
+        self._scan_plane = ""
+        self._accepted = ()
+        self._scan_flag = None
+
+    # -- exact verification -------------------------------------------------
+
+    def window_matches(self, window: int, ctl: int) -> bool:
+        """Evaluate the compare on explicit window registers."""
+        config = self.config
+        return (
+            ((window ^ config.compare_data) & config.compare_mask) == 0
+            and ((ctl ^ config.compare_ctl) & config.compare_ctl_mask) == 0
+        )
+
+    def _verify(self, values: bytes, flags: bytes, p: int) -> bool:
+        """Exact four-lane check for an in-burst position ``p >= 3``."""
+        cd = self.cd
+        cm = self.cm
+        cc = self.cc
+        ccm = self.ccm
+        for k in range(SEGMENT_LANES):
+            j = p - k
+            if (values[j] ^ cd[k]) & cm[k]:
+                return False
+            if (flags[j] ^ cc[k]) & ccm[k]:
+                return False
+        return True
+
+    # -- candidate scan -----------------------------------------------------
+
+    def _candidates(
+        self, values: bytes, flags: bytes, start: int
+    ) -> Iterator[int]:
+        """Candidate match positions ``>= start``, ascending.
+
+        A superset of true matches: every position whose scan-lane symbol
+        is acceptable.  ``start`` must be >= 3 so all four lanes are
+        in-burst.
+        """
+        k = self._scan_lane
+        plane = values if self._scan_plane == "values" else flags
+        scan_flag = self._scan_flag
+        n = len(values)
+        lo = start - k
+        if lo < 0:
+            lo = 0
+        accepted = self._accepted
+        if len(accepted) == 1:
+            b = accepted[0]
+            find = plane.find
+            i = find(b, lo)
+            while i != -1:
+                p = i + k
+                if p >= n:
+                    return
+                if p >= start and (scan_flag is None or flags[i] == scan_flag):
+                    yield p
+                i = find(b, i + 1)
+            return
+        # Merge several per-byte find streams in ascending order.
+        frontier: List[List[int]] = []
+        for b in accepted:
+            i = plane.find(b, lo)
+            if i != -1:
+                frontier.append([i, b])
+        while frontier:
+            frontier.sort()
+            entry = frontier[0]
+            i, b = entry
+            p = i + k
+            if p >= n:
+                return  # the smallest hit is already past the end
+            if p >= start and (scan_flag is None or flags[i] == scan_flag):
+                yield p
+            nxt = plane.find(b, i + 1)
+            if nxt == -1:
+                frontier.pop(0)
+            else:
+                entry[0] = nxt
+
+    # -- public API ---------------------------------------------------------
+
+    def first_match(
+        self,
+        values: bytes,
+        flags: bytes,
+        window: int,
+        ctl: int,
+        start: int = 0,
+    ) -> Optional[int]:
+        """First position ``>= start`` where the trigger would assert.
+
+        ``window``/``ctl`` are the compare registers *before* the first
+        symbol of the buffer shifts in — they cover matches whose window
+        straddles the burst start (positions 0..2).  Returns ``None`` if
+        no position in the buffer matches.
+        """
+        n = len(values)
+        if n == 0:
+            return None
+        # Leading positions: explicit shift-and-test with the carried
+        # registers (also correct while the window is still filling —
+        # the hardware compares the reset-state zeros too).
+        lead = 3 if n >= 3 else n
+        for p in range(lead):
+            window = ((window << 8) | values[p]) & _MASK32
+            ctl = ((ctl << 1) | flags[p]) & _MASK4
+            if p >= start and self.window_matches(window, ctl):
+                return p
+        scan_start = start if start > 3 else 3
+        for p in self._candidates(values, flags, scan_start):
+            if self._verify(values, flags, p):
+                return p
+        return None
+
+
+def compile_matcher(config: InjectorConfig) -> CompiledMatcher:
+    """Compile ``config`` into a prefilter."""
+    return CompiledMatcher(config)

@@ -1,0 +1,99 @@
+"""Pipeline-mode selection for the device data path.
+
+Two implementations of the device data path exist:
+
+``scalar``
+    The original per-symbol path through ``hw.fifo`` / ``hw.compare`` /
+    ``hw.injector``.  It is the reference implementation and the
+    default.
+
+``fast``
+    The batched path (:mod:`repro.fastpath.engine`) that bulk-accounts
+    pass-through stretches and re-enters the scalar path around guard
+    windows.  Symbol-exact by construction and by the differential
+    conformance suite.
+
+Resolution order for a device that does not pass an explicit
+``pipeline=`` argument: the process-wide default set by
+:func:`set_default_pipeline`, which itself initialises from the
+``REPRO_PIPELINE`` environment variable (so pooled campaign workers
+inherit the parent's choice), falling back to ``scalar``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+#: The recognised pipeline implementations.
+PIPELINES: Tuple[str, ...] = ("scalar", "fast")
+
+_ENV_VAR = "REPRO_PIPELINE"
+
+_default: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in PIPELINES:
+        raise ValueError(
+            f"unknown pipeline {name!r}; expected one of {PIPELINES}"
+        )
+    return name
+
+
+def default_pipeline() -> str:
+    """The process-wide default pipeline mode.
+
+    Initialises lazily from ``REPRO_PIPELINE`` so that worker processes
+    spawned by the pooled campaign executor inherit the parent's
+    selection without any extra plumbing.
+    """
+    global _default
+    if _default is None:
+        env = os.environ.get(_ENV_VAR, "").strip().lower()
+        _default = env if env in PIPELINES else "scalar"
+    return _default
+
+
+def set_default_pipeline(name: str) -> str:
+    """Set the process-wide default pipeline mode.
+
+    Also exports ``REPRO_PIPELINE`` so child processes (pooled campaign
+    workers) resolve the same mode.  Returns the previous default.
+    """
+    global _default
+    previous = default_pipeline()
+    _default = _validate(name)
+    os.environ[_ENV_VAR] = _default
+    return previous
+
+
+def resolve_pipeline(requested: Optional[str]) -> str:
+    """Resolve an optional per-device request against the default."""
+    if requested is None:
+        return default_pipeline()
+    return _validate(requested)
+
+
+@contextmanager
+def pipeline_override(name: str) -> Iterator[str]:
+    """Temporarily change the default pipeline (tests, benchmarks)."""
+    global _default
+    previous = default_pipeline()
+    previous_env = os.environ.get(_ENV_VAR)
+    set_default_pipeline(name)
+    try:
+        yield _default  # type: ignore[misc]
+    finally:
+        _default = previous
+        if previous_env is None:
+            os.environ.pop(_ENV_VAR, None)
+        else:
+            os.environ[_ENV_VAR] = previous_env
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached default (test helper; not public API)."""
+    global _default
+    _default = None

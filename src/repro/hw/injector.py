@@ -96,6 +96,14 @@ class FifoInjector:
         self.forced_injections = 0
         self.events: List[InjectionEvent] = []
         self.events_limit = 4096
+        #: Output-stream positions rewritten during the most recent
+        #: :meth:`process_burst` call (burst-relative, including any
+        #: leftover FIFO contents flushed ahead of the burst).  The CRC
+        #: fix-up stage uses these to mark exactly the frames an
+        #: injection touched — not merely "some frame in this burst".
+        #: Only meaningful immediately after ``process_burst``.
+        self.last_burst_rewrites: List[int] = []
+        self._rewrite_origin = 0
 
     # ------------------------------------------------------------------
     # configuration interface (driven by the command decoder)
@@ -118,6 +126,11 @@ class FifoInjector:
     def on_injection(self, callback: Callable[[InjectionEvent], None]) -> None:
         """Register the monitoring callback."""
         self._on_injection = callback
+
+    @property
+    def inject_pending(self) -> bool:
+        """True while an ``inject now`` pulse awaits its even cycle."""
+        return self._inject_now
 
     @property
     def armed(self) -> bool:
@@ -217,6 +230,13 @@ class FifoInjector:
             )
             self.fifo.rewrite_from_tail(lane, replacement)
             lanes_rewritten += 1
+            # Burst-relative output position of the rewritten symbol:
+            # _segment_index counts pushes, so subtracting the origin
+            # (pushes at burst start minus the pre-burst occupancy)
+            # yields the index in the burst's flushed output stream.
+            self.last_burst_rewrites.append(
+                self._segment_index - 1 - lane - self._rewrite_origin
+            )
 
         self.injections += 1
         if forced:
@@ -252,6 +272,8 @@ class FifoInjector:
         per-phase semantics are identical and are cross-checked against
         the explicit two-phase path by the unit tests.
         """
+        self.last_burst_rewrites = []
+        self._rewrite_origin = self._segment_index - self.fifo.occupancy
         if not self.armed and self.fifo.empty:
             # Fast path: a disarmed injector is a transparent pipe.
             self.symbols_processed += len(burst)
@@ -268,6 +290,43 @@ class FifoInjector:
             output.extend(self.fifo.drain())
             return output
         return self._process_burst_fused(burst)
+
+    def advance_passthrough(
+        self,
+        count: int,
+        *,
+        armed: bool,
+        tail_values: bytes = b"",
+        tail_flags: bytes = b"",
+    ) -> None:
+        """Bulk-account ``count`` pass-through symbols (fast-path entry).
+
+        The fast path calls this for a stretch it has *proven* contains
+        no trigger activity (no match, no pending ``inject now``, FIFO
+        empty at the stretch start).  The bookkeeping mirrors exactly
+        what the scalar path would have recorded:
+
+        * ``armed=False`` — the disarmed transparent-pipe branch of
+          :meth:`process_burst`: only the symbol counters move (the
+          scalar path touches neither clock, compare registers, nor RAM
+          for a disarmed burst).
+        * ``armed=True`` — the fused branch with zero matches: clock,
+          compare window/ctl (reconstructed from the stretch's last
+          ``min(4, count)`` symbols in ``tail_values``/``tail_flags``),
+          shift and evaluation counts, RAM traffic and the FIFO
+          watermark all advance as if every symbol had been stepped.
+        """
+        if count <= 0:
+            return
+        self.symbols_processed += count
+        self._segment_index += count
+        if not armed:
+            return
+        self.clock.advance(count)
+        self.compare.bulk_shift(tail_values, tail_flags, count)
+        self.compare.evaluations += count
+        self.fifo.account_passthrough(count)
+        self.fifo.note_occupancy(min(count, self.pipeline_depth + 1))
 
     def _process_burst_fused(self, burst: List[Symbol]) -> List[Symbol]:
         config = self.config
@@ -340,7 +399,10 @@ class FifoInjector:
         self.compare.matches += matches
         self.fifo.ram.writes += count
         self.fifo.ram.reads += count
-        self.fifo.note_occupancy(min(count, depth))
+        # The per-step path pushes before popping, so its occupancy
+        # transiently reaches depth + 1 (the FIFO holds depth + 1 words);
+        # mirror that in the watermark, not the post-pop steady state.
+        self.fifo.note_occupancy(min(count, depth + 1))
         return output
 
     def _corrupt_pipeline_tail(
@@ -384,6 +446,9 @@ class FifoInjector:
             pipeline[len(pipeline) - 1 - lane] = replacement
             lanes_rewritten += 1
             self.fifo.in_place_rewrites += 1
+            self.last_burst_rewrites.append(
+                segment - 1 - lane - self._rewrite_origin
+            )
         self.injections += 1
         if forced:
             self.forced_injections += 1

@@ -81,6 +81,65 @@ class FrameAssembler:
                 continue
             self.push(symbol)
 
+    def push_buffer(self, values: bytes, flags: bytes) -> None:
+        """Feed a whole buffer from its value/flag planes.
+
+        Byte-exact equivalent of :meth:`push_burst` driven by C-level
+        primitives: data runs extend the open frame via slice-extends
+        (with the scalar path's exact ``max_frame`` overflow semantics:
+        a run is accepted up to the limit and overflow fires on the
+        *next* data byte), and control runs collapse to one dispatch per
+        run — valid because repeated GAPs beyond the first are no-ops
+        and IDLE/undecodable symbols only count.
+        """
+        n = len(values)
+        current = self._current
+        max_frame = self._max_frame
+        find_data = flags.find
+        i = 0
+        while i < n:
+            if flags[i]:
+                j = find_data(0, i)
+                if j == -1:
+                    j = n
+                if not self._overflowed:
+                    space = max_frame - len(current)
+                    if j - i <= space:
+                        current.extend(values[i:j])
+                    else:
+                        # Fill to the limit; the next data byte trips
+                        # the overflow guard exactly as in push().
+                        current.extend(values[i:i + space])
+                        self._overflowed = True
+                        self.oversize_frames += 1
+                        current.clear()
+                i = j
+                continue
+            j = find_data(1, i)
+            if j == -1:
+                j = n
+            k = i
+            while k < j:
+                value = values[k]
+                rest = values[k:j].lstrip(values[k:k + 1])
+                run = j - k - len(rest)
+                decoded = decode_control(value)
+                if decoded is None:
+                    self.undecodable_controls += run
+                elif decoded is GAP:
+                    # One close is exact: after the first GAP the frame
+                    # is empty and not overflowed, so further GAPs in
+                    # the run would be no-ops in the scalar path too.
+                    self._close_frame()
+                elif decoded is IDLE:
+                    pass
+                elif self._on_control is not None:
+                    handler = self._on_control
+                    for _ in range(run):
+                        handler(decoded)
+                k += run
+            i = j
+
     def _close_frame(self) -> None:
         if self._overflowed:
             self._overflowed = False

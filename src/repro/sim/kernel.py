@@ -165,21 +165,60 @@ class Simulator:
             )
         self._last_fired = key
 
-    def run(self, max_events: Optional[int] = None) -> int:
-        """Run until the queue drains (or ``max_events`` fire).
+    def batch_advance(
+        self,
+        deadline: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Fire queued events in one inlined drain loop.
+
+        The batch-advance primitive behind :meth:`run` and
+        :meth:`run_until`: identical pop order, sanitize invariants and
+        tracer placement as per-event :meth:`step` calls, but without a
+        Python method call per event — the heap pop, clock advance and
+        callback dispatch are fused into a single frame.  ``deadline``
+        (inclusive) bounds simulated time and advances the clock to it;
+        ``max_events`` bounds the number of events fired.
 
         Returns the number of events executed by this call.
         """
+        queue = self._queue
+        heappop = heapq.heappop
+        sanitize = self._sanitize
         fired = 0
-        while max_events is None or fired < max_events:
-            if not self.step():
+        while queue:
+            if max_events is not None and fired >= max_events:
                 break
+            time, _seq, event = queue[0]
+            if event.cancelled:
+                heappop(queue)
+                continue
+            if deadline is not None and time > deadline:
+                break
+            heappop(queue)
+            if sanitize:
+                self._check_pop_invariants(event)
+            self._now = time
+            self._fired += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer(event)
+            event.callback()
             fired += 1
+        if deadline is not None and deadline > self._now:
+            self._now = deadline
         # Telemetry accounting happens per *batch*, never per event, so
         # the kernel's hot loop stays untouched; one slot read when off.
         if _TELEMETRY_STATE.active:
             _telemetry.kernel_run(self, fired)
         return fired
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed by this call.
+        """
+        return self.batch_advance(max_events=max_events)
 
     def run_until(self, deadline: int) -> int:
         """Run all events with ``time <= deadline``; advance clock to it.
@@ -192,17 +231,7 @@ class Simulator:
                 f"deadline t={format_time(deadline)} is before "
                 f"t={format_time(self._now)}"
             )
-        fired = 0
-        while self._queue:
-            head = self._peek()
-            if head is None or head.time > deadline:
-                break
-            self.step()
-            fired += 1
-        self._now = max(self._now, deadline)
-        if _TELEMETRY_STATE.active:
-            _telemetry.kernel_run(self, fired)
-        return fired
+        return self.batch_advance(deadline=deadline)
 
     def run_for(self, duration: int) -> int:
         """Run events for ``duration`` picoseconds of simulated time."""

@@ -1,0 +1,1 @@
+"""Differential conformance tests: scalar vs fast pipeline."""

@@ -1,0 +1,97 @@
+"""Scalar-vs-fast differential conformance (the fastpath contract).
+
+Every scenario in :mod:`repro.fastpath.conformance` runs under both
+pipelines; delivered streams, statistics, telemetry (minus the
+``fastpath.*`` namespace and wall-clock series) and ``.rcap`` bytes
+must be *identical*.  ``REPRO_DIFF_ROUNDS=N`` widens the fuzz sweep
+with N extra seeds (CI runs 25; the default keeps local runs quick).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fastpath.conformance import (
+    SCENARIOS,
+    compare_runs,
+    fuzz_scenario,
+    run_scenario,
+    verify_scenario,
+)
+
+#: Extra fuzz seeds beyond the three registered ones.
+EXTRA_ROUNDS = int(os.environ.get("REPRO_DIFF_ROUNDS", "0"))
+
+DEVICE_SCENARIOS = [
+    s.name for s in SCENARIOS.values() if s.kind == "device"
+]
+PAPER_SCENARIOS = [
+    s.name for s in SCENARIOS.values() if s.kind == "paper"
+]
+
+
+def _assert_conformant(mismatches) -> None:
+    assert not mismatches, "pipelines diverged:\n" + "\n".join(
+        f"  {m}" for m in mismatches
+    )
+
+
+@pytest.mark.parametrize("name", DEVICE_SCENARIOS)
+def test_device_scenarios_conform(name: str) -> None:
+    _assert_conformant(verify_scenario(name))
+
+
+@pytest.mark.parametrize("name", PAPER_SCENARIOS)
+def test_paper_campaigns_conform(name: str) -> None:
+    """The §4.3.1–§4.3.4 nftape campaigns, both pipelines, end to end."""
+    _assert_conformant(verify_scenario(name))
+
+
+@pytest.mark.parametrize("seed", [100 + i for i in range(EXTRA_ROUNDS)])
+def test_fuzz_rounds_conform(seed: int) -> None:
+    """The widened seeded sweep (REPRO_DIFF_ROUNDS, CI runs 25)."""
+    scenario = fuzz_scenario(seed)
+    scalar = scenario.runner("scalar")
+    fast = scenario.runner("fast")
+    _assert_conformant(compare_runs(scalar, fast))
+
+
+def test_fast_pipeline_actually_runs_fast() -> None:
+    """Guard against vacuous conformance: the engine must take its bulk
+    path (chunks or guard splits), not fall back scalar on every burst."""
+    run = run_scenario("fuzz_soup_1", "fast")
+    totals = {
+        key: sum(stats[key] for stats in run.fastpath.values())
+        for key in ("bursts_fast", "guard_splits", "symbols_bulk")
+    }
+    assert totals["bursts_fast"] + totals["guard_splits"] > 0, run.fastpath
+    assert totals["symbols_bulk"] > 0, run.fastpath
+
+
+def test_back_to_back_forces_fallbacks() -> None:
+    """The pathological scenario must actually hit the guard fallback
+    (otherwise it is not testing the scalar re-entry seam)."""
+    run = run_scenario("back_to_back", "fast")
+    reasons: dict = {}
+    for stats in run.fastpath.values():
+        for reason, count in stats["fallback_reasons"].items():
+            reasons[reason] = reasons.get(reason, 0) + count
+    assert reasons.get("match", 0) > 0, run.fastpath
+    splits = sum(s["guard_splits"] for s in run.fastpath.values())
+    assert splits > 0, run.fastpath
+
+
+def test_mid_reconfig_exercises_both_pipelines() -> None:
+    """The PL-switch scenario must spend bursts in both implementations."""
+    run = run_scenario("mid_burst_reconfig", "fast")
+    engine_bursts = sum(
+        s["bursts_fast"] + s["bursts_scalar"] + s["guard_splits"]
+        for s in run.fastpath.values()
+    )
+    device_bursts = run.stats["bursts_forwarded"]
+    assert engine_bursts > 0, run.fastpath
+    # Some bursts bypassed the engine entirely (scalar epochs): the PL
+    # switch really moved the device between implementations.
+    assert engine_bursts < device_bursts, (engine_bursts, device_bursts)

@@ -1,0 +1,226 @@
+"""Seeded input generation and ddmin-style shrinking for property tests.
+
+A deliberately small property-testing core (no third-party deps): a
+*strategy* is a plain function ``rng -> value``; a *property* is a
+function ``value -> None`` that raises ``AssertionError`` on violation.
+:func:`run_property` drives N seeded rounds and, on the first failure,
+greedily minimizes the counterexample with the caller's shrinker before
+re-raising — so a failing run prints the *smallest* burst sequence that
+still violates the invariant, not a 400-symbol soup.
+
+Shrinking follows the classic delta-debugging shape: drop chunks of the
+sequence (halves first, then smaller slices), then shorten individual
+bursts, then simplify individual symbols toward ``data 0x00``.  Each
+accepted shrink restarts the pass, so the result is 1-minimal with
+respect to these operations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, List, Sequence, TypeVar
+
+from repro.core.faults import control_symbol_swap, replace_bytes
+from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.myrinet.symbols import (
+    GAP,
+    GO,
+    IDLE,
+    STOP,
+    Symbol,
+    control_symbol,
+    data_symbol,
+)
+
+T = TypeVar("T")
+
+Bursts = List[List[Symbol]]
+
+_SPECIALS = (GAP, IDLE, STOP, GO)
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+
+
+def gen_symbol(rng: random.Random) -> Symbol:
+    """One symbol: mostly data, sometimes named or raw control."""
+    roll = rng.random()
+    if roll < 0.80:
+        return data_symbol(rng.randrange(256))
+    if roll < 0.95:
+        return _SPECIALS[rng.randrange(4)]
+    return control_symbol(rng.randrange(256))
+
+
+def gen_burst(rng: random.Random, max_len: int = 200) -> List[Symbol]:
+    """A burst biased toward both tiny and guard-margin-sized lengths."""
+    if rng.random() < 0.2:
+        length = rng.randint(1, 8)  # around the GUARD_MARGIN boundary
+    else:
+        length = rng.randint(1, max_len)
+    return [gen_symbol(rng) for _ in range(length)]
+
+
+def gen_bursts(rng: random.Random, max_bursts: int = 12) -> Bursts:
+    """A burst *sequence* (state carries across bursts)."""
+    return [gen_burst(rng) for _ in range(rng.randint(1, max_bursts))]
+
+
+def gen_config(rng: random.Random) -> InjectorConfig:
+    """A register file spanning armed/disarmed and every corrupt mode."""
+    kind = rng.randrange(6)
+    if kind == 0:
+        return InjectorConfig()  # disarmed reset state
+    if kind == 1:
+        return replace_bytes(
+            bytes([rng.randrange(256)]),
+            bytes([rng.randrange(256)]),
+            match_mode=MatchMode.ON if rng.random() < 0.5 else MatchMode.ONCE,
+            crc_fixup=rng.random() < 0.5,
+        )
+    if kind == 2:
+        match = bytes([rng.randrange(256), rng.randrange(256)])
+        replacement = bytes([rng.randrange(256), rng.randrange(256)])
+        return replace_bytes(match, replacement, match_mode=MatchMode.ON)
+    if kind == 3:
+        source = _SPECIALS[rng.randrange(4)]
+        target = _SPECIALS[rng.randrange(4)]
+        if target is source:
+            target = _SPECIALS[(rng.randrange(4) + 1) % 4]
+        return control_symbol_swap(source, target, MatchMode.ON)
+    if kind == 4:
+        # Sparse mask: under the scan threshold (prefilter declines).
+        return InjectorConfig(
+            match_mode=MatchMode.ON,
+            compare_data=rng.randrange(256),
+            compare_mask=0x0000_0007,
+            corrupt_mode=CorruptMode.TOGGLE,
+            corrupt_data=0,
+            corrupt_mask=0x0000_00FF,
+        )
+    # Dense multi-lane pattern with toggles.
+    return InjectorConfig(
+        match_mode=MatchMode.ON if rng.random() < 0.5 else MatchMode.ONCE,
+        compare_data=rng.getrandbits(32),
+        compare_mask=0xFFFF_FFFF,
+        corrupt_mode=CorruptMode.TOGGLE,
+        corrupt_data=0,
+        corrupt_mask=rng.getrandbits(32) or 1,
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+
+def _simpler_symbol(symbol: Symbol) -> Iterator[Symbol]:
+    if symbol.is_data:
+        if symbol.value:
+            yield data_symbol(0)
+    else:
+        yield data_symbol(0)
+        if symbol.value != IDLE.value:
+            yield IDLE
+
+
+def shrink_bursts(bursts: Bursts) -> Iterator[Bursts]:
+    """Candidate simplifications of a burst sequence, largest cuts first."""
+    n = len(bursts)
+    # 1. Drop contiguous chunks: halves, quarters, ..., single bursts.
+    size = n
+    while size >= 1:
+        for start in range(0, n, size):
+            candidate = bursts[:start] + bursts[start + size:]
+            if candidate:
+                yield candidate
+        if size == 1:
+            break
+        size //= 2
+    # 2. Halve individual bursts (front and back halves).
+    for index, burst in enumerate(bursts):
+        if len(burst) > 1:
+            half = len(burst) // 2
+            for kept in (burst[:half], burst[half:]):
+                yield bursts[:index] + [kept] + bursts[index + 1:]
+    # 3. Drop single symbols from short bursts.
+    for index, burst in enumerate(bursts):
+        if 1 < len(burst) <= 16:
+            for cut in range(len(burst)):
+                kept = burst[:cut] + burst[cut + 1:]
+                yield bursts[:index] + [kept] + bursts[index + 1:]
+    # 4. Simplify individual symbols in short sequences.
+    total = sum(len(b) for b in bursts)
+    if total <= 32:
+        for index, burst in enumerate(bursts):
+            for position, symbol in enumerate(burst):
+                for simpler in _simpler_symbol(symbol):
+                    replaced = list(burst)
+                    replaced[position] = simpler
+                    yield bursts[:index] + [replaced] + bursts[index + 1:]
+
+
+def minimize(
+    value: T,
+    fails: Callable[[T], bool],
+    shrinker: Callable[[T], Iterable[T]],
+    max_attempts: int = 400,
+) -> T:
+    """Greedy 1-minimal shrink: accept any candidate that still fails."""
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in shrinker(value):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            if fails(candidate):
+                value = candidate
+                improved = True
+                break  # restart the pass from the shrunk value
+    return value
+
+
+def describe_bursts(bursts: Bursts) -> str:
+    """Compact, reproducible rendering of a burst sequence."""
+    parts = []
+    for burst in bursts:
+        tokens = [
+            f"D{s.value:02x}" if s.is_data else f"C{s.value:02x}"
+            for s in burst
+        ]
+        parts.append("[" + " ".join(tokens) + "]")
+    return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+
+
+def run_property(
+    prop: Callable[[random.Random], None],
+    *,
+    rounds: int = 30,
+    seed: int = 0,
+    name: str = "",
+) -> None:
+    """Run ``prop`` over ``rounds`` seeded rounds; fail on first violation.
+
+    ``prop`` receives a fresh ``random.Random`` per round and is expected
+    to generate its own inputs from it (so the failure seed pins the
+    exact inputs).  Shrinking happens inside the property via
+    :func:`minimize` where the property opts in.
+    """
+    for round_index in range(rounds):
+        rng = random.Random((seed << 16) ^ round_index)
+        try:
+            prop(rng)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"property {name or prop.__name__} failed on round "
+                f"{round_index} (seed={seed}): {exc}"
+            ) from exc
