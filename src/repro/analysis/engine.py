@@ -28,6 +28,22 @@ Rule kinds
 * :class:`ModuleRule` — checked against each parsed module in isolation.
 * :class:`ProjectRule` — checked once against the whole module map
   (cross-module consistency, e.g. decoder grammar vs. register file).
+
+Scoped allowances
+-----------------
+
+Some rules have *sanctioned* violation scopes — packages where the
+flagged construct is the design (telemetry reads the wall clock; the
+rng wrapper imports ``random``).  These are declared per rule ID as
+package lists, either in :data:`DEFAULT_SCOPED_ALLOWANCES` or — taking
+precedence — in the project's ``pyproject.toml``::
+
+    [tool.simlint.scoped-allowances]
+    SIM001 = ["repro.telemetry", "repro.runtime"]
+
+The engine drops any finding whose module lives under an allowed
+package for that finding's rule, so individual rules no longer carry
+their own ad-hoc allowance lists.
 """
 
 from __future__ import annotations
@@ -37,7 +53,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 __all__ = [
     "Finding",
@@ -46,7 +62,61 @@ __all__ = [
     "ProjectRule",
     "LintEngine",
     "parse_module",
+    "DEFAULT_SCOPED_ALLOWANCES",
+    "load_scoped_allowances",
 ]
+
+#: rule ID -> packages sanctioned to violate it.  Mirrored by the
+#: ``[tool.simlint.scoped-allowances]`` table in pyproject.toml, which
+#: overrides these per rule when present; the in-code defaults keep
+#: engine behaviour identical on trees scanned without a pyproject
+#: (tmp fixture trees, installed packages).
+DEFAULT_SCOPED_ALLOWANCES: Dict[str, Sequence[str]] = {
+    # Wall clock: telemetry strictly observes; the runtime layer times
+    # and kills host-side worker processes.  Neither feeds sim time.
+    "SIM001": ("repro.telemetry", "repro.runtime"),
+    "FLOW101": ("repro.telemetry", "repro.runtime"),
+    # Randomness: the deterministic rng wrapper is the one sanctioned
+    # importer of `random`.
+    "SIM002": ("repro.sim.rng",),
+    "FLOW102": ("repro.sim.rng",),
+}
+
+
+def load_scoped_allowances(
+    start: Path,
+) -> Dict[str, Sequence[str]]:
+    """Scoped allowances for a scan rooted at ``start``.
+
+    Walks up from ``start`` looking for a ``pyproject.toml`` with a
+    ``[tool.simlint]`` section; its ``scoped-allowances`` table
+    overrides :data:`DEFAULT_SCOPED_ALLOWANCES` per rule ID.  Without
+    one (tmp trees, installed checkouts) the defaults apply unchanged.
+    """
+    allowances: Dict[str, Sequence[str]] = dict(DEFAULT_SCOPED_ALLOWANCES)
+    node = start if start.is_dir() else start.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        try:
+            import tomllib
+
+            data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        except Exception:  # simlint: disable=ERR001 -- malformed toml falls back to defaults
+            return allowances
+        simlint = data.get("tool", {}).get("simlint")
+        if not isinstance(simlint, dict):
+            return allowances
+        table = simlint.get("scoped-allowances", {})
+        if isinstance(table, dict):
+            for rule_id, packages in table.items():
+                if isinstance(packages, list):
+                    allowances[str(rule_id)] = tuple(
+                        str(p) for p in packages
+                    )
+        return allowances
+    return allowances
 
 #: ``# simlint: disable=RULE1,RULE2`` (optionally followed by a reason).
 _DISABLE_RE = re.compile(
@@ -192,9 +262,14 @@ class LintEngine:
         self,
         module_rules: Sequence[ModuleRule],
         project_rules: Sequence[ProjectRule] = (),
+        scoped_allowances: Optional[Mapping[str, Sequence[str]]] = None,
     ) -> None:
         self.module_rules = list(module_rules)
         self.project_rules = list(project_rules)
+        #: None = resolve from pyproject.toml at run() time.
+        self.scoped_allowances = (
+            None if scoped_allowances is None else dict(scoped_allowances)
+        )
 
     def iter_sources(self, root: Path) -> Iterable[Path]:
         """All ``.py`` files under ``root``, in sorted (deterministic) order."""
@@ -217,23 +292,55 @@ class LintEngine:
     def run(self, root: Path, scan_root: Optional[Path] = None) -> List[Finding]:
         """Lint every module under ``root``; returns unsuppressed findings."""
         modules = self.load(root, scan_root)
-        return self.run_modules(modules)
+        allowances = self.scoped_allowances
+        if allowances is None:
+            allowances = load_scoped_allowances(root)
+        return self.run_modules(modules, allowances)
 
-    def run_modules(self, modules: Dict[str, ModuleInfo]) -> List[Finding]:
+    def run_modules(
+        self,
+        modules: Dict[str, ModuleInfo],
+        scoped_allowances: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> List[Finding]:
         """Apply all rules to an already-parsed module map."""
+        if scoped_allowances is None:
+            scoped_allowances = (
+                self.scoped_allowances
+                if self.scoped_allowances is not None
+                else DEFAULT_SCOPED_ALLOWANCES
+            )
         findings: List[Finding] = []
         for _name, info in sorted(modules.items()):
             for rule in self.module_rules:
                 for finding in rule.check(info):
-                    if not info.suppressed(finding.rule_id, finding.line):
-                        findings.append(finding)
+                    if info.suppressed(finding.rule_id, finding.line):
+                        continue
+                    if self._allowed(finding, info, scoped_allowances):
+                        continue
+                    findings.append(finding)
         for project_rule in self.project_rules:
             for finding in project_rule.check_project(modules):
                 info = _module_for_path(modules, finding.path)
-                if info is None or not info.suppressed(finding.rule_id, finding.line):
-                    findings.append(finding)
+                if info is not None and info.suppressed(
+                    finding.rule_id, finding.line
+                ):
+                    continue
+                if info is not None and self._allowed(
+                    finding, info, scoped_allowances
+                ):
+                    continue
+                findings.append(finding)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
+
+    @staticmethod
+    def _allowed(
+        finding: Finding,
+        info: ModuleInfo,
+        scoped_allowances: Mapping[str, Sequence[str]],
+    ) -> bool:
+        packages = scoped_allowances.get(finding.rule_id)
+        return bool(packages) and info.in_package(*packages)
 
 
 def _module_for_path(

@@ -1,0 +1,134 @@
+"""Accepted-findings baseline for simlint/simflow.
+
+A static-analysis gate on a living codebase needs a ratchet: *new*
+findings fail CI, findings that were present when the gate landed are
+accepted (warn-only) until someone burns them down, and baseline
+entries whose finding disappeared are reported as stale so the file
+shrinks monotonically.
+
+Baseline keys are deliberately **line-free**: ``(rule, path, message)``
+with the path normalised to its ``repro/``-rooted tail and source line
+numbers inside messages wildcarded — so unrelated edits that shift code
+downward do not churn the file, while a genuinely new finding (new
+rule, new file, or new message) always counts as new.  Duplicate keys
+are multiset-counted: introducing a *second* identical finding in the
+same file is new, not matched.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+__all__ = [
+    "BaselineDelta",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "find_baseline",
+]
+
+BASELINE_NAME = "lint-baseline.json"
+_VERSION = 1
+
+#: ``(line 123)`` inside messages — wildcarded for stable keys.
+_LINE_REF_RE = re.compile(r"\(line \d+\)")
+
+
+def _normalize_path(path: str) -> str:
+    """The ``repro/``-rooted tail of a finding path (stable across
+    checkouts, virtualenvs and tmp trees)."""
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return parts[-1] if parts else path
+
+
+def _normalize_message(message: str) -> str:
+    return _LINE_REF_RE.sub("(line *)", message)
+
+
+def baseline_key(finding: Finding) -> Tuple[str, str, str]:
+    return (
+        finding.rule_id,
+        _normalize_path(finding.path),
+        _normalize_message(finding.message),
+    )
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    """Baseline keys (with multiplicity) from a baseline file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries: List[Tuple[str, str, str]] = []
+    for entry in data.get("findings", ()):
+        entries.append(
+            (entry["rule"], entry["path"], entry["message"])
+        )
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the accepted baseline."""
+    entries = sorted(baseline_key(f) for f in findings)
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": norm_path, "message": message}
+            for rule, norm_path, message in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@dataclass
+class BaselineDelta:
+    """The three-way split of findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    matched: List[Finding] = field(default_factory=list)
+    stale: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the gate passes: nothing new."""
+        return not self.new
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Sequence[Tuple[str, str, str]],
+) -> BaselineDelta:
+    """Split ``findings`` into new vs. baseline-matched (multiset)."""
+    remaining = Counter(baseline)
+    delta = BaselineDelta()
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            delta.matched.append(finding)
+        else:
+            delta.new.append(finding)
+    for key, count in sorted(remaining.items()):
+        delta.stale.extend([key] * count)
+    return delta
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """Locate ``lint-baseline.json`` walking up from ``start``."""
+    node = start if start.is_dir() else start.parent
+    for candidate in (node, *node.parents):
+        path = candidate / BASELINE_NAME
+        if path.is_file():
+            return path
+    return None

@@ -1,0 +1,429 @@
+"""Intra-procedural control-flow graphs for simflow.
+
+The flow analyses (FLOW1xx determinism taint, and anything else that
+needs path sensitivity) run over a per-function CFG rather than a bare
+AST walk: a taint introduced on one branch must survive the join below
+an ``if``, die when every path reassigns the name, and circulate around
+loop back-edges until the solver reaches a fixpoint.  The builder keeps
+the graph deliberately simple — basic blocks of *statements*, edges for
+control transfer — and errs on the side of **extra** edges: for a may-
+analysis (union join) a superfluous edge can only make the result more
+conservative, never unsound.
+
+Modelling decisions (each exercised in ``tests/test_flow_cfg.py``):
+
+* ``if``/``elif``/``else`` — branch blocks joining below.
+* ``while``/``for`` with ``else`` — header block holding the test /
+  iteration (the ``for`` target binding is recorded as a synthetic
+  :class:`LoopBind` entry), back-edge from the body, ``else`` entered
+  from the header's exhausted exit, ``break`` jumping past the ``else``.
+* ``try``/``except``/``else``/``finally`` — every block of the ``try``
+  body gets an exceptional edge to each handler entry (a raise can
+  happen anywhere inside the body), handlers rejoin below; a
+  ``finally`` block is interposed on the normal, exceptional *and*
+  jump (``return``/``break``/``continue``) exits.
+* ``with`` — treated like ``try``/``finally`` with an empty finalizer:
+  body blocks get an unwinding edge to the join block, the item's
+  ``as`` binding is an ordinary statement-level assignment.
+* ``match`` — one arm block per ``case`` fanning out of the subject
+  block and rejoining below; a fall-through edge covers the no-case-
+  matched path.
+* ``return``/``raise``/``break``/``continue`` — edge to the exit /
+  handler / loop target, routed through any enclosing ``finally``.
+
+Comprehensions (including nested ones) stay *inside* their statement:
+they create no blocks — the taint transfer function handles their
+dataflow expression-locally, which is exact because a comprehension
+cannot contain statements.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["LoopBind", "BasicBlock", "CFG", "build_cfg", "FunctionLike"]
+
+FunctionLike = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Module]
+
+
+@dataclass(frozen=True)
+class LoopBind:
+    """Synthetic block entry: ``for target in iter`` binding.
+
+    The transfer function treats it like ``target = <element of iter>``
+    — the loop variable acquires the iterable's taints (plus an
+    unordered-iteration taint when the iterable is a set).
+    """
+
+    target: ast.expr
+    iter: ast.expr
+    lineno: int
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with outgoing edges."""
+
+    index: int
+    label: str = ""
+    stmts: List[object] = field(default_factory=list)  # ast.stmt | LoopBind
+    succs: List[int] = field(default_factory=list)
+
+    def add_succ(self, target: int) -> None:
+        if target not in self.succs:
+            self.succs.append(target)
+
+
+class CFG:
+    """The control-flow graph of one function (or module) body."""
+
+    def __init__(self, blocks: List[BasicBlock], entry: int, exit: int) -> None:
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def successors(self, index: int) -> List[int]:
+        return self.blocks[index].succs
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the entry."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.blocks[index].succs)
+        return seen
+
+    def statements(self) -> List[object]:
+        """Every placed statement, in block order (testing aid)."""
+        out: List[object] = []
+        for block in self.blocks:
+            out.extend(block.stmts)
+        return out
+
+
+class _Builder:
+    """Recursive-descent CFG construction with jump routing."""
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        #: Stack of (continue_target, break_target) block indices.
+        self._loops: List[Tuple[int, int]] = []
+        #: Stack of active exception targets (handler entry blocks);
+        #: each element is the list for one enclosing try.
+        self._handlers: List[List[int]] = []
+        #: Stack of enclosing ``finally`` entry blocks (innermost last).
+        self._finals: List[int] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def new_block(self, label: str = "") -> int:
+        block = BasicBlock(index=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block.index
+
+    def edge(self, src: int, dst: int) -> None:
+        self.blocks[src].add_succ(dst)
+
+    def _route_jump(self, src: int, target: int) -> None:
+        """Wire a jump from ``src`` to ``target`` through any finallys.
+
+        With enclosing ``finally`` blocks the jump first enters the
+        innermost one; the finally subgraph's exit then also flows to
+        ``target``.  (One shared finally copy for all routed jumps — a
+        sound over-approximation for may-analyses.)
+        """
+        if self._finals:
+            inner = self._finals[-1]
+            self.edge(src, inner)
+            self._final_extra_targets[-1].add(target)
+        else:
+            self.edge(src, target)
+
+    # -- statement sequences -------------------------------------------
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        entry = self.new_block("entry")
+        exit_index = self.new_block("exit")
+        self._exit = exit_index
+        self._final_extra_targets: List[Set[int]] = []
+        last = self._sequence(body, entry)
+        if last is not None:
+            self.edge(last, exit_index)
+        return CFG(self.blocks, entry, exit_index)
+
+    def _sequence(
+        self, body: Sequence[ast.stmt], current: Optional[int]
+    ) -> Optional[int]:
+        """Append ``body`` starting at block ``current``.
+
+        Returns the block control falls out of, or ``None`` when every
+        path ended in a jump (return/raise/break/continue).
+        """
+        for stmt in body:
+            if current is None:
+                # Dead code after a jump still gets a block so its
+                # statements are placed (and analysable), just with no
+                # incoming edge.
+                current = self.new_block("dead")
+            current = self._statement(stmt, current)
+        return current
+
+    # -- individual statements -----------------------------------------
+
+    def _statement(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, ast.Return):
+            self.blocks[current].stmts.append(stmt)
+            self._route_jump(current, self._exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.blocks[current].stmts.append(stmt)
+            self._raise_edges(current)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].stmts.append(stmt)
+            if self._loops:
+                self._route_jump(current, self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].stmts.append(stmt)
+            if self._loops:
+                self._route_jump(current, self._loops[-1][0])
+            return None
+        # Nested function/class definitions bind a name; their bodies
+        # get their own CFGs when the analysis recurses into them.
+        self.blocks[current].stmts.append(stmt)
+        return current
+
+    def _raise_edges(self, src: int) -> None:
+        """A raise goes to the active handlers (or out of the function)."""
+        if self._handlers:
+            for handler_entry in self._handlers[-1]:
+                self.edge(src, handler_entry)
+        else:
+            self._route_jump(src, self._exit)
+
+    # -- compound statements -------------------------------------------
+
+    def _if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.blocks[current].stmts.append(_expr_stmt(stmt.test))
+        after = self.new_block("if-join")
+        then_entry = self.new_block("then")
+        self.edge(current, then_entry)
+        then_exit = self._sequence(stmt.body, then_entry)
+        if then_exit is not None:
+            self.edge(then_exit, after)
+        if stmt.orelse:
+            else_entry = self.new_block("else")
+            self.edge(current, else_entry)
+            else_exit = self._sequence(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.edge(else_exit, after)
+        else:
+            self.edge(current, after)
+        return after
+
+    def _loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], current: int
+    ) -> Optional[int]:
+        header = self.new_block("loop-header")
+        self.edge(current, header)
+        if isinstance(stmt, ast.While):
+            self.blocks[header].stmts.append(_expr_stmt(stmt.test))
+        else:
+            self.blocks[header].stmts.append(
+                LoopBind(target=stmt.target, iter=stmt.iter,
+                         lineno=stmt.lineno)
+            )
+        after = self.new_block("loop-after")
+        body_entry = self.new_block("loop-body")
+        self.edge(header, body_entry)
+
+        self._loops.append((header, after))
+        body_exit = self._sequence(stmt.body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            self.edge(body_exit, header)
+
+        if stmt.orelse:
+            else_entry = self.new_block("loop-else")
+            self.edge(header, else_entry)
+            else_exit = self._sequence(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.edge(else_exit, after)
+        else:
+            self.edge(header, after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        after = self.new_block("try-join")
+
+        # The finally subgraph is built first so jump routing inside the
+        # body can target its entry.
+        final_entry: Optional[int] = None
+        final_exit: Optional[int] = None
+        if stmt.finalbody:
+            final_entry = self.new_block("finally")
+            self._final_extra_targets.append(set())
+            final_exit = self._sequence(stmt.finalbody, final_entry)
+
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            handler_entries.append(self.new_block("except"))
+
+        # Body: every block created inside gets an exceptional edge to
+        # each handler (and to finally when there is no handler).
+        if stmt.finalbody:
+            self._finals.append(final_entry)  # type: ignore[arg-type]
+        self._handlers.append(
+            handler_entries if handler_entries
+            else ([final_entry] if final_entry is not None else [])
+        )
+        body_entry = self.new_block("try-body")
+        self.edge(current, body_entry)
+        first_body_block = len(self.blocks) - 1
+        body_exit = self._sequence(stmt.body, body_entry)
+        last_body_block = len(self.blocks)
+        self._handlers.pop()
+
+        exc_targets = handler_entries or (
+            [final_entry] if final_entry is not None else []
+        )
+        for index in range(first_body_block, last_body_block):
+            for target in exc_targets:
+                self.edge(index, target)
+
+        # else-clause runs when the body completed normally.
+        if body_exit is not None and stmt.orelse:
+            body_exit = self._sequence(stmt.orelse, body_exit)
+
+        exits: List[Optional[int]] = [body_exit]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            if handler.name:
+                self.blocks[entry].stmts.append(
+                    _bind_stmt(handler.name, handler)
+                )
+            exits.append(self._sequence(handler.body, entry))
+        if stmt.finalbody:
+            self._finals.pop()
+
+        if final_entry is not None:
+            for exit_block in exits:
+                if exit_block is not None:
+                    self.edge(exit_block, final_entry)
+            extra = self._final_extra_targets.pop()
+            if final_exit is not None:
+                self.edge(final_exit, after)
+                for target in extra:
+                    self.edge(final_exit, target)
+                # An unhandled exception also transits the finally and
+                # leaves the function.
+                if not handler_entries:
+                    self.edge(final_exit, self._exit)
+            return after
+        for exit_block in exits:
+            if exit_block is not None:
+                self.edge(exit_block, after)
+        return after
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], current: int
+    ) -> Optional[int]:
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                self.blocks[current].stmts.append(
+                    ast.copy_location(
+                        ast.Assign(targets=[item.optional_vars],
+                                   value=item.context_expr),
+                        stmt,
+                    )
+                )
+            else:
+                self.blocks[current].stmts.append(
+                    _expr_stmt(item.context_expr)
+                )
+        after = self.new_block("with-join")
+        body_entry = self.new_block("with-body")
+        self.edge(current, body_entry)
+        first = len(self.blocks) - 1
+        body_exit = self._sequence(stmt.body, body_entry)
+        last = len(self.blocks)
+        # Unwinding: __exit__ may suppress an exception raised anywhere
+        # in the body, so every body block can reach the join directly.
+        for index in range(first, last):
+            self.edge(index, after)
+        if body_exit is not None:
+            self.edge(body_exit, after)
+        return after
+
+    def _match(self, stmt: "ast.Match", current: int) -> Optional[int]:
+        self.blocks[current].stmts.append(_expr_stmt(stmt.subject))
+        after = self.new_block("match-join")
+        for case in stmt.cases:
+            arm = self.new_block("case")
+            self.edge(current, arm)
+            for name in _pattern_names(case.pattern):
+                self.blocks[arm].stmts.append(
+                    _bind_match_stmt(name, stmt.subject, case)
+                )
+            if case.guard is not None:
+                self.blocks[arm].stmts.append(_expr_stmt(case.guard))
+            arm_exit = self._sequence(case.body, arm)
+            if arm_exit is not None:
+                self.edge(arm_exit, after)
+        # No-case-matched fall-through (conservative even when a
+        # wildcard arm exists).
+        self.edge(current, after)
+        return after
+
+
+def _expr_stmt(expr: ast.expr) -> ast.Expr:
+    return ast.copy_location(ast.Expr(value=expr), expr)
+
+
+def _bind_stmt(name: str, loc: ast.AST) -> ast.Assign:
+    """``name = <fresh>`` — an except-handler's exception binding."""
+    target = ast.copy_location(ast.Name(id=name, ctx=ast.Store()), loc)
+    value = ast.copy_location(ast.Constant(value=None), loc)
+    return ast.copy_location(ast.Assign(targets=[target], value=value), loc)
+
+
+def _bind_match_stmt(name: str, subject: ast.expr, loc: ast.AST) -> ast.Assign:
+    """``name = <subject>`` — a match capture binds from the subject."""
+    target = ast.copy_location(ast.Name(id=name, ctx=ast.Store()), loc)
+    return ast.copy_location(ast.Assign(targets=[target], value=subject), loc)
+
+
+def _pattern_names(pattern: "ast.pattern") -> List[str]:
+    """Capture names bound by a match pattern (recursively)."""
+    names: List[str] = []
+    for node in ast.walk(pattern):
+        capture = getattr(node, "name", None)
+        if isinstance(node, (ast.MatchAs, ast.MatchStar)) and capture:
+            names.append(capture)
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            names.append(node.rest)
+    return names
+
+
+def build_cfg(node: FunctionLike) -> CFG:
+    """Build the CFG of a function's (or module's) body."""
+    return _Builder().build(node.body)

@@ -1,0 +1,86 @@
+"""A forward may-analysis worklist solver over simflow CFGs.
+
+The solver is deliberately small: state is a mapping ``name -> frozenset
+of facts`` (taint tags, kinds — anything hashable), the join is key-wise
+set union, and the transfer function is supplied by the client analysis.
+Union-join plus a finite fact universe (facts are only ever *created* at
+source sites, a finite set per function) gives monotone transfer
+functions an ascending chain condition, so the fixpoint iteration
+terminates.
+
+Two-pass protocol
+-----------------
+
+Clients run :func:`solve_forward` once to fixpoint, then *replay* the
+transfer function over each reachable block's statements starting from
+the solved in-state (:func:`replay`).  Findings are emitted only during
+the replay — by then every loop-carried fact has stabilised, so a sink
+inside a loop sees taints introduced later in the same loop body.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, Optional
+
+from repro.analysis.flow.cfg import CFG
+
+__all__ = ["State", "join", "solve_forward", "replay"]
+
+#: Abstract state: variable (or dotted path) -> set of facts.
+State = Dict[str, FrozenSet[Hashable]]
+
+#: A transfer function: (statement, in-state) -> out-state.  It must be
+#: pure w.r.t. the state argument (return a new dict, never mutate).
+Transfer = Callable[[object, State], State]
+
+
+def join(left: Optional[State], right: State) -> State:
+    """Key-wise union of two states (``None`` = bottom)."""
+    if left is None:
+        return dict(right)
+    merged = dict(left)
+    for name, facts in right.items():
+        have = merged.get(name)
+        if have is None:
+            merged[name] = facts
+        elif not facts <= have:
+            merged[name] = have | facts
+    return merged
+
+
+def solve_forward(
+    cfg: CFG, transfer: Transfer, entry_state: Optional[State] = None
+) -> Dict[int, State]:
+    """Iterate to fixpoint; returns the in-state of every visited block."""
+    states: Dict[int, State] = {cfg.entry: dict(entry_state or {})}
+    worklist = deque([cfg.entry])
+    on_list = {cfg.entry}
+    while worklist:
+        index = worklist.popleft()
+        on_list.discard(index)
+        state = states[index]
+        for stmt in cfg.block(index).stmts:
+            state = transfer(stmt, state)
+        for succ in cfg.successors(index):
+            merged = join(states.get(succ), state)
+            if merged != states.get(succ):
+                states[succ] = merged
+                if succ not in on_list:
+                    worklist.append(succ)
+                    on_list.add(succ)
+    return states
+
+
+def replay(
+    cfg: CFG, transfer: Transfer, states: Dict[int, State]
+) -> None:
+    """Re-run ``transfer`` over every solved block from its in-state.
+
+    The client's transfer function is expected to emit findings on this
+    pass (e.g. via a collector toggled on before calling).
+    """
+    for index in sorted(states):
+        state = states[index]
+        for stmt in cfg.block(index).stmts:
+            state = transfer(stmt, state)

@@ -1,0 +1,412 @@
+"""FLOW3xx — fastpath effect-set divergence analysis.
+
+PR 5's conformance harness proves scalar/fast equivalence *dynamically*
+on sampled workloads; both bugs it surfaced (the fused-loop watermark
+off-by-one and the burst-scoped CRC dirty flag) were divergences in
+**which state the two paths write and with what arguments**.  This
+module checks that property statically: for each declared
+:class:`~repro.fastpath.contract.EffectContract`, the *effect set* —
+the ``self``-rooted attributes stored and mutating methods called — of
+the scalar functions is extracted from the AST and compared against the
+fast-path functions', modulo the contract's declared equivalences.
+
+Effect vocabulary (paths are relative to ``self``, with the contract's
+``strip`` prefixes removed so engine-side ``inj.fifo.push`` and
+scalar-side ``self.fifo.push`` compare equal):
+
+* ``fifo.push`` — a mutating method call on a tracked object;
+* ``compare._window`` — an attribute store / augmented assignment;
+* ``fallback_reasons[]`` — an item store on a tracked container;
+* ``call:process_burst`` — a call to an own method (used only as a
+  *fallback witness*, never compared as state).
+
+Local aliases are resolved (``stats = self.stats`` then
+``stats.symbols += n`` is the effect ``stats.symbols``), including one
+level of chaining (``counts = stats.control_symbols``).
+
+Rule IDs:
+
+=========  ===========================================================
+FLOW301    scalar-path effect with no fast-path counterpart, coverage
+           mapping, fallback witness, or allowlist entry
+FLOW302    effect present on both sides but with diverging (normalised)
+           call-argument signature
+FLOW303    fast-path effect the scalar path never performs and the
+           contract does not declare
+FLOW304    contract references a function that no longer exists
+=========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectRule
+
+__all__ = [
+    "ExtractedEffects",
+    "extract_effects",
+    "normalize_signature",
+    "FastpathEffectContractRule",
+]
+
+#: Method names that read without mutating — never effects.
+KNOWN_NONMUTATING = {
+    "snapshot", "planes", "get", "count", "find", "copy", "expect",
+    "keys", "values", "items", "index", "startswith", "endswith",
+}
+
+
+@dataclass
+class ExtractedEffects:
+    """The effect set of one function, plus signature witnesses."""
+
+    #: Non-call effects: stores and mutating method calls, by path.
+    effects: Set[str]
+    #: ``call:name`` effects (own-method calls) — fallback witnesses.
+    calls: Set[str]
+    #: effect path -> list of (normalised first-arg signature, line).
+    signatures: Dict[str, List[Tuple[str, int]]]
+    #: effect path -> first line it occurs on (for finding locations).
+    lines: Dict[str, int]
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve(path: str, aliases: Dict[str, str]) -> Optional[str]:
+    """Rewrite ``path`` onto its ``self``-rooted form, or None.
+
+    ``self.a.b`` -> ``a.b``; ``alias.b`` -> ``<alias target>.b`` when
+    the alias is itself self-rooted.
+    """
+    head, _, rest = path.partition(".")
+    if head == "self":
+        return rest or None
+    target = aliases.get(head)
+    if target is None:
+        return None
+    return f"{target}.{rest}" if rest else target
+
+
+def normalize_signature(text: str, renames: Mapping[str, str]) -> str:
+    """Canonicalise an unparsed argument expression via word-boundary
+    renames (longest key first, so ``inj.pipeline_depth`` wins over
+    ``n``)."""
+    for key in sorted(renames, key=len, reverse=True):
+        # Word boundaries only where the key edge is a word char —
+        # `len(burst)` ends in `)`, which `\b` could never follow.
+        prefix = r"(?<!\w)" if re.match(r"\w", key) else ""
+        suffix = r"(?!\w)" if re.search(r"\w$", key) else ""
+        text = re.sub(
+            prefix + re.escape(key) + suffix, renames[key], text
+        )
+    return text
+
+
+def extract_effects(
+    func: ast.AST,
+    renames: Optional[Mapping[str, str]] = None,
+    strip: Sequence[str] = (),
+) -> ExtractedEffects:
+    """Extract the effect set of one function body."""
+    renames = renames or {}
+    aliases: Dict[str, str] = {}
+
+    # Pass 1: local aliases of self-rooted paths (``inj = self.injector``,
+    # then ``counts = inj.stats.control_symbols``).  Two sweeps resolve
+    # one level of chaining in either source order.
+    for _sweep in (0, 1):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value_path = _dotted(node.value)
+            if value_path is None:
+                continue
+            resolved = _resolve(value_path, aliases)
+            if resolved is not None:
+                aliases[target.id] = resolved
+
+    out = ExtractedEffects(
+        effects=set(), calls=set(), signatures={}, lines={}
+    )
+
+    def strip_path(path: str) -> str:
+        for prefix in strip:
+            if path.startswith(prefix):
+                return path[len(prefix):]
+        return path
+
+    def note(path: str, line: int) -> None:
+        out.effects.add(path)
+        out.lines.setdefault(path, line)
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    # Rebinding a local (even an alias of self state)
+                    # is not an object effect.
+                    continue
+                suffix = ""
+                base = target
+                if isinstance(base, ast.Subscript):
+                    suffix = "[]"
+                    base = base.value
+                path = _dotted(base)
+                if path is None:
+                    continue
+                resolved = _resolve(path, aliases)
+                if resolved is None:
+                    continue
+                note(strip_path(resolved) + suffix, base.lineno)
+        elif isinstance(node, ast.Call):
+            func_expr = node.func
+            if not isinstance(func_expr, ast.Attribute):
+                continue
+            method = func_expr.attr
+            if method in KNOWN_NONMUTATING:
+                continue
+            base_path = _dotted(func_expr.value)
+            if base_path is None:
+                continue
+            resolved = _resolve(base_path, aliases)
+            if resolved is None:
+                # self.method(...) — own-method call witness.
+                if base_path == "self":
+                    out.calls.add(f"call:{method}")
+                continue
+            stripped = strip_path(f"{resolved}.{method}")
+            if "." not in stripped:
+                # The whole object prefix was stripped away: this is a
+                # delegated own-method call, a fallback witness.
+                out.calls.add(f"call:{stripped}")
+                continue
+            note(stripped, func_expr.lineno)
+            if node.args:
+                signature = normalize_signature(
+                    ast.unparse(node.args[0]), renames
+                )
+                out.signatures.setdefault(stripped, []).append(
+                    (signature, node.lineno)
+                )
+    # A bare self-attribute call recorded as ``call:x`` may also be an
+    # effect path when x is itself dotted (``self._on_injection(e)`` is
+    # the witness call:_on_injection; ``self.events.append(e)`` was
+    # handled above as events.append).
+    return out
+
+
+@dataclass(frozen=True)
+class _Located:
+    module: str
+    path: str
+    line: int
+
+
+class FastpathEffectContractRule(ProjectRule):
+    """FLOW301–FLOW304: declared scalar/fast effect contracts hold."""
+
+    rule_id = "FLOW301"
+    title = "fast path covers every scalar-path effect"
+
+    rule_table = {
+        "FLOW301": "every scalar-path effect is covered on the fast path",
+        "FLOW302": "scalar/fast effect signatures agree",
+        "FLOW303": "no undeclared fast-path-only effects",
+        "FLOW304": "effect contracts reference existing functions",
+    }
+
+    def __init__(self, contracts=None) -> None:
+        if contracts is None:
+            from repro.fastpath.contract import CONTRACTS
+            contracts = CONTRACTS
+        self.contracts = list(contracts)
+
+    # -- resolution ----------------------------------------------------
+
+    def _find_function(
+        self, modules: Dict[str, ModuleInfo], module: str, qualname: str
+    ) -> Optional[Tuple[ModuleInfo, ast.AST]]:
+        info = modules.get(module)
+        if info is None:
+            return None
+        parts = qualname.split(".")
+        scope: ast.AST = info.tree
+        for i, part in enumerate(parts):
+            found = None
+            for node in ast.iter_child_nodes(scope):
+                if isinstance(
+                    node, (ast.ClassDef, ast.FunctionDef,
+                           ast.AsyncFunctionDef)
+                ) and node.name == part:
+                    found = node
+                    break
+            if found is None:
+                return None
+            scope = found
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+        return info, scope
+
+    # -- checking ------------------------------------------------------
+
+    def check_project(
+        self, modules: Dict[str, ModuleInfo]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for contract in self.contracts:
+            findings.extend(self._check_contract(contract, modules))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+        return findings
+
+    def _check_contract(self, contract, modules) -> List[Finding]:
+        refs = list(contract.scalar) + list(contract.fast)
+        present = [r for r in refs if r.module in modules]
+        if not present:
+            # The scanned tree does not contain this contract's subject
+            # code at all (e.g. a partial fixture tree) — skip.
+            return []
+
+        findings: List[Finding] = []
+        anchor = modules[present[0].module]
+
+        def side(refs, renames, strip):
+            merged = ExtractedEffects(
+                effects=set(), calls=set(), signatures={}, lines={}
+            )
+            located: Dict[str, _Located] = {}
+            for ref in refs:
+                resolved = self._find_function(
+                    modules, ref.module, ref.qualname
+                )
+                if resolved is None:
+                    findings.append(Finding(
+                        path=str(anchor.path),
+                        line=1,
+                        col=0,
+                        rule_id="FLOW304",
+                        message=(
+                            f"effect contract `{contract.name}` "
+                            f"references missing function "
+                            f"{ref.module}:{ref.qualname}"
+                        ),
+                    ))
+                    continue
+                info, func = resolved
+                extracted = extract_effects(func, renames, strip)
+                merged.effects |= extracted.effects
+                merged.calls |= extracted.calls
+                for path, sigs in extracted.signatures.items():
+                    merged.signatures.setdefault(path, []).extend(sigs)
+                for path, line in extracted.lines.items():
+                    merged.lines.setdefault(path, line)
+                    located.setdefault(
+                        path, _Located(ref.module, str(info.path), line)
+                    )
+                located.setdefault(
+                    "__def__", _Located(
+                        ref.module, str(info.path), func.lineno
+                    )
+                )
+            return merged, located
+
+        scalar, scalar_loc = side(
+            contract.scalar, contract.scalar_renames, contract.scalar_strip
+        )
+        fast, fast_loc = side(
+            contract.fast, contract.fast_renames, contract.fast_strip
+        )
+
+        fallback_active = bool(
+            set(contract.fallback_calls) & fast.calls
+        )
+        covered_targets: Set[str] = set()
+        for targets in contract.covered_by.values():
+            covered_targets |= set(targets)
+
+        # FLOW301 — scalar effects the fast side does not perform.
+        for effect in sorted(scalar.effects):
+            if effect in fast.effects:
+                continue
+            if set(contract.covered_by.get(effect, ())) & fast.effects:
+                continue
+            if effect in contract.fallback and fallback_active:
+                continue
+            if effect in contract.allow_scalar_only:
+                continue
+            where = scalar_loc.get(effect) or scalar_loc.get("__def__")
+            findings.append(Finding(
+                path=where.path if where else str(anchor.path),
+                line=where.line if where else 1,
+                col=0,
+                rule_id="FLOW301",
+                message=(
+                    f"scalar-path effect `{effect}` has no fast-path "
+                    f"counterpart in contract `{contract.name}`; add "
+                    f"bulk accounting, a covered_by mapping, or a "
+                    f"fallback declaration"
+                ),
+            ))
+
+        # FLOW303 — fast effects the scalar side never performs.
+        for effect in sorted(fast.effects):
+            if effect in scalar.effects:
+                continue
+            if effect in covered_targets:
+                continue
+            if effect in contract.allow_fast_only:
+                continue
+            where = fast_loc.get(effect) or fast_loc.get("__def__")
+            findings.append(Finding(
+                path=where.path if where else str(anchor.path),
+                line=where.line if where else 1,
+                col=0,
+                rule_id="FLOW303",
+                message=(
+                    f"fast-path-only effect `{effect}` is not declared "
+                    f"in contract `{contract.name}`; the scalar "
+                    f"reference never performs it — declare it "
+                    f"allow_fast_only with a justification or remove it"
+                ),
+            ))
+
+        # FLOW302 — signature divergence on both sides.
+        for effect, canonical in sorted(contract.signatures.items()):
+            for merged, loc in ((scalar, scalar_loc), (fast, fast_loc)):
+                for signature, line in merged.signatures.get(effect, ()):
+                    if signature == canonical:
+                        continue
+                    where = loc.get(effect) or loc.get("__def__")
+                    findings.append(Finding(
+                        path=where.path if where else str(anchor.path),
+                        line=line,
+                        col=0,
+                        rule_id="FLOW302",
+                        message=(
+                            f"effect `{effect}` argument signature "
+                            f"`{signature}` diverges from the "
+                            f"contract's canonical `{canonical}` "
+                            f"(contract `{contract.name}`)"
+                        ),
+                    ))
+        return findings

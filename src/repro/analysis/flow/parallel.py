@@ -1,0 +1,392 @@
+"""FLOW2xx — parallel-safety analysis.
+
+The sharded campaign engine (PR 4) relies on three structural
+properties that nothing checked statically until now:
+
+* **FLOW201** — the spec dataclasses (``PlanSpec``/``ExperimentSpec``/
+  ``CampaignSpec``/``ExperimentJob``) are frozen *by design*: one spec
+  object is shared by every attempt of every worker, so any attribute
+  assignment is a cross-process state leak waiting to happen (and a
+  ``FrozenInstanceError`` at runtime — but only on the path that
+  executes it).
+* **FLOW202** — module-level mutable containers in modules imported by
+  the worker entry path (``repro.runtime.worker``) are forked/spawned
+  into every child; a worker mutating one silently diverges from its
+  siblings and from the serial executor.  Only containers that are
+  actually *mutated* from function bodies are flagged — module-level
+  constant tables are fine.
+* **FLOW203** — lambdas and locally-defined functions passed into spec
+  constructors or process-pool entry points cross a pickle boundary;
+  under the ``spawn`` start method they fail to serialise, and under
+  ``fork`` they capture unpicklable live state that the declarative
+  spec layer exists to exclude.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    ModuleRule,
+    ProjectRule,
+)
+
+__all__ = [
+    "FrozenSpecMutationRule",
+    "WorkerSharedStateRule",
+    "PickleBoundaryClosureRule",
+]
+
+#: Frozen spec classes the campaign layer shares across processes.
+FROZEN_SPEC_CLASSES = (
+    "PlanSpec", "ExperimentSpec", "CampaignSpec", "ExperimentJob",
+)
+
+#: Builtin / collections mutable-container constructors.
+_MUTABLE_CTORS = {
+    "list", "dict", "set", "defaultdict", "deque", "Counter",
+    "OrderedDict", "bytearray",
+}
+#: Method names that mutate a builtin container in place.
+_MUTATING_METHODS = {
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "add", "update", "setdefault", "pop", "popitem", "popleft",
+    "remove", "discard", "clear", "sort", "reverse",
+}
+
+#: Call names that move their callable arguments across a process
+#: (pickle) boundary or into a frozen, shared spec.
+_BOUNDARY_CALLS = set(FROZEN_SPEC_CLASSES) | {
+    "PooledExecutor", "Process", "submit", "map_async", "apply_async",
+}
+
+
+def _dotted_last(expr: ast.expr) -> Optional[str]:
+    """Last component of a Name/Attribute chain (``a.b.C`` -> ``C``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _annotation_name(annotation: Optional[ast.expr]) -> Optional[str]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return annotation.value.split(".")[-1].strip()
+    return _dotted_last(annotation)
+
+
+class FrozenSpecMutationRule(ModuleRule):
+    """FLOW201: no attribute assignment on frozen spec instances."""
+
+    rule_id = "FLOW201"
+    title = "no attribute assignment to frozen spec instances"
+
+    frozen_classes: Sequence[str] = FROZEN_SPEC_CLASSES
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package("repro"):
+            return []
+        findings: List[Finding] = []
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            spec_paths = self._spec_paths(scope)
+            for node in ast.walk(scope):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    finding = self._flag_target(
+                        module, target, spec_paths
+                    )
+                    if finding is not None:
+                        findings.append(finding)
+        return findings
+
+    def _spec_paths(
+        self, scope: ast.AST
+    ) -> Dict[str, str]:
+        """Dotted paths known to hold frozen spec instances -> class."""
+        paths: Dict[str, str] = {}
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                name = _annotation_name(arg.annotation)
+                if name in self.frozen_classes:
+                    paths[arg.arg] = name
+        for node in ast.walk(scope):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                name = _annotation_name(node.annotation)
+                if name in self.frozen_classes:
+                    path = _store_path(target)
+                    if path is not None:
+                        paths[path] = name
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            ctor = _dotted_last(value.func)
+            if ctor in self.frozen_classes:
+                path = _store_path(target)
+                if path is not None:
+                    paths[path] = ctor
+        return paths
+
+    def _flag_target(
+        self,
+        module: ModuleInfo,
+        target: ast.expr,
+        spec_paths: Dict[str, str],
+    ) -> Optional[Finding]:
+        if not isinstance(target, ast.Attribute):
+            return None
+        base = target.value
+        # Direct: ExperimentSpec(...).name = x
+        if isinstance(base, ast.Call):
+            ctor = _dotted_last(base.func)
+            if ctor in self.frozen_classes:
+                return self.finding(
+                    module, target,
+                    f"attribute assignment to frozen {ctor} instance "
+                    f"(.{target.attr}); use dataclasses.replace()",
+                )
+            return None
+        path = _store_path(base)
+        if path is None:
+            return None
+        cls = spec_paths.get(path)
+        if cls is None:
+            return None
+        return self.finding(
+            module, target,
+            f"attribute assignment to frozen {cls} instance "
+            f"`{path}.{target.attr}`; specs are shared across "
+            f"processes — use dataclasses.replace()",
+        )
+
+
+def _store_path(target: Optional[ast.expr]) -> Optional[str]:
+    parts: List[str] = []
+    node = target
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class WorkerSharedStateRule(ProjectRule):
+    """FLOW202: no mutated module-level containers on the worker path."""
+
+    rule_id = "FLOW202"
+    title = "no mutated module-level state reachable from workers"
+
+    #: Import-reachability roots (the worker child entry point).
+    roots: Sequence[str] = ("repro.runtime.worker",)
+
+    def check_project(
+        self, modules: Dict[str, ModuleInfo]
+    ) -> List[Finding]:
+        reachable = self._reachable(modules)
+        findings: List[Finding] = []
+        for name in sorted(reachable):
+            info = modules.get(name)
+            if info is None:
+                continue
+            mutable = self._module_level_mutables(info.tree)
+            if not mutable:
+                continue
+            findings.extend(self._mutations(info, mutable))
+        return findings
+
+    def _reachable(self, modules: Dict[str, ModuleInfo]) -> Set[str]:
+        edges: Dict[str, Set[str]] = {}
+        for name, info in modules.items():
+            targets: Set[str] = set()
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        targets.add(alias.name)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    targets.add(node.module)
+                    for alias in node.names:
+                        targets.add(f"{node.module}.{alias.name}")
+            edges[name] = {t for t in targets if t in modules}
+        seen: Set[str] = set()
+        stack = [r for r in self.roots if r in modules]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(edges.get(name, ()))
+        return seen
+
+    def _module_level_mutables(self, tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            is_mutable = isinstance(
+                value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                        ast.DictComp, ast.SetComp)
+            )
+            if not is_mutable and isinstance(value, ast.Call):
+                ctor = _dotted_last(value.func)
+                is_mutable = ctor in _MUTABLE_CTORS
+            if not is_mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        names.discard("__all__")
+        return names
+
+    def _mutations(
+        self, info: ModuleInfo, mutable: Set[str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for scope in ast.walk(info.tree):
+            if not isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            shadowed = self._locally_bound(scope)
+            for node in ast.walk(scope):
+                hit: Optional[Tuple[ast.AST, str, str]] = None
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.attr in _MUTATING_METHODS
+                ):
+                    name = node.func.value.id
+                    if name in mutable and name not in shadowed:
+                        hit = (node, name, f".{node.func.attr}()")
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                        ):
+                            name = target.value.id
+                            if name in mutable and name not in shadowed:
+                                hit = (node, name, "item assignment")
+                if hit is not None:
+                    node_, name, how = hit
+                    findings.append(Finding(
+                        path=str(info.path),
+                        line=getattr(node_, "lineno", 1),
+                        col=getattr(node_, "col_offset", 0),
+                        rule_id=self.rule_id,
+                        message=(
+                            f"module-level mutable `{name}` mutated via "
+                            f"{how} in worker-reachable module "
+                            f"{info.module}; workers each own a copy — "
+                            f"mutations diverge silently"
+                        ),
+                    ))
+        return findings
+
+    def _locally_bound(self, scope: ast.AST) -> Set[str]:
+        """Names assigned or received as parameters inside ``scope``
+        (they shadow the module-level container)."""
+        bound: Set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                bound.add(arg.arg)
+            if args.vararg:
+                bound.add(args.vararg.arg)
+            if args.kwarg:
+                bound.add(args.kwarg.arg)
+        globals_: Set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Global):
+                globals_.update(node.names)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+        return bound - globals_
+
+
+class PickleBoundaryClosureRule(ModuleRule):
+    """FLOW203: no closures/lambdas across the executor pickle boundary."""
+
+    rule_id = "FLOW203"
+    title = "no closures crossing the process/spec pickle boundary"
+
+    boundary_calls: Set[str] = _BOUNDARY_CALLS
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package("repro"):
+            return []
+        findings: List[Finding] = []
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            local_defs = {
+                node.name
+                for node in ast.walk(scope)
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))
+                and node is not scope
+            }
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = _dotted_last(node.func)
+                if callee not in self.boundary_calls:
+                    continue
+                values = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+                for value in values:
+                    if isinstance(value, ast.Lambda):
+                        findings.append(self.finding(
+                            module, value,
+                            f"lambda passed into {callee}() crosses a "
+                            f"pickle boundary; pass a module-level "
+                            f"function instead",
+                        ))
+                    elif (
+                        isinstance(value, ast.Name)
+                        and value.id in local_defs
+                    ):
+                        findings.append(self.finding(
+                            module, value,
+                            f"locally-defined function `{value.id}` "
+                            f"passed into {callee}() crosses a pickle "
+                            f"boundary; move it to module level",
+                        ))
+        return findings

@@ -60,30 +60,20 @@ class NoWallClockRule(ModuleRule):
 
     The rule covers the *whole* ``repro`` tree, not just the packages
     that run inside simulated time: any layer may end up called from a
-    simulated callback, so the sanctioned wall-clock boundaries are the
-    scoped allowances in ``allowed_packages``:
-
-    * :mod:`repro.telemetry` — strictly observes; span wall times and
-      session wall_s never flow back into sim scheduling;
-    * :mod:`repro.runtime` — the sharded campaign engine times and
-      kills *host-side* worker processes (per-experiment wall-clock
-      timeouts); workers rebuild their simulators from derived seeds
-      alone, so no wall-clock value can reach simulated time.
-
-    See docs/static-analysis.md for both allowances.
+    simulated callback.  The sanctioned wall-clock boundaries
+    (:mod:`repro.telemetry` observes; :mod:`repro.runtime` times and
+    kills host-side worker processes) are **scoped allowances applied
+    by the engine** — see ``DEFAULT_SCOPED_ALLOWANCES`` in
+    :mod:`repro.analysis.engine` and the
+    ``[tool.simlint.scoped-allowances]`` table in ``pyproject.toml``;
+    the rule itself flags every occurrence.
     """
 
     rule_id = "SIM001"
     title = "no wall-clock time in simulation code"
 
-    #: Packages allowed to read the wall clock (observation and
-    #: host-side worker orchestration only — see class docstring).
-    allowed_packages = ("repro.telemetry", "repro.runtime")
-
     def check(self, module: ModuleInfo) -> List[Finding]:
         if not module.in_package("repro"):
-            return []
-        if module.in_package(*self.allowed_packages):
             return []
         findings: List[Finding] = []
         for node in ast.walk(module.tree):
@@ -108,17 +98,16 @@ class NoWallClockRule(ModuleRule):
 
 
 class NoBareRandomRule(ModuleRule):
-    """SIM002: all randomness must route through repro.sim.rng."""
+    """SIM002: all randomness must route through repro.sim.rng.
+
+    The sanctioned wrapper (:mod:`repro.sim.rng`) is exempted by the
+    engine's scoped-allowance table, not by this rule.
+    """
 
     rule_id = "SIM002"
     title = "no bare `random` module use"
 
-    #: The sanctioned wrapper is the one module allowed to import random.
-    allowed_modules = ("repro.sim.rng",)
-
     def check(self, module: ModuleInfo) -> List[Finding]:
-        if module.module in self.allowed_modules:
-            return []
         if not module.in_package("repro"):
             return []
         findings: List[Finding] = []

@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 export for simlint/simflow findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-
+scanning UIs ingest: uploading the report from CI annotates pull
+requests with each finding at its source location.  The exporter is
+deliberately minimal — one run, one driver, one result per finding —
+and deterministic: rules and results are emitted in sorted order so the
+artifact diffs cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analysis.engine import Finding
+
+__all__ = ["to_sarif", "dump_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "simlint"
+_INFO_URI = "docs/static-analysis.md"
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rule_titles: Optional[Mapping[str, str]] = None,
+    base_dir: Optional[Path] = None,
+) -> Dict:
+    """Render findings as a SARIF ``log`` dict.
+
+    ``rule_titles`` populates the driver's rule metadata;
+    ``base_dir`` relativises result paths (code-scanning wants paths
+    relative to the repository root).
+    """
+    rule_titles = dict(rule_titles or {})
+    seen_rules = sorted(
+        {f.rule_id for f in findings} | set(rule_titles)
+    )
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {
+                "text": rule_titles.get(rule_id, rule_id)
+            },
+            "helpUri": _INFO_URI,
+        }
+        for rule_id in seen_rules
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(seen_rules)}
+
+    results = []
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    ):
+        path = finding.path
+        if base_dir is not None:
+            resolved = Path(path).resolve()
+            base = base_dir.resolve()
+            if resolved.is_relative_to(base):
+                path = str(resolved.relative_to(base))
+        results.append({
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                },
+            }],
+        })
+
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _INFO_URI,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def dump_sarif(
+    findings: Sequence[Finding],
+    out_path: Path,
+    rule_titles: Optional[Mapping[str, str]] = None,
+    base_dir: Optional[Path] = None,
+) -> None:
+    """Write the SARIF report to ``out_path``."""
+    log = to_sarif(findings, rule_titles=rule_titles, base_dir=base_dir)
+    out_path.write_text(
+        json.dumps(log, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -226,6 +226,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule table and exit",
     )
+    lint.add_argument(
+        "--flow", action="store_true",
+        help="additionally run the simflow dataflow rules "
+             "(FLOW1xx determinism taint, FLOW2xx parallel safety, "
+             "FLOW3xx fastpath effect divergence)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "sarif"), default="text",
+        help="stdout format: parseable text lines (default) or a "
+             "SARIF 2.1.0 report for code scanning",
+    )
+    lint.add_argument(
+        "--sarif-out", default=None, metavar="PATH",
+        help="additionally write a SARIF report to PATH "
+             "(independent of --format)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="accepted-findings baseline: new findings fail, baseline "
+             "findings warn, stale entries are reported "
+             "(default: auto-discover lint-baseline.json upward from "
+             "the lint root; 'none' disables)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings: (re)write the baseline "
+             "file and exit 0",
+    )
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -301,32 +329,104 @@ def _list_experiments() -> str:
 def _run_lint(args) -> int:
     """``lint``: print one parseable line per finding; exit 1 if any.
 
-    Output format is ``file:line:col RULE message`` — one finding per
-    line, nothing else on stdout except the trailing summary on stderr,
-    so CI annotation parsers can consume it directly.
+    Text output format is ``file:line:col RULE message`` — one finding
+    per line, nothing else on stdout except the trailing summary on
+    stderr, so CI annotation parsers can consume it directly.  With
+    ``--format sarif`` stdout carries a SARIF 2.1.0 report instead.
+
+    Under ``--flow`` findings are additionally screened against the
+    committed ``lint-baseline.json``: baseline findings warn, *new*
+    findings fail, stale baseline entries are reported so the baseline
+    can be re-accepted with ``--write-baseline``.
     """
+    import json
     from pathlib import Path
 
     from repro.analysis import default_engine, run_lint, rule_table
 
     if args.list_rules:
-        for rule_id, title in rule_table().items():
+        for rule_id, title in rule_table(flow=args.flow).items():
             print(f"{rule_id}  {title}")
         return 0
 
     if args.paths:
-        engine = default_engine()
+        engine = default_engine(flow=args.flow)
         findings = []
+        roots = []
         for raw in args.paths:
             root = Path(raw).resolve()
+            roots.append(root)
             # Module names are package-relative: src/repro -> repro.*
             scan_root = root.parent if root.name == "repro" else root
             findings.extend(engine.run(root, scan_root))
     else:
-        findings = run_lint()
+        findings = run_lint(flow=args.flow)
+        roots = [Path(__file__).resolve().parent]
 
-    for finding in findings:
-        print(finding.format())
+    titles = rule_table(flow=args.flow)
+
+    # Baseline screening (FLOW runs only; plain lint stays absolute).
+    baseline_path = None
+    delta = None
+    if args.flow:
+        from repro.analysis.flow import (
+            apply_baseline,
+            find_baseline,
+            load_baseline,
+            write_baseline,
+        )
+
+        if args.baseline == "none":
+            baseline_path = None
+        elif args.baseline:
+            baseline_path = Path(args.baseline)
+        else:
+            baseline_path = find_baseline(roots[0])
+        if args.write_baseline:
+            out = baseline_path or Path("lint-baseline.json")
+            write_baseline(out, findings)
+            print(
+                f"simlint: wrote {len(findings)} finding(s) to {out}",
+                file=sys.stderr,
+            )
+            return 0
+        if baseline_path is not None and baseline_path.is_file():
+            delta = apply_baseline(findings, load_baseline(baseline_path))
+
+    if args.sarif_out or args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+
+        report = to_sarif(findings, rule_titles=titles, base_dir=Path.cwd())
+        if args.sarif_out:
+            Path(args.sarif_out).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        if args.format == "sarif":
+            print(json.dumps(report, indent=2, sort_keys=True))
+
+    if delta is not None:
+        if args.format == "text":
+            for finding in delta.new:
+                print(finding.format())
+        for finding in delta.matched:
+            print(f"warning (baseline): {finding.format()}", file=sys.stderr)
+        for key in delta.stale:
+            print(
+                "simlint: stale baseline entry "
+                f"{key[0]} {key[1]}: {key[2]}",
+                file=sys.stderr,
+            )
+        print(
+            f"simlint: {len(delta.new)} new finding(s), "
+            f"{len(delta.matched)} baseline, {len(delta.stale)} stale",
+            file=sys.stderr,
+        )
+        return 1 if delta.new else 0
+
+    if args.format == "text":
+        for finding in findings:
+            print(finding.format())
     count = len(findings)
     print(
         f"simlint: {count} finding{'s' if count != 1 else ''}",

@@ -1,0 +1,229 @@
+"""Declarative scalar↔fast effect contracts (checked by simflow FLOW3xx).
+
+PR 5's two scalar-path bugs — the fused-loop FIFO watermark off-by-one
+and the burst-scoped CRC dirty flag — were both *effect divergences*:
+one loop updated state the other didn't, or with a different argument.
+The conformance harness catches such divergences dynamically on sampled
+workloads; these contracts let ``repro.cli lint --flow`` catch them
+statically, on every burst shape, before a test ever runs.
+
+Each :class:`EffectContract` names a scalar reference function set and
+the fast-path function set that must mirror it, then declares the
+*legitimate* differences:
+
+``covered_by``
+    scalar effect -> fast effects that account for it in bulk
+    (``fifo.push`` is covered by ``fifo.ram.writes`` +
+    ``fifo.note_occupancy``);
+``fallback`` / ``fallback_calls``
+    scalar effects that only occur on paths the fast side *delegates*
+    back to the scalar code — legitimate iff one of the witness calls
+    (``call:process_burst``) appears on the fast side;
+``allow_scalar_only`` / ``allow_fast_only``
+    explicitly waived effects, each with a recorded justification;
+``signatures``
+    effects whose call argument must match a canonical normalised form
+    on **both** sides — this is what would have caught the watermark
+    bug: the pre-fix ``min(count, depth)`` fails against the canonical
+    ``min(count, depth + 1)``.
+
+The contracts are *data*; :class:`repro.analysis.flow.effects.
+FastpathEffectContractRule` interprets them against the parsed tree.
+Adding a new scalar feature without its bulk accounting now fails
+``lint --flow`` (FLOW301) instead of waiting for a conformance diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+__all__ = ["FunctionRef", "EffectContract", "CONTRACTS"]
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A function pinned by module + qualified name."""
+
+    module: str
+    qualname: str
+
+
+@dataclass(frozen=True)
+class EffectContract:
+    """One scalar/fast pairing and its declared equivalences."""
+
+    name: str
+    scalar: Tuple[FunctionRef, ...]
+    fast: Tuple[FunctionRef, ...]
+    #: scalar effect -> fast effects any of which accounts for it.
+    covered_by: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Scalar effects performed only via delegation to scalar code.
+    fallback: FrozenSet[str] = frozenset()
+    #: ``call:*`` witnesses that prove the delegation path exists.
+    fallback_calls: FrozenSet[str] = frozenset()
+    #: effect -> justification for a scalar-only effect.
+    allow_scalar_only: Mapping[str, str] = field(default_factory=dict)
+    #: effect -> justification for a fast-only effect.
+    allow_fast_only: Mapping[str, str] = field(default_factory=dict)
+    #: effect -> canonical normalised first-argument expression.
+    signatures: Mapping[str, str] = field(default_factory=dict)
+    #: Textual (word-boundary) renames applied before signature compare.
+    scalar_renames: Mapping[str, str] = field(default_factory=dict)
+    fast_renames: Mapping[str, str] = field(default_factory=dict)
+    #: Dotted prefixes stripped from effect paths (engine-side effects
+    #: live under ``injector.``; stripping makes the sides comparable).
+    scalar_strip: Tuple[str, ...] = ()
+    fast_strip: Tuple[str, ...] = ()
+
+
+_INJECTOR = "repro.hw.injector"
+_ENGINE = "repro.fastpath.engine"
+
+#: The canonical FIFO watermark transient: the per-step path pushes
+#: before popping, so occupancy peaks at ``depth + 1`` for any burst at
+#: least that long.  Both PR-5 watermark bug sites violated exactly
+#: this signature (they said ``min(count, depth)``).
+WATERMARK_SIGNATURE = "min(count, depth + 1)"
+
+CONTRACTS: Tuple[EffectContract, ...] = (
+    # ------------------------------------------------------------------
+    # 1. Per-step primitives vs. the fused burst loop.
+    # ------------------------------------------------------------------
+    EffectContract(
+        name="injector-step-vs-fused",
+        scalar=(
+            FunctionRef(_INJECTOR, "FifoInjector._odd_cycle"),
+            FunctionRef(_INJECTOR, "FifoInjector._even_cycle"),
+            FunctionRef(_INJECTOR, "FifoInjector._apply_corruption"),
+        ),
+        fast=(
+            FunctionRef(_INJECTOR, "FifoInjector._process_burst_fused"),
+            FunctionRef(_INJECTOR, "FifoInjector._corrupt_pipeline_tail"),
+        ),
+        covered_by={
+            "clock.tick": ("clock._cycles",),
+            "fifo.push": ("fifo.ram.writes", "fifo.note_occupancy"),
+            "fifo.pop": ("fifo.ram.reads",),
+            "compare.shift": (
+                "compare._window", "compare._ctl",
+                "compare._filled", "compare.shifts",
+            ),
+            "compare.evaluate": (
+                "compare.evaluations", "compare.matches",
+            ),
+            "fifo.rewrite_from_tail": ("fifo.in_place_rewrites",),
+        },
+        signatures={"fifo.note_occupancy": WATERMARK_SIGNATURE},
+        fast_renames={
+            "self.pipeline_depth": "depth",
+            "len(burst)": "count",
+        },
+    ),
+    # ------------------------------------------------------------------
+    # 2. The fused reference vs. bulk accounting + the engine front end.
+    # ------------------------------------------------------------------
+    EffectContract(
+        name="fused-vs-bulk-engine",
+        scalar=(
+            FunctionRef(_INJECTOR, "FifoInjector._process_burst_fused"),
+            FunctionRef(_INJECTOR, "FifoInjector._corrupt_pipeline_tail"),
+        ),
+        fast=(
+            FunctionRef(_INJECTOR, "FifoInjector.advance_passthrough"),
+            FunctionRef(_ENGINE, "FastPathEngine.process_burst"),
+            FunctionRef(_ENGINE, "FastPathEngine._scalar"),
+        ),
+        covered_by={
+            "clock._cycles": ("clock.advance",),
+            "compare._window": ("compare.bulk_shift",),
+            "compare._ctl": ("compare.bulk_shift",),
+            "compare._filled": ("compare.bulk_shift",),
+            "compare.shifts": ("compare.bulk_shift",),
+            "fifo.ram.writes": ("fifo.account_passthrough",),
+            "fifo.ram.reads": ("fifo.account_passthrough",),
+        },
+        #: Trigger activity is *defined* to re-enter the scalar path —
+        #: the engine only bulk-accounts proven-quiet stretches.
+        fallback=frozenset({
+            "compare.matches",
+            "fifo.in_place_rewrites",
+            "last_burst_rewrites.append",
+            "injections",
+            "forced_injections",
+            "events.append",
+            "_inject_now",
+            "_once_fired",
+        }),
+        fallback_calls=frozenset({"call:process_burst"}),
+        allow_fast_only={
+            "last_burst_rewrites": (
+                "the engine resets the positions list before "
+                "delegating; appends happen in the scalar fallback"
+            ),
+            "bursts_fast": "engine throughput diagnostic, not device state",
+            "bursts_scalar": "engine throughput diagnostic, not device state",
+            "guard_splits": "engine throughput diagnostic, not device state",
+            "symbols_bulk": "engine throughput diagnostic, not device state",
+            "symbols_scalar": (
+                "engine throughput diagnostic, not device state"
+            ),
+            "fallback_reasons[]": (
+                "engine throughput diagnostic, not device state"
+            ),
+        },
+        signatures={"fifo.note_occupancy": WATERMARK_SIGNATURE},
+        fast_renames={
+            "self.pipeline_depth": "depth",
+            "inj.pipeline_depth": "depth",
+            "n": "count",
+        },
+        fast_strip=("injector.",),
+    ),
+    # ------------------------------------------------------------------
+    # 3. Statistics: scalar feed vs. plane-driven feed_buffer.
+    # ------------------------------------------------------------------
+    EffectContract(
+        name="stats-feed-vs-buffer",
+        scalar=(
+            FunctionRef("repro.core.stats", "StatisticsGatherer.feed"),
+        ),
+        fast=(
+            FunctionRef(
+                "repro.core.stats", "StatisticsGatherer.feed_buffer"
+            ),
+        ),
+        covered_by={
+            "_assembler.push_burst": ("_assembler.push_buffer",),
+        },
+    ),
+    # ------------------------------------------------------------------
+    # 4. Monitor: scalar observe vs. bulk-window observe_buffer.
+    # ------------------------------------------------------------------
+    EffectContract(
+        name="monitor-observe-vs-buffer",
+        scalar=(
+            FunctionRef("repro.core.monitor", "InjectionMonitor.observe"),
+        ),
+        fast=(
+            FunctionRef(
+                "repro.core.monitor", "InjectionMonitor.observe_buffer"
+            ),
+        ),
+        covered_by={
+            "_window.append": ("_window.extend",),
+        },
+        #: Open captures force the exact scalar loop (per-symbol close
+        #: checks); the witness is the delegation to observe().
+        fallback=frozenset({"_open"}),
+        fallback_calls=frozenset({"call:observe"}),
+    ),
+)
+
+
+def contract_by_name(name: str) -> EffectContract:
+    """Lookup helper for tests and docs."""
+    for contract in CONTRACTS:
+        if contract.name == name:
+            return contract
+    raise KeyError(name)

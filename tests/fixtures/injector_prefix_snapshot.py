@@ -1,0 +1,221 @@
+"""Vendored pre-fix snapshot of the FifoInjector scalar/fast pair.
+
+This is NOT importable production code: it is the mid-development state
+of ``repro.hw.injector`` from the PR-5 fast path, vendored as a static
+fixture so ``tests/test_flow_regressions.py`` can prove the FLOW3xx
+effect-contract analysis would have caught both bugs the dynamic
+conformance harness found:
+
+* the fused-loop FIFO **watermark off-by-one** — this snapshot's
+  ``_process_burst_fused`` ends with ``note_occupancy(min(count,
+  depth))`` where the per-step transient reaches ``depth + 1``
+  (FLOW302 against the contract's canonical signature);
+* the **burst-scoped rewrite positions** — ``_apply_corruption``
+  records ``last_burst_rewrites`` but this snapshot's
+  ``_corrupt_pipeline_tail`` does not, so fused-path CRC/provenance
+  accounting silently lacked rewrite positions (FLOW301).
+
+Everything else matches the shipped code (telemetry hooks trimmed).
+The file is parsed, never imported — the undefined names are fine.
+"""
+
+
+class FifoInjector:  # pragma: no cover - parsed only, never executed
+
+    def _odd_cycle(self, symbol):
+        self.clock.tick()
+        self.clock.expect(ClockPhase.ODD)
+        self.fifo.push(symbol)
+        self.compare.shift(symbol)
+        self.symbols_processed += 1
+        self._segment_index += 1
+        if self.fifo.occupancy > self.pipeline_depth:
+            return self.fifo.pop()
+        return None
+
+    def _even_cycle(self):
+        self.clock.tick()
+        self.clock.expect(ClockPhase.EVEN)
+        forced = self._inject_now
+        if forced:
+            self._inject_now = False
+        triggered = forced
+        if not triggered and self.config.match_mode is not MatchMode.OFF:
+            if self.config.match_mode is MatchMode.ONCE and self._once_fired:
+                triggered = False
+            else:
+                triggered = self.compare.evaluate(self.config)
+        if not triggered:
+            return
+        if self.config.match_mode is MatchMode.ONCE and not forced:
+            self._once_fired = True
+        self._apply_corruption(forced)
+
+    def _apply_corruption(self, forced):
+        window_before, ctl_before = self.compare.snapshot()
+        config = self.config
+        if config.corrupt_mode is CorruptMode.TOGGLE:
+            window_after = window_before ^ config.corrupt_data
+        else:
+            window_after = (
+                (window_before & ~config.corrupt_mask)
+                | (config.corrupt_data & config.corrupt_mask)
+            ) & _MASK32
+        ctl_after = (
+            (ctl_before & ~config.corrupt_ctl_mask)
+            | (config.corrupt_ctl & config.corrupt_ctl_mask)
+        ) & 0xF
+        lanes_rewritten = 0
+        lanes_unreachable = 0
+        for lane in range(SEGMENT_LANES):
+            old_byte = (window_before >> (8 * lane)) & 0xFF
+            new_byte = (window_after >> (8 * lane)) & 0xFF
+            old_ctl = (ctl_before >> lane) & 1
+            new_ctl = (ctl_after >> lane) & 1
+            if old_byte == new_byte and old_ctl == new_ctl:
+                continue
+            if lane >= self.fifo.occupancy:
+                lanes_unreachable += 1
+                continue
+            replacement = (
+                data_symbol(new_byte) if new_ctl else control_symbol(new_byte)
+            )
+            self.fifo.rewrite_from_tail(lane, replacement)
+            lanes_rewritten += 1
+            self.last_burst_rewrites.append(
+                self._segment_index - 1 - lane - self._rewrite_origin
+            )
+        self.injections += 1
+        if forced:
+            self.forced_injections += 1
+        event = InjectionEvent(
+            segment_index=self._segment_index,
+            window_before=window_before,
+            ctl_before=ctl_before,
+            window_after=window_after,
+            ctl_after=ctl_after,
+            lanes_rewritten=lanes_rewritten,
+            lanes_unreachable=lanes_unreachable,
+            forced=forced,
+        )
+        if len(self.events) < self.events_limit:
+            self.events.append(event)
+        if self._on_injection is not None:
+            self._on_injection(event)
+
+    def _process_burst_fused(self, burst):
+        config = self.config
+        window, ctl = self.compare.snapshot()
+        filled = self.compare._filled
+        mode_on = config.match_mode is MatchMode.ON
+        mode_once = config.match_mode is MatchMode.ONCE
+        cd = config.compare_data
+        cm = config.compare_mask
+        cc = config.compare_ctl
+        ccm = config.compare_ctl_mask
+        pipeline = []
+        output = []
+        out_append = output.append
+        pipe_append = pipeline.append
+        depth = self.pipeline_depth
+        segment = self._segment_index
+        matches = 0
+        evaluations = 0
+        pop_at = 0
+        for symbol in burst:
+            pipe_append(symbol)
+            if len(pipeline) - pop_at > depth:
+                out_append(pipeline[pop_at])
+                pop_at += 1
+            window = ((window << 8) | symbol.value) & 0xFFFFFFFF
+            ctl = ((ctl << 1) | (1 if symbol.is_data else 0)) & 0xF
+            if filled < SEGMENT_LANES:
+                filled += 1
+            segment += 1
+            forced = self._inject_now
+            if forced:
+                self._inject_now = False
+                triggered = True
+            elif mode_on or (mode_once and not self._once_fired):
+                evaluations += 1
+                if ((window ^ cd) & cm) == 0 and ((ctl ^ cc) & ccm) == 0:
+                    matches += 1
+                    triggered = True
+                else:
+                    triggered = False
+            else:
+                triggered = False
+            if not triggered:
+                continue
+            if mode_once and not forced:
+                self._once_fired = True
+            self._corrupt_pipeline_tail(
+                pipeline, pop_at, window, ctl, forced, segment
+            )
+        output.extend(pipeline[pop_at:])
+        count = len(burst)
+        self.symbols_processed += count
+        self._segment_index = segment
+        self.clock._cycles += 2 * count
+        self.compare._window = window
+        self.compare._ctl = ctl
+        self.compare._filled = filled
+        self.compare.shifts += count
+        self.compare.evaluations += evaluations
+        self.compare.matches += matches
+        self.fifo.ram.writes += count
+        self.fifo.ram.reads += count
+        self.fifo.note_occupancy(min(count, depth))
+        return output
+
+    def _corrupt_pipeline_tail(
+        self, pipeline, pop_at, window, ctl, forced, segment
+    ):
+        config = self.config
+        if config.corrupt_mode is CorruptMode.TOGGLE:
+            window_after = window ^ config.corrupt_data
+        else:
+            window_after = (
+                (window & ~config.corrupt_mask)
+                | (config.corrupt_data & config.corrupt_mask)
+            ) & _MASK32
+        ctl_after = (
+            (ctl & ~config.corrupt_ctl_mask)
+            | (config.corrupt_ctl & config.corrupt_ctl_mask)
+        ) & 0xF
+        lanes_rewritten = 0
+        lanes_unreachable = 0
+        occupancy = len(pipeline) - pop_at
+        for lane in range(SEGMENT_LANES):
+            old_byte = (window >> (8 * lane)) & 0xFF
+            new_byte = (window_after >> (8 * lane)) & 0xFF
+            old_ctl = (ctl >> lane) & 1
+            new_ctl = (ctl_after >> lane) & 1
+            if old_byte == new_byte and old_ctl == new_ctl:
+                continue
+            if lane >= occupancy:
+                lanes_unreachable += 1
+                continue
+            replacement = (
+                data_symbol(new_byte) if new_ctl else control_symbol(new_byte)
+            )
+            pipeline[len(pipeline) - 1 - lane] = replacement
+            lanes_rewritten += 1
+            self.fifo.in_place_rewrites += 1
+        self.injections += 1
+        if forced:
+            self.forced_injections += 1
+        event = InjectionEvent(
+            segment_index=segment,
+            window_before=window,
+            ctl_before=ctl,
+            window_after=window_after,
+            ctl_after=ctl_after,
+            lanes_rewritten=lanes_rewritten,
+            lanes_unreachable=lanes_unreachable,
+            forced=forced,
+        )
+        if len(self.events) < self.events_limit:
+            self.events.append(event)
+        if self._on_injection is not None:
+            self._on_injection(event)

@@ -1,0 +1,354 @@
+"""CFG builder tests (simflow).
+
+Each modelling decision documented in ``repro.analysis.flow.cfg`` is
+pinned here: branch joins, loop back-edges and ``else`` clauses,
+``try``/``finally`` interposition on normal and jump exits, ``with``
+unwinding edges, ``match`` arm fan-out, and the statement-level
+placement of comprehensions.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.cfg import CFG, LoopBind, build_cfg
+
+
+def cfg_of(source: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def labels_reaching(cfg: CFG, index: int) -> set:
+    """Labels of blocks with an edge into ``index``."""
+    return {
+        block.label for block in cfg.blocks if index in block.succs
+    }
+
+
+def block_by_label(cfg: CFG, label: str, nth: int = 0):
+    matches = [b for b in cfg.blocks if b.label == label]
+    return matches[nth]
+
+
+def paths_exist(cfg: CFG, src: int, dst: int) -> bool:
+    seen = set()
+    stack = [src]
+    while stack:
+        index = stack.pop()
+        if index == dst:
+            return True
+        if index in seen:
+            continue
+        seen.add(index)
+        stack.extend(cfg.successors(index))
+    return False
+
+
+# ----------------------------------------------------------------------
+# Straight line + if
+# ----------------------------------------------------------------------
+
+def test_straight_line_single_path():
+    cfg = cfg_of("""\
+        def f():
+            a = 1
+            b = a + 1
+            return b
+        """)
+    # entry holds all three statements, return routes to exit.
+    assert len(cfg.block(cfg.entry).stmts) == 3
+    assert paths_exist(cfg, cfg.entry, cfg.exit)
+
+
+def test_if_else_branches_join():
+    cfg = cfg_of("""\
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """)
+    then = block_by_label(cfg, "then")
+    orelse = block_by_label(cfg, "else")
+    join = block_by_label(cfg, "if-join")
+    assert join.index in then.succs
+    assert join.index in orelse.succs
+    # Without an else the test block itself edges to the join.
+    cfg2 = cfg_of("""\
+        def f(x):
+            if x:
+                a = 1
+            return x
+        """)
+    join2 = block_by_label(cfg2, "if-join")
+    assert join2.index in cfg2.block(cfg2.entry).succs
+
+
+# ----------------------------------------------------------------------
+# Loops: back-edges, else, break/continue
+# ----------------------------------------------------------------------
+
+def test_for_loop_backedge_and_loopbind():
+    cfg = cfg_of("""\
+        def f(items):
+            total = 0
+            for item in items:
+                total += item
+            return total
+        """)
+    header = block_by_label(cfg, "loop-header")
+    body = block_by_label(cfg, "loop-body")
+    # The for-target binding is a synthetic LoopBind in the header.
+    binds = [s for s in header.stmts if isinstance(s, LoopBind)]
+    assert len(binds) == 1
+    assert isinstance(binds[0].target, ast.Name)
+    assert binds[0].target.id == "item"
+    # Back edge: body flows back to the header.
+    assert header.index in body.succs
+    # Exhaustion: header flows to loop-after.
+    after = block_by_label(cfg, "loop-after")
+    assert after.index in header.succs
+
+
+def test_while_else_entered_from_header_break_skips_it():
+    cfg = cfg_of("""\
+        def f(x):
+            while x:
+                if x > 10:
+                    break
+                x += 1
+            else:
+                x = -1
+            return x
+        """)
+    header = block_by_label(cfg, "loop-header")
+    loop_else = block_by_label(cfg, "loop-else")
+    after = block_by_label(cfg, "loop-after")
+    # else is entered only from the header (normal exhaustion)...
+    assert loop_else.index in header.succs
+    assert after.index not in header.succs  # exhaustion goes via else
+    # ...while break jumps straight past it to loop-after.
+    break_blocks = [
+        b for b in cfg.blocks
+        if any(isinstance(s, ast.Break) for s in b.stmts)
+    ]
+    assert break_blocks and after.index in break_blocks[0].succs
+    assert all(loop_else.index not in b.succs for b in break_blocks)
+
+
+def test_continue_returns_to_header():
+    cfg = cfg_of("""\
+        def f(items):
+            for item in items:
+                if item is None:
+                    continue
+                item.use()
+        """)
+    header = block_by_label(cfg, "loop-header")
+    continue_blocks = [
+        b for b in cfg.blocks
+        if any(isinstance(s, ast.Continue) for s in b.stmts)
+    ]
+    assert continue_blocks
+    assert header.index in continue_blocks[0].succs
+
+
+# ----------------------------------------------------------------------
+# try / except / else / finally
+# ----------------------------------------------------------------------
+
+def test_try_except_every_body_block_reaches_each_handler():
+    cfg = cfg_of("""\
+        def f():
+            try:
+                a = risky()
+                if a:
+                    b = risky_two()
+            except ValueError:
+                a = -1
+            except KeyError:
+                a = -2
+            return a
+        """)
+    handlers = [b for b in cfg.blocks if b.label == "except"]
+    assert len(handlers) == 2
+    body_blocks = [
+        b for b in cfg.blocks
+        if b.label in ("try-body", "then", "if-join")
+    ]
+    # A raise can happen anywhere in the body: every body block has an
+    # exceptional edge to every handler.
+    for body in body_blocks:
+        for handler in handlers:
+            assert handler.index in body.succs
+
+
+def test_try_finally_interposed_on_normal_and_return_exits():
+    cfg = cfg_of("""\
+        def f(x):
+            try:
+                if x:
+                    return 1
+                a = 2
+            finally:
+                cleanup()
+            return a
+        """)
+    final = block_by_label(cfg, "finally")
+    # The return inside the body routes THROUGH the finally, not
+    # directly to exit; the finally then reaches the function exit.
+    return_blocks = [
+        b for b in cfg.blocks
+        if any(isinstance(s, ast.Return) for s in b.stmts)
+        and b.label != "finally"
+    ]
+    inner_return = next(
+        b for b in return_blocks if paths_exist(cfg, cfg.entry, b.index)
+        and final.index in b.succs
+    )
+    assert cfg.exit not in inner_return.succs
+    assert paths_exist(cfg, final.index, cfg.exit)
+    # The normal fall-through exit also transits the finally.
+    join = block_by_label(cfg, "try-join")
+    assert paths_exist(cfg, final.index, join.index)
+
+
+def test_try_except_else_runs_only_after_normal_body():
+    cfg = cfg_of("""\
+        def f():
+            try:
+                a = risky()
+            except ValueError:
+                a = -1
+            else:
+                a = a + 1
+            return a
+        """)
+    # The else statements are appended to the body's fall-out block, so
+    # the handler never flows through them: handler -> join directly.
+    handler = block_by_label(cfg, "except")
+    join = block_by_label(cfg, "try-join")
+    assert join.index in handler.succs
+
+
+def test_finally_without_handlers_reaches_function_exit():
+    cfg = cfg_of("""\
+        def f():
+            try:
+                risky()
+            finally:
+                cleanup()
+        """)
+    final_blocks = [b for b in cfg.blocks if b.label == "finally"]
+    assert final_blocks
+    # An unhandled exception transits the finally and leaves the
+    # function: some finally-subgraph block edges to exit.
+    assert paths_exist(cfg, final_blocks[0].index, cfg.exit)
+
+
+# ----------------------------------------------------------------------
+# with — unwinding
+# ----------------------------------------------------------------------
+
+def test_with_body_blocks_all_reach_join():
+    cfg = cfg_of("""\
+        def f(path):
+            with open(path) as handle:
+                a = handle.read()
+                if a:
+                    b = 1
+            return 1
+        """)
+    join = block_by_label(cfg, "with-join")
+    body_blocks = [
+        b for b in cfg.blocks
+        if b.label in ("with-body", "then", "if-join")
+    ]
+    # __exit__ may suppress an exception raised anywhere in the body.
+    for body in body_blocks:
+        assert join.index in body.succs
+
+
+def test_with_as_binding_is_an_assignment_in_the_entry_block():
+    cfg = cfg_of("""\
+        def f(path):
+            with open(path) as handle:
+                pass
+        """)
+    entry_stmts = cfg.block(cfg.entry).stmts
+    assigns = [s for s in entry_stmts if isinstance(s, ast.Assign)]
+    assert len(assigns) == 1
+    assert isinstance(assigns[0].targets[0], ast.Name)
+    assert assigns[0].targets[0].id == "handle"
+
+
+# ----------------------------------------------------------------------
+# match
+# ----------------------------------------------------------------------
+
+def test_match_arms_fan_out_and_rejoin():
+    cfg = cfg_of("""\
+        def f(cmd):
+            match cmd:
+                case "start":
+                    a = 1
+                case "stop":
+                    a = 2
+                case other:
+                    a = 3
+            return a
+        """)
+    arms = [b for b in cfg.blocks if b.label == "case"]
+    assert len(arms) == 3
+    join = block_by_label(cfg, "match-join")
+    for arm in arms:
+        assert paths_exist(cfg, arm.index, join.index)
+    # Conservative no-case-matched fall-through from the subject block.
+    assert join.index in cfg.block(cfg.entry).succs
+    # The capture arm binds `other` from the subject.
+    capture_arm = arms[2]
+    binds = [s for s in capture_arm.stmts if isinstance(s, ast.Assign)]
+    assert binds and binds[0].targets[0].id == "other"
+
+
+# ----------------------------------------------------------------------
+# Comprehensions stay statement-local
+# ----------------------------------------------------------------------
+
+def test_nested_comprehension_creates_no_blocks():
+    plain = cfg_of("""\
+        def f(rows):
+            return 1
+        """)
+    with_comp = cfg_of("""\
+        def f(rows):
+            return [c for row in rows for c in row if c]
+        """)
+    # Same block count: the nested comprehension lives inside its
+    # Return statement, no loop blocks are created for it.
+    assert len(with_comp.blocks) == len(plain.blocks)
+    assert not any(
+        isinstance(s, LoopBind) for s in with_comp.statements()
+    )
+
+
+# ----------------------------------------------------------------------
+# Dead code and reachability
+# ----------------------------------------------------------------------
+
+def test_dead_code_after_return_is_placed_but_unreachable():
+    cfg = cfg_of("""\
+        def f():
+            return 1
+            x = 2
+        """)
+    dead = block_by_label(cfg, "dead")
+    placed = cfg.statements()
+    assert any(
+        isinstance(s, ast.Assign) for s in dead.stmts
+    )
+    assert dead.index not in cfg.reachable()
+    assert any(isinstance(s, ast.Assign) for s in placed)

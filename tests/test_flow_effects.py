@@ -1,0 +1,286 @@
+"""FLOW3xx effect-extraction and contract-rule unit tests.
+
+``extract_effects`` (alias resolution, store/mutating-call vocabulary,
+prefix stripping, call witnesses, signature capture),
+``normalize_signature`` (word-boundary renames), and the
+:class:`FastpathEffectContractRule` verdicts on synthetic scalar/fast
+pairs: FLOW301 coverage, fallback witnesses, FLOW302 signatures,
+FLOW303 undeclared fast-only effects, FLOW304 dangling references.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import parse_module
+from repro.analysis.flow.effects import (
+    FastpathEffectContractRule,
+    extract_effects,
+    normalize_signature,
+)
+from repro.fastpath.contract import EffectContract, FunctionRef
+
+
+def effects_of(source: str, renames=None, strip=()):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    return extract_effects(func, renames, strip)
+
+
+# ----------------------------------------------------------------------
+# extract_effects
+# ----------------------------------------------------------------------
+
+def test_attribute_stores_and_augassigns():
+    out = effects_of("""\
+        def f(self, n):
+            self.symbols += n
+            self.compare._window = 0
+            self.counts["x"] = 1
+        """)
+    assert out.effects == {"symbols", "compare._window", "counts[]"}
+
+
+def test_local_rebinding_is_not_an_effect():
+    # Reading self state into locals (even via an alias chain) must not
+    # count as a store — this was a real false-positive source on the
+    # fused burst loop's register-caching preamble.
+    out = effects_of("""\
+        def f(self):
+            config = self.config
+            cd = config.compare_data
+            depth = self.pipeline_depth
+            return cd + depth
+        """)
+    assert out.effects == set()
+
+
+def test_alias_resolution_one_level_chain():
+    out = effects_of("""\
+        def f(self, value):
+            stats = self.stats
+            counts = stats.control_symbols
+            counts[value] = counts.get(value, 0) + 1
+            stats.symbols += 1
+        """)
+    assert out.effects == {
+        "stats.control_symbols[]", "stats.symbols",
+    }
+
+
+def test_mutating_calls_vs_known_nonmutating():
+    out = effects_of("""\
+        def f(self, symbol):
+            self.fifo.push(symbol)
+            self.compare.snapshot()
+            self.events.append(symbol)
+            self.registers.get("CD")
+        """)
+    assert out.effects == {"fifo.push", "events.append"}
+
+
+def test_own_method_calls_become_witnesses():
+    out = effects_of("""\
+        def f(self, burst):
+            self._corrupt(burst)
+            self.fifo.note_occupancy(3)
+        """)
+    assert out.calls == {"call:_corrupt"}
+    assert "fifo.note_occupancy" in out.effects
+
+
+def test_strip_prefix_makes_engine_side_comparable():
+    # Engine-side code goes through `inj = self.injector`; stripping
+    # "injector." aligns its effects with the scalar side's, and a
+    # fully-stripped dotless method becomes a delegation witness.
+    out = effects_of("""\
+        def f(self, burst):
+            inj = self.injector
+            inj.fifo.note_occupancy(3)
+            inj.symbols_processed += 1
+            inj.process_burst(burst)
+        """, strip=("injector.",))
+    assert out.effects == {"fifo.note_occupancy", "symbols_processed"}
+    assert out.calls == {"call:process_burst"}
+
+
+def test_signatures_capture_first_argument_normalised():
+    out = effects_of("""\
+        def f(self, n):
+            inj = self.injector
+            inj.fifo.note_occupancy(min(n, inj.pipeline_depth + 1))
+        """,
+        renames={"n": "count", "inj.pipeline_depth": "depth"},
+        strip=("injector.",),
+    )
+    sigs = out.signatures["fifo.note_occupancy"]
+    assert [s for s, _line in sigs] == ["min(count, depth + 1)"]
+
+
+def test_normalize_signature_word_boundaries():
+    # "n" -> "count" must not corrupt "min"; longest key wins first.
+    assert normalize_signature(
+        "min(n, inj.pipeline_depth + 1)",
+        {"n": "count", "inj.pipeline_depth": "depth"},
+    ) == "min(count, depth + 1)"
+
+
+# ----------------------------------------------------------------------
+# FastpathEffectContractRule on synthetic pairs
+# ----------------------------------------------------------------------
+
+def check(tmp_path: Path, source: str, contract: EffectContract):
+    path = tmp_path / "repro" / "pair.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    info = parse_module(path, tmp_path)
+    rule = FastpathEffectContractRule(contracts=[contract])
+    return rule.check_project({info.module: info})
+
+
+def pair_contract(**kwargs) -> EffectContract:
+    return EffectContract(
+        name="pair",
+        scalar=(FunctionRef("repro.pair", "Device.step"),),
+        fast=(FunctionRef("repro.pair", "Device.bulk"),),
+        **kwargs,
+    )
+
+
+def test_flow301_uncovered_scalar_effect(tmp_path):
+    findings = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                self.clock.tick()
+                self.seen += 1
+
+            def bulk(self, burst):
+                self.seen += len(burst)
+        """, pair_contract())
+    assert [f.rule_id for f in findings] == ["FLOW301"]
+    assert "`clock.tick`" in findings[0].message
+
+
+def test_flow301_satisfied_by_covered_by(tmp_path):
+    findings = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                self.clock.tick()
+                self.seen += 1
+
+            def bulk(self, burst):
+                self.clock._cycles += len(burst)
+                self.seen += len(burst)
+        """, pair_contract(covered_by={"clock.tick": ("clock._cycles",)}))
+    assert findings == []
+
+
+def test_flow301_fallback_needs_a_witness(tmp_path):
+    source = """\
+        class Device:
+            def step(self, s):
+                self.events.append(s)
+                self.seen += 1
+
+            def bulk(self, burst):
+                self.seen += len(burst)
+        """
+    # Declared fallback without the witness call: still FLOW301.
+    unwitnessed = check(tmp_path, source, pair_contract(
+        fallback=frozenset({"events.append"}),
+        fallback_calls=frozenset({"call:step"}),
+    ))
+    assert [f.rule_id for f in unwitnessed] == ["FLOW301"]
+    # With the fast side actually delegating, the fallback holds.
+    witnessed = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                self.events.append(s)
+                self.seen += 1
+
+            def bulk(self, burst):
+                for s in burst:
+                    self.step(s)
+                self.seen += 0
+        """, pair_contract(
+        fallback=frozenset({"events.append"}),
+        fallback_calls=frozenset({"call:step"}),
+        covered_by={"seen": ("seen",)},
+    ))
+    assert witnessed == []
+
+
+def test_flow302_signature_divergence_on_either_side(tmp_path):
+    findings = check(tmp_path, """\
+        class Device:
+            def step(self, n):
+                self.fifo.note_occupancy(min(n, self.depth + 1))
+
+            def bulk(self, burst):
+                self.fifo.note_occupancy(min(len(burst), self.depth))
+        """, pair_contract(
+        signatures={"fifo.note_occupancy": "min(count, depth + 1)"},
+        scalar_renames={"n": "count", "self.depth": "depth"},
+        fast_renames={"len(burst)": "count", "self.depth": "depth"},
+    ))
+    assert [f.rule_id for f in findings] == ["FLOW302"]
+    assert "min(count, depth)" in findings[0].message
+
+
+def test_flow303_undeclared_fast_only_effect(tmp_path):
+    findings = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                self.seen += 1
+
+            def bulk(self, burst):
+                self.seen += len(burst)
+                self.bursts_fast += 1
+        """, pair_contract())
+    assert [f.rule_id for f in findings] == ["FLOW303"]
+    assert "`bursts_fast`" in findings[0].message
+    # Declaring it (a fast-path diagnostic) clears the finding.
+    cleared = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                self.seen += 1
+
+            def bulk(self, burst):
+                self.seen += len(burst)
+                self.bursts_fast += 1
+        """, pair_contract(
+        allow_fast_only={"bursts_fast": "fast-path-only diagnostic"},
+    ))
+    assert cleared == []
+
+
+def test_flow304_missing_function_reference(tmp_path):
+    contract = EffectContract(
+        name="pair",
+        scalar=(FunctionRef("repro.pair", "Device.step"),),
+        fast=(FunctionRef("repro.pair", "Device.vanished"),),
+    )
+    findings = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                pass
+        """, contract)
+    assert "FLOW304" in [f.rule_id for f in findings]
+    flow304 = next(f for f in findings if f.rule_id == "FLOW304")
+    assert "Device.vanished" in flow304.message
+
+
+def test_contract_with_no_present_module_is_skipped(tmp_path):
+    # Partial fixture trees must not drown in FLOW304 noise for
+    # contracts about code they simply do not contain.
+    contract = EffectContract(
+        name="absent",
+        scalar=(FunctionRef("repro.elsewhere", "X.step"),),
+        fast=(FunctionRef("repro.elsewhere", "X.bulk"),),
+    )
+    findings = check(tmp_path, """\
+        class Device:
+            def step(self, s):
+                pass
+        """, contract)
+    assert findings == []

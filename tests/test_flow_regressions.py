@@ -1,0 +1,81 @@
+"""FLOW historical-positive regressions.
+
+The acceptance bar for the FLOW3xx analysis is that it would have
+caught the two real scalar/fast divergence bugs found dynamically by
+PR 5's conformance harness.  ``tests/fixtures/injector_prefix_snapshot
+.py`` vendors the mid-development state of ``repro.hw.injector`` with
+both fixes reverted (see its docstring); running the real contract over
+it must reproduce both findings — and running it over the shipped tree
+must stay clean.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.engine import ModuleInfo, parse_module
+from repro.analysis.flow.effects import FastpathEffectContractRule
+from repro.fastpath.contract import contract_by_name
+
+FIXTURE = Path(__file__).parent / "fixtures" / "injector_prefix_snapshot.py"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def prefix_modules():
+    source = FIXTURE.read_text(encoding="utf-8")
+    info = ModuleInfo(
+        path=FIXTURE,
+        module="repro.hw.injector",
+        source=source,
+        tree=ast.parse(source, filename=str(FIXTURE)),
+    )
+    return {info.module: info}
+
+
+def step_vs_fused_rule():
+    return FastpathEffectContractRule(
+        contracts=[contract_by_name("injector-step-vs-fused")]
+    )
+
+
+def test_prefix_snapshot_reproduces_the_watermark_bug():
+    # Bug 1: the fused loop noted `min(count, depth)` where the
+    # per-step transient reaches depth + 1.  FLOW302 flags the
+    # signature against the contract's canonical form.
+    findings = step_vs_fused_rule().check_project(prefix_modules())
+    flow302 = [f for f in findings if f.rule_id == "FLOW302"]
+    assert len(flow302) == 1
+    assert "fifo.note_occupancy" in flow302[0].message
+    assert "min(count, depth)" in flow302[0].message
+    assert "min(count, depth + 1)" in flow302[0].message
+
+
+def test_prefix_snapshot_reproduces_the_rewrite_position_bug():
+    # Bug 2: scalar _apply_corruption records burst-relative rewrite
+    # positions; the fused corrupt tail did not — the provenance/CRC
+    # layer silently saw no rewrites on the fast path.  FLOW301 flags
+    # the uncovered scalar effect.
+    findings = step_vs_fused_rule().check_project(prefix_modules())
+    flow301 = [f for f in findings if f.rule_id == "FLOW301"]
+    assert [
+        f for f in flow301 if "last_burst_rewrites.append" in f.message
+    ], [f.message for f in findings]
+
+
+def test_prefix_snapshot_reports_nothing_else():
+    # Precision check: the two planted divergences are the ONLY
+    # findings — the rest of the vendored pair still conforms, so the
+    # analysis is not trading recall for noise.
+    findings = step_vs_fused_rule().check_project(prefix_modules())
+    assert sorted(f.rule_id for f in findings) == ["FLOW301", "FLOW302"]
+
+
+def test_shipped_tree_satisfies_all_contracts():
+    # The same rule, over the real source, with every declared
+    # contract: zero findings.  This is the committed-baseline story —
+    # lint-baseline.json is empty because the shipped code conforms.
+    modules = {}
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        info = parse_module(path, SRC)
+        modules[info.module] = info
+    findings = FastpathEffectContractRule().check_project(modules)
+    assert findings == [], [f.format() for f in findings]
