@@ -1,0 +1,128 @@
+"""Insight engine throughput — offline analysis and store query rates.
+
+Two rates bound how ``repro.cli insight`` scales to long campaigns:
+
+* **analysis throughput** — complete ``analyze_artifacts`` passes per
+  second over a real (small) campaign artifact directory, including the
+  capture decode, the span join, ranking, and the digest;
+* **store query latency** — ``InsightStore.similar`` wall time against
+  a store holding many campaigns (the nearest-neighbour scan is linear
+  in stored campaigns by design; this pins the constant).
+
+Writes ``BENCH_insight.json`` at the repo root; the committed snapshot
+is the baseline to compare regenerated numbers against (use the same
+``REPRO_BENCH_SCALE``).
+"""
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import record_result, scaled_ps
+from repro.cli import main
+from repro.insight import InsightStore, analyze_artifacts
+from repro.sim.timebase import MS
+
+#: Repo-root snapshot: {analyze: {...}, store: {...}}.
+BENCH_INSIGHT_PATH = (
+    pathlib.Path(__file__).parent.parent / "BENCH_insight.json"
+)
+
+ANALYZE_PASSES = 5
+STORED_CAMPAIGNS = 64
+QUERY_PASSES = 20
+
+
+def _build_artifacts(tmp_path) -> pathlib.Path:
+    """One flat-layout smoke campaign (the CI gate's shape)."""
+    root = tmp_path / "art"
+    duration_ms = max(1, int(scaled_ps(2 * MS) // MS))
+    code = main([
+        "campaign", "--experiments", "2",
+        "--duration-ms", str(duration_ms),
+        "--telemetry-dir", str(root), "--capture-dir", str(root),
+        "--no-progress",
+    ])
+    assert code == 0
+    return root
+
+
+def test_insight_throughput(benchmark, tmp_path):
+    root = _build_artifacts(tmp_path)
+
+    def analyze_repeatedly():
+        t0 = time.perf_counter()
+        report = None
+        for _ in range(ANALYZE_PASSES):
+            report = analyze_artifacts(root)
+        return report, time.perf_counter() - t0
+
+    report, analyze_wall = benchmark.pedantic(
+        analyze_repeatedly, rounds=1, iterations=1
+    )
+    assert report.incidents and report.counts["windows"] > 0
+
+    windows = report.counts["windows"] * ANALYZE_PASSES
+    analyze_row = {
+        "passes": ANALYZE_PASSES,
+        "wall_s": round(analyze_wall, 6),
+        "windows_per_pass": report.counts["windows"],
+        "windows_per_s": (
+            round(windows / analyze_wall, 1) if analyze_wall else 0.0
+        ),
+        "reports_per_s": (
+            round(ANALYZE_PASSES / analyze_wall, 2) if analyze_wall else 0.0
+        ),
+    }
+
+    # Store scan: the same report under many labels is the worst case
+    # for the tie-break path (every distance identical).
+    with InsightStore() as store:
+        for index in range(STORED_CAMPAIGNS):
+            store.add_report(report, label=f"campaign-{index:03d}")
+        t0 = time.perf_counter()
+        results = None
+        for _ in range(QUERY_PASSES):
+            results = store.similar(report, top=5)
+        query_wall = time.perf_counter() - t0
+    assert results and len(results) == 5
+    assert [r["label"] for r in results] == [
+        f"campaign-{i:03d}" for i in range(5)
+    ]
+
+    store_row = {
+        "stored_campaigns": STORED_CAMPAIGNS,
+        "queries": QUERY_PASSES,
+        "wall_s": round(query_wall, 6),
+        "queries_per_s": (
+            round(QUERY_PASSES / query_wall, 1) if query_wall else 0.0
+        ),
+        "ms_per_query": (
+            round(1000.0 * query_wall / QUERY_PASSES, 3)
+            if query_wall else 0.0
+        ),
+    }
+
+    document = {
+        "generated_by": "benchmarks/bench_insight.py",
+        "schema": "analyze -> pass rates; store -> similar() scan rates",
+        "report_digest": report.digest(),
+        "analyze": analyze_row,
+        "store": store_row,
+    }
+    BENCH_INSIGHT_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "insight engine throughput (flat smoke campaign)",
+        f"  analyze: {analyze_row['passes']} passes in "
+        f"{analyze_row['wall_s']:.3f}s "
+        f"({analyze_row['windows_per_s']:,.0f} windows/s, "
+        f"{analyze_row['reports_per_s']:.2f} reports/s)",
+        f"  store:   {store_row['queries']} similar() queries over "
+        f"{store_row['stored_campaigns']} campaigns in "
+        f"{store_row['wall_s']:.3f}s "
+        f"({store_row['ms_per_query']:.2f} ms/query)",
+    ]
+    record_result("insight_throughput", "\n".join(lines))

@@ -18,7 +18,11 @@ of using the repository:
 * **regenerate the paper** — the ``table*``/``sec*`` entry points, one
   per table/figure of the evaluation, each taking the same
   ``seed: int = 0`` base seed (per-experiment seeds derive from it via
-  :func:`derive_seed`).
+  :func:`derive_seed`);
+* **analyze what ran** — feed a campaign's artifact directory to
+  :func:`analyze_artifacts` for a ranked-root-cause
+  :class:`IncidentReport`, and archive/query reports through
+  :class:`InsightStore` (see docs/insight.md).
 
 Example::
 
@@ -42,7 +46,9 @@ from repro.fastpath import (
     set_default_pipeline,
 )
 from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.insight import IncidentReport, InsightStore, analyze_artifacts
 from repro.myrinet import build_paper_testbed
+from repro.myrinet.mapping import paper_oracle
 from repro.nftape.campaign import Campaign, default_row
 from repro.nftape.classify import classify_result
 from repro.nftape.experiment import Experiment, Testbed, TestbedOptions
@@ -108,6 +114,11 @@ __all__ = [
     # observation sessions
     "TelemetrySession",
     "CaptureSession",
+    # offline incident correlation (docs/insight.md)
+    "analyze_artifacts",
+    "IncidentReport",
+    "InsightStore",
+    "paper_oracle",
     # the paper's evaluation, one entry point per table/figure
     "table2_latency",
     "table4_spec",

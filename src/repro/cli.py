@@ -10,7 +10,9 @@
     python -m repro campaign --resume --artifacts-dir out/
     python -m repro capture decode --input out/capture
     python -m repro capture summarize --input out/capture
-    python -m repro metrics --input out/metrics.json --format prom
+    python -m repro insight analyze --input out --store incidents.db
+    python -m repro insight similar --store incidents.db --label run-a
+    python -m repro metrics --input out/metrics.json --format summary
     python -m repro synthesis
     python -m repro lint          # simlint static analysis (CI gate)
     python -m repro sanitize      # identical-seed determinism replay
@@ -205,12 +207,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = sub.add_parser(
         "metrics",
-        help="re-render a metrics.json artifact (json or Prometheus text)",
+        help="re-render a metrics.json artifact (json, Prometheus text, "
+             "or a quantile summary)",
     )
     metrics.add_argument("--input", default="out/metrics.json",
                          help="path to a metrics.json artifact")
-    metrics.add_argument("--format", choices=("json", "prom"),
-                         default="prom", help="output format")
+    metrics.add_argument("--format", choices=("json", "prom", "summary"),
+                         default="prom", help="output format ('summary' "
+                         "adds p50/p95/p99 histogram quantiles)")
+
+    insight = sub.add_parser(
+        "insight",
+        help="correlate campaign artifacts into ranked incident reports",
+    )
+    insight_sub = insight.add_subparsers(dest="insight_command")
+    analyze = insight_sub.add_parser(
+        "analyze",
+        help="join capture+telemetry+topology; print the incident summary",
+    )
+    analyze.add_argument("--input", default="out",
+                         help="campaign artifact directory (engine or "
+                              "flat layout)")
+    analyze.add_argument("--label", default=None,
+                         help="override the report label (defaults to the "
+                              "campaign name)")
+    analyze.add_argument("--json", dest="json_out", default=None,
+                         help="write the canonical report JSON to PATH")
+    analyze.add_argument("--store", default=None,
+                         help="also persist the report into this sqlite "
+                              "incident store")
+    analyze.add_argument("--digest-only", action="store_true",
+                         help="print only the report digest (CI gate)")
+    report_cmd = insight_sub.add_parser(
+        "report",
+        help="print the full incident report for one campaign",
+    )
+    report_cmd.add_argument("--input", default="out",
+                            help="campaign artifact directory")
+    report_cmd.add_argument("--label", default=None,
+                            help="override the report label")
+    report_cmd.add_argument("--out", default=None,
+                            help="also write the rendered report to PATH")
+    similar = insight_sub.add_parser(
+        "similar",
+        help="rank stored campaigns by feature-vector similarity",
+    )
+    similar.add_argument("--store", required=True,
+                         help="sqlite incident store path")
+    similar.add_argument("--input", default=None,
+                         help="query campaign: analyze this artifact "
+                              "directory")
+    similar.add_argument("--label", default=None,
+                         help="query campaign: a label already in the "
+                              "store (alternative to --input)")
+    similar.add_argument("--top", type=int, default=5,
+                         help="number of results (default 5)")
 
     sub.add_parser("synthesis", help="print the Table 1 synthesis estimate")
 
@@ -671,6 +722,7 @@ def _run_metrics(args) -> int:
     from pathlib import Path
 
     from repro.telemetry import MetricsRegistry, to_prometheus
+    from repro.telemetry.metrics import Counter, Gauge, Histogram
 
     path = Path(args.input)
     if not path.exists():
@@ -682,8 +734,124 @@ def _run_metrics(args) -> int:
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     registry = MetricsRegistry.from_dict(document.get("metrics", {}))
+    if args.format == "summary":
+        for metric in registry:
+            labels = metric.label_dict()
+            rendered = "" if not labels else (
+                "{" + ",".join(f"{k}={v}"
+                               for k, v in sorted(labels.items())) + "}"
+            )
+            name = f"{metric.name}{rendered}"
+            if isinstance(metric, Histogram):
+                quantiles = metric.quantiles()
+                print(
+                    f"{name}  count={metric.count} "
+                    f"mean={metric.mean:.1f} "
+                    f"p50={quantiles['p50']:.1f} "
+                    f"p95={quantiles['p95']:.1f} "
+                    f"p99={quantiles['p99']:.1f}"
+                )
+            elif isinstance(metric, Gauge):
+                print(
+                    f"{name}  value={metric.value:g} "
+                    f"high={metric.high} low={metric.low}"
+                )
+            elif isinstance(metric, Counter):
+                print(f"{name}  total={metric.value:g}")
+        return 0
     print(to_prometheus(registry), end="")
     return 0
+
+
+def _run_insight(args) -> int:
+    """``insight analyze|report|similar``: offline incident correlation.
+
+    ``analyze`` joins one campaign's artifacts and prints the per-
+    incident verdict summary plus the report digest (``--digest-only``
+    restricts output to the digest — the CI golden gate consumes that);
+    ``report`` renders the full human-readable report; ``similar``
+    queries a sqlite incident store by feature-vector cosine distance.
+    """
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.insight import InsightStore, analyze_artifacts
+
+    if args.insight_command in ("analyze", "report"):
+        root = Path(args.input)
+        if not root.is_dir():
+            print(
+                f"no artifact directory at {root} (run a campaign with "
+                "--artifacts-dir first)",
+                file=sys.stderr,
+            )
+            return 2
+        report = analyze_artifacts(root, label=args.label)
+        if args.insight_command == "report":
+            text = report.render_text()
+            print(text)
+            if args.out:
+                target = Path(args.out)
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(text + "\n")
+                print(f"report written to {target}")
+            return 0
+        if args.digest_only:
+            print(report.digest())
+        else:
+            print(
+                f"analyzed {report.label}: "
+                f"{report.counts.get('incidents', 0)} incident(s), "
+                f"{report.counts.get('windows', 0)} window(s), "
+                f"{report.counts.get('degradations', 0)} degradation(s)"
+            )
+            for incident in sorted(report.incidents, key=lambda i: i.index):
+                print(
+                    f"  [{incident.index}] {incident.name} "
+                    f"-> {incident.top_cause}"
+                )
+            print(f"report digest: {report.digest()}")
+        if args.json_out:
+            target = Path(args.json_out)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(report.canonical_json() + "\n")
+            if not args.digest_only:
+                print(f"report JSON written to {target}")
+        if args.store:
+            with InsightStore(args.store) as store:
+                key = store.add_report(report)
+            if not args.digest_only:
+                print(f"stored as {key!r} in {args.store}")
+        return 0
+
+    if args.insight_command == "similar":
+        if bool(args.input) == bool(args.label):
+            print("pass exactly one of --input DIR or --label NAME",
+                  file=sys.stderr)
+            return 2
+        with InsightStore(args.store) as store:
+            if args.input:
+                query = analyze_artifacts(Path(args.input))
+                results = store.similar(
+                    query, top=args.top, exclude_label=query.label
+                )
+            else:
+                try:
+                    results = store.similar(args.label, top=args.top)
+                except ConfigurationError as exc:
+                    print(str(exc), file=sys.stderr)
+                    return 2
+        if not results:
+            print("no stored campaigns to compare against")
+            return 0
+        for rank, row in enumerate(results, 1):
+            print(
+                f"#{rank} {row['label']}  distance={row['distance']:.6f}  "
+                f"cause={row['dominant_cause']}"
+            )
+        return 0
+
+    return 2
 
 
 def _run_sanitize(args) -> int:
@@ -745,6 +913,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "metrics":
         return _run_metrics(args)
+
+    if args.command == "insight":
+        if args.insight_command is None:
+            parser.parse_args(["insight", "--help"])
+            return 2
+        return _run_insight(args)
 
     if args.command == "capture":
         if args.capture_command is None:

@@ -1,0 +1,303 @@
+"""Report schema of the incident-correlation engine.
+
+Everything :func:`repro.insight.correlate.analyze_artifacts` produces is
+expressed with the dataclasses here and serialized through one pair of
+choke points — :func:`canonical_json` and :meth:`IncidentReport.digest`
+— so a report is **byte-stable**: the same campaign artifacts yield the
+same canonical JSON (and the same BLAKE2b digest) on every machine, at
+any worker count.  Two rules make that hold:
+
+* nothing wall-clock-derived enters the report (spans contribute their
+  *sim-time* intervals only; ``wall_ns`` fields are dropped at the
+  join);
+* every collection is emitted in a deterministic order (sorted keys,
+  index-sorted incidents, tier-sorted hypotheses).
+
+The schema is versioned (:data:`REPORT_VERSION`); consumers should
+reject reports whose version they do not understand rather than guess.
+:data:`FEATURES` fixes the name *and order* of the numeric feature
+vector used by the sqlite similarity store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "FEATURES",
+    "TimelineEntry",
+    "Hypothesis",
+    "BlastRadius",
+    "Incident",
+    "IncidentReport",
+    "canonical_json",
+]
+
+#: Identifies the document type in the serialized report.
+REPORT_FORMAT = "repro.insight-report"
+#: Bump on any backwards-incompatible schema change.
+REPORT_VERSION = 1
+
+#: Fixed name/order of the similarity feature vector.  Appending is a
+#: compatible change (missing keys read as 0.0); reordering or renaming
+#: is not.
+FEATURES: Tuple[str, ...] = (
+    "injections",
+    "captures",
+    "windows",
+    "marks_matched",
+    "lanes_rewritten",
+    "crc_broken_frames",
+    "udp_broken_frames",
+    "udp_valid_despite_hit",
+    "frames_decoded",
+    "hit_frames",
+    "sdram_dropped_capacity",
+    "sdram_dropped_bandwidth",
+    "stage_drops",
+    "stage_udp_checksum_drops",
+    "stage_host_sends",
+    "stage_delivers",
+    "events",
+    "fault_class_active",
+    "fault_class_passive",
+    "latency_p50_ns",
+    "latency_p95_ns",
+    "latency_p99_ns",
+)
+
+
+def canonical_json(document: Any) -> str:
+    """The one canonical serialization: sorted keys, no whitespace."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass
+class TimelineEntry:
+    """One event on an incident's reconstructed sim-time timeline."""
+
+    #: Sim time in picoseconds; ``None`` sorts first (unplaced entries).
+    time_ps: Optional[int]
+    #: Entry kind: ``phase`` | ``inject`` | ``window`` | ``drop`` |
+    #: ``shed`` | ``udp_checksum_drop``.
+    kind: str
+    label: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def sort_key(self) -> Tuple[int, int, str, str]:
+        """Deterministic ordering: sim time, then kind, then label."""
+        placed = 0 if self.time_ps is not None else -1
+        return (placed, self.time_ps or 0, self.kind, self.label)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time_ps": self.time_ps,
+            "kind": self.kind,
+            "label": self.label,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class Hypothesis:
+    """One ranked symptom->cause candidate.
+
+    ``tier_counts`` holds the evidence counts per tier (``marks``,
+    ``crc``, ``udp``, ``drops``); ranking is *lexicographic* over the
+    tiers in that order, so a single injection mark outranks any number
+    of CRC verdicts, which outrank any number of UDP anomalies, which
+    outrank any number of drop/shed deltas.  ``score`` is a scalar
+    rendering of the same ordering for display only.
+    """
+
+    cause: str
+    description: str
+    tier_counts: Dict[str, int]
+    score: int
+    evidence: List[str] = field(default_factory=list)
+
+    def sort_key(self) -> Tuple[int, int, int, int]:
+        """The lexicographic tier tuple (higher wins)."""
+        return (
+            self.tier_counts.get("marks", 0),
+            self.tier_counts.get("crc", 0),
+            self.tier_counts.get("udp", 0),
+            self.tier_counts.get("drops", 0),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cause": self.cause,
+            "description": self.description,
+            "tier_counts": dict(self.tier_counts),
+            "score": self.score,
+            "evidence": list(self.evidence),
+        }
+
+
+@dataclass
+class BlastRadius:
+    """Which host conversations crossed the corrupted segment.
+
+    ``segment`` names the instrumented link (host side, switch side,
+    affected directions); ``pairs`` lists every ordered ``src -> dst``
+    host pair whose route traverses that link in an affected direction,
+    with the source-route ports the conversation uses.
+    """
+
+    segment: Dict[str, Any] = field(default_factory=dict)
+    pairs: List[Dict[str, Any]] = field(default_factory=list)
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "segment": dict(self.segment),
+            "pairs": [dict(p) for p in self.pairs],
+            "note": self.note,
+        }
+
+
+@dataclass
+class Incident:
+    """Everything the engine reconstructed about one experiment."""
+
+    index: int
+    name: str
+    seed: Optional[int] = None
+    fault_class: str = "unknown"
+    evidence: List[str] = field(default_factory=list)
+    #: The capture<->telemetry join result: merged-shard key, phase
+    #: intervals in sim time.  Wall-clock span fields never enter.
+    span: Dict[str, Any] = field(default_factory=dict)
+    #: ``[lo, hi]`` sim-time interval of the observed fault activity.
+    fault_window_ps: Optional[List[int]] = None
+    windows: List[Dict[str, Any]] = field(default_factory=list)
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+    timeline: List[TimelineEntry] = field(default_factory=list)
+    timeline_truncated: int = 0
+    blast_radius: BlastRadius = field(default_factory=BlastRadius)
+    hypotheses: List[Hypothesis] = field(default_factory=list)
+    features: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def top_cause(self) -> Optional[str]:
+        """Cause string of the highest-ranked hypothesis, if any."""
+        return self.hypotheses[0].cause if self.hypotheses else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "seed": self.seed,
+            "fault_class": self.fault_class,
+            "evidence": list(self.evidence),
+            "span": dict(self.span),
+            "fault_window_ps": (
+                None if self.fault_window_ps is None
+                else list(self.fault_window_ps)
+            ),
+            "windows": [dict(w) for w in self.windows],
+            "stage_counts": dict(self.stage_counts),
+            "timeline": [t.to_dict() for t in self.timeline],
+            "timeline_truncated": self.timeline_truncated,
+            "blast_radius": self.blast_radius.to_dict(),
+            "hypotheses": [h.to_dict() for h in self.hypotheses],
+            "top_cause": self.top_cause,
+            "features": {k: self.features[k] for k in sorted(self.features)},
+        }
+
+
+@dataclass
+class IncidentReport:
+    """The versioned, byte-stable output of one ``insight analyze``."""
+
+    label: str
+    campaign: Dict[str, Any] = field(default_factory=dict)
+    incidents: List[Incident] = field(default_factory=list)
+    degradations: List[str] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
+            "label": self.label,
+            "campaign": dict(self.campaign),
+            "incidents": [
+                i.to_dict()
+                for i in sorted(self.incidents, key=lambda i: i.index)
+            ],
+            "degradations": list(self.degradations),
+            "counts": dict(self.counts),
+        }
+
+    def canonical_json(self) -> str:
+        """The canonical serialization the digest is computed over."""
+        return canonical_json(self.to_dict())
+
+    def digest(self) -> str:
+        """BLAKE2b-128 hex digest of the canonical JSON."""
+        return hashlib.blake2b(
+            self.canonical_json().encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def feature_vector(self) -> Dict[str, float]:
+        """Campaign-level feature vector: per-incident features summed.
+
+        Campaign-wide features (the latency quantiles) are injected by
+        the correlator into every report under the same keys; summing
+        per-incident dicts keeps the vector's shape fixed either way.
+        Keys follow :data:`FEATURES`; absent features read 0.0.
+        """
+        out: Dict[str, float] = {name: 0.0 for name in FEATURES}
+        for incident in self.incidents:
+            for name, value in incident.features.items():
+                out[name] = out.get(name, 0.0) + float(value)
+        for name, value in self.campaign.get("features", {}).items():
+            out[name] = out.get(name, 0.0) + float(value)
+        return out
+
+    def render_text(self) -> str:
+        """Human-readable report (the ``insight report`` command)."""
+        lines = [
+            f"incident report: {self.label} "
+            f"(schema v{REPORT_VERSION}, digest {self.digest()})",
+            f"  campaign: {self.campaign.get('name', '?')} "
+            f"[{self.campaign.get('source', '?')} layout] "
+            f"{len(self.incidents)} incident(s)",
+        ]
+        for incident in sorted(self.incidents, key=lambda i: i.index):
+            lines.append(
+                f"[{incident.index}] {incident.name} "
+                f"-> {incident.fault_class}"
+            )
+            if incident.fault_window_ps:
+                lo, hi = incident.fault_window_ps
+                lines.append(f"  fault window: {lo} .. {hi} ps")
+            for rank, hypothesis in enumerate(incident.hypotheses, 1):
+                marker = "*" if rank == 1 else " "
+                lines.append(
+                    f"  {marker} #{rank} {hypothesis.cause} "
+                    f"(score {hypothesis.score}): "
+                    f"{hypothesis.description}"
+                )
+            radius = incident.blast_radius
+            if radius.pairs:
+                rendered = ", ".join(
+                    f"{p['src']}->{p['dst']}" for p in radius.pairs
+                )
+                lines.append(f"  blast radius: {rendered}")
+            elif radius.note:
+                lines.append(f"  blast radius: {radius.note}")
+        if self.degradations:
+            lines.append(f"degraded ({len(self.degradations)}):")
+            for note in self.degradations:
+                lines.append(f"  - {note}")
+        return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Deterministic symptom->cause hypothesis ranking.
+
+The evidence hierarchy is the paper's own §4.4 reasoning made explicit:
+
+1. **injection marks** — the injector's post-corruption lane window was
+   *located in the captured symbol stream*; nothing is more direct;
+2. **CRC verdicts** — reassembled frames whose recomputed CRC-8 shows a
+   residue (link-level corruption, caught by the paper's per-hop check);
+3. **UDP checksum anomalies** — end-to-end damage (broken checksums,
+   or the §4.3.4 aligned-swap case where the checksum *stays valid*
+   despite a hit, plus host-side checksum drops);
+4. **drop/shed counter deltas** — SDRAM capacity/bandwidth shedding and
+   network drop events: real symptoms, weakest attribution.
+
+Ranking is **lexicographic over the tiers in that order** — one mark
+beats any number of CRC verdicts, and so on — which is what makes the
+verdict deterministic and explainable: no tuned weights, no floats.
+The scalar ``score`` merely renders the same ordering for display
+(tiers saturate, so it cannot be used to launder a lower tier into a
+higher one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.insight.model import Hypothesis
+
+__all__ = ["TIER_ORDER", "build_hypotheses", "scalar_score"]
+
+#: Evidence tiers, strongest first (the lexicographic sort order).
+TIER_ORDER = ("marks", "crc", "udp", "drops")
+
+#: Per-tier saturation for the display score: counts clamp here so a
+#: flood of weak evidence can never look like strong evidence.
+_TIER_CAP = 99
+_TIER_WEIGHT = {
+    "marks": 1_000_000,
+    "crc": 10_000,
+    "udp": 100,
+    "drops": 1,
+}
+
+
+def scalar_score(tier_counts: Dict[str, int]) -> int:
+    """Render a tier tuple as one display integer (order-preserving)."""
+    return sum(
+        _TIER_WEIGHT[tier] * min(_TIER_CAP, max(0, tier_counts.get(tier, 0)))
+        for tier in TIER_ORDER
+    )
+
+
+def _hypothesis(
+    cause: str,
+    description: str,
+    tier_counts: Dict[str, int],
+    evidence: List[str],
+) -> Hypothesis:
+    counts = {tier: int(tier_counts.get(tier, 0)) for tier in TIER_ORDER}
+    return Hypothesis(
+        cause=cause,
+        description=description,
+        tier_counts=counts,
+        score=scalar_score(counts),
+        evidence=evidence,
+    )
+
+
+def build_hypotheses(
+    aggregate: Dict[str, Any],
+    fault_label: Optional[str] = None,
+    plan: Optional[Dict[str, Any]] = None,
+) -> List[Hypothesis]:
+    """Rank cause candidates for one incident.
+
+    ``aggregate`` is the correlator's per-incident evidence summary
+    (mark/CRC/UDP/drop counts); ``fault_label`` names the configured
+    fault (usually the experiment name, e.g. ``IDLE->GAP``); ``plan``
+    is the spec's plan summary when available (kind, direction).
+
+    Returns hypotheses sorted strongest-first; ties (identical tier
+    tuples) break on the cause string so the order never depends on
+    dict iteration.  An all-quiet incident yields the single benign
+    ``no-fault-observed`` hypothesis rather than an empty list.
+    """
+    marks = int(aggregate.get("marks_matched", 0))
+    injections = int(aggregate.get("injections", 0))
+    crc = int(aggregate.get("crc_broken_frames", 0))
+    udp_broken = int(aggregate.get("udp_broken_frames", 0))
+    udp_sneaky = int(aggregate.get("udp_valid_despite_hit", 0))
+    udp_drops = int(aggregate.get("stage_udp_checksum_drops", 0))
+    udp = udp_broken + udp_sneaky + udp_drops
+    drops = (
+        int(aggregate.get("sdram_dropped_capacity", 0))
+        + int(aggregate.get("sdram_dropped_bandwidth", 0))
+        + int(aggregate.get("stage_drops", 0))
+    )
+
+    hypotheses: List[Hypothesis] = []
+
+    if injections or marks:
+        name = fault_label or "configured fault"
+        direction = (plan or {}).get("direction")
+        kind = (plan or {}).get("kind")
+        detail = []
+        if kind:
+            detail.append(f"{kind} plan")
+        if direction:
+            detail.append(f"direction {direction}")
+        suffix = f" ({', '.join(detail)})" if detail else ""
+        evidence = []
+        if injections:
+            evidence.append(f"{injections} injection event(s) on the wire")
+        if marks:
+            evidence.append(
+                f"{marks} capture window(s) with the post-corruption "
+                f"lane window located in the stream"
+            )
+        hypotheses.append(_hypothesis(
+            f"injected-fault:{name}",
+            f"the campaign's own injected fault '{name}'{suffix} "
+            f"corrupted the instrumented segment",
+            # Mark evidence counts located marks, plus one for the
+            # injection events themselves (direct but un-located).
+            {"marks": marks + (1 if injections else 0),
+             "crc": crc, "udp": udp, "drops": drops},
+            evidence,
+        ))
+
+    if crc:
+        hypotheses.append(_hypothesis(
+            "link-crc-corruption",
+            "frames reassembled from the capture fail their recomputed "
+            "CRC-8: link-level corruption on the captured segment",
+            {"crc": crc, "udp": udp, "drops": drops},
+            [f"{crc} frame(s) with CRC-8 residue"],
+        ))
+
+    if udp:
+        evidence = []
+        if udp_broken:
+            evidence.append(f"{udp_broken} UDP checksum failure(s)")
+        if udp_sneaky:
+            evidence.append(
+                f"{udp_sneaky} hit frame(s) whose UDP checksum stayed "
+                f"valid (aligned 16-bit swap, paper §4.3.4)"
+            )
+        if udp_drops:
+            evidence.append(
+                f"{udp_drops} datagram(s) dropped at the host checksum "
+                f"check"
+            )
+        hypotheses.append(_hypothesis(
+            "udp-payload-corruption",
+            "end-to-end UDP evidence: payload damage visible (or "
+            "deliberately invisible) at the datagram layer",
+            {"udp": udp, "drops": drops},
+            evidence,
+        ))
+
+    if drops:
+        hypotheses.append(_hypothesis(
+            "congestion-loss",
+            "frames or capture records were shed without corruption "
+            "evidence: backlog/capacity pressure, not the data path",
+            {"drops": drops},
+            [f"{drops} drop/shed event(s)"],
+        ))
+
+    if not hypotheses:
+        hypotheses.append(_hypothesis(
+            "no-fault-observed",
+            "no injection, CRC, UDP, or loss evidence in this "
+            "experiment's artifacts",
+            {},
+            [],
+        ))
+
+    hypotheses.sort(key=lambda h: (
+        tuple(-c for c in h.sort_key()), h.cause
+    ))
+    return hypotheses

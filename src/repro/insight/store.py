@@ -1,0 +1,227 @@
+"""The queryable incident store: sqlite persistence + similarity.
+
+:class:`InsightStore` keeps every analyzed campaign's full report (as
+canonical JSON) plus its numeric feature vector, so past campaigns can
+be queried without re-decoding their artifacts.  ``insight similar``
+ranks stored campaigns by **cosine distance** between feature vectors
+(:data:`repro.insight.model.FEATURES` fixes the dimension order) — two
+campaigns that injected the same fault class produce near-parallel
+evidence vectors however their absolute counts differ, which is exactly
+what cosine geometry rewards.
+
+Determinism: reports are keyed by label (re-adding a label replaces the
+row), no wall-clock timestamps are stored, and similarity ties break on
+``(rounded distance, label)`` so result order never depends on insert
+order or float noise in the last bits.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.insight.model import FEATURES, IncidentReport
+
+__all__ = ["InsightStore", "cosine_distance"]
+
+#: Schema generation; bump on incompatible table changes.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    label         TEXT PRIMARY KEY,
+    digest        TEXT NOT NULL,
+    report_json   TEXT NOT NULL,
+    features_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS incidents (
+    label       TEXT NOT NULL,
+    idx         INTEGER NOT NULL,
+    name        TEXT NOT NULL,
+    fault_class TEXT NOT NULL,
+    top_cause   TEXT,
+    PRIMARY KEY (label, idx)
+);
+"""
+
+
+def cosine_distance(a: Dict[str, float], b: Dict[str, float]) -> float:
+    """``1 - cos(a, b)`` over the union of feature keys.
+
+    Zero vectors are handled deterministically: two zero vectors are
+    identical (distance 0), a zero vector against anything else is
+    maximally distant (1.0).
+    """
+    keys = sorted(set(a) | set(b))
+    dot = sum(a.get(k, 0.0) * b.get(k, 0.0) for k in keys)
+    norm_a = math.sqrt(sum(a.get(k, 0.0) ** 2 for k in keys))
+    norm_b = math.sqrt(sum(b.get(k, 0.0) ** 2 for k in keys))
+    if norm_a == 0.0 and norm_b == 0.0:
+        return 0.0
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 1.0
+    similarity = dot / (norm_a * norm_b)
+    return 1.0 - max(-1.0, min(1.0, similarity))
+
+
+class InsightStore:
+    """A sqlite-backed archive of :class:`IncidentReport` documents.
+
+    Usable as a context manager; ``path`` may be ``":memory:"`` for
+    tests.  All queries are deterministic (explicit ``ORDER BY``
+    everywhere) and the store never records wall-clock time.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"insight store {self.path} has schema v{row[0]}; this "
+                f"build reads v{SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "InsightStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+
+    def add_report(
+        self, report: IncidentReport, label: Optional[str] = None
+    ) -> str:
+        """Persist (or replace) one report; returns its storage label."""
+        key = label or report.label
+        features = report.feature_vector()
+        self._conn.execute(
+            "INSERT OR REPLACE INTO campaigns "
+            "(label, digest, report_json, features_json) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                key,
+                report.digest(),
+                report.canonical_json(),
+                json.dumps(features, sort_keys=True),
+            ),
+        )
+        self._conn.execute("DELETE FROM incidents WHERE label = ?", (key,))
+        for incident in sorted(report.incidents, key=lambda i: i.index):
+            self._conn.execute(
+                "INSERT INTO incidents "
+                "(label, idx, name, fault_class, top_cause) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    key,
+                    incident.index,
+                    incident.name,
+                    incident.fault_class,
+                    incident.top_cause,
+                ),
+            )
+        self._conn.commit()
+        return key
+
+    def labels(self) -> List[str]:
+        """Stored campaign labels, sorted."""
+        rows = self._conn.execute(
+            "SELECT label FROM campaigns ORDER BY label"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def get(self, label: str) -> Optional[Dict[str, Any]]:
+        """The stored report document for ``label``, or ``None``."""
+        row = self._conn.execute(
+            "SELECT report_json FROM campaigns WHERE label = ?", (label,)
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def features(self, label: str) -> Optional[Dict[str, float]]:
+        """The stored feature vector for ``label``, or ``None``."""
+        row = self._conn.execute(
+            "SELECT features_json FROM campaigns WHERE label = ?",
+            (label,),
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def similar(
+        self,
+        query: Union[IncidentReport, Dict[str, float], str],
+        top: int = 5,
+        exclude_label: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Stored campaigns ranked by feature-vector cosine distance.
+
+        ``query`` is a report, a raw feature dict, or the label of a
+        stored campaign.  Results carry ``label``, ``distance`` (rounded
+        to 12 places — the tie-break precision), ``digest``, and the
+        campaign's most common top cause.  A stored campaign equal to
+        ``exclude_label`` (or to a string query's own label) is omitted.
+        """
+        if isinstance(query, IncidentReport):
+            vector = query.feature_vector()
+        elif isinstance(query, str):
+            stored = self.features(query)
+            if stored is None:
+                raise ConfigurationError(
+                    f"no campaign labelled {query!r} in the store"
+                )
+            vector = stored
+            exclude_label = exclude_label or query
+        else:
+            vector = {k: float(v) for k, v in query.items()}
+        vector = {k: vector.get(k, 0.0) for k in set(FEATURES) | set(vector)}
+
+        scored: List[Tuple[float, str]] = []
+        for label in self.labels():
+            if exclude_label is not None and label == exclude_label:
+                continue
+            stored = self.features(label)
+            scored.append(
+                (round(cosine_distance(vector, stored or {}), 12), label)
+            )
+        scored.sort()
+        out: List[Dict[str, Any]] = []
+        for distance, label in scored[:max(0, top)]:
+            causes = self._conn.execute(
+                "SELECT top_cause, COUNT(*) AS n FROM incidents "
+                "WHERE label = ? AND top_cause IS NOT NULL "
+                "GROUP BY top_cause ORDER BY n DESC, top_cause LIMIT 1",
+                (label,),
+            ).fetchone()
+            digest = self._conn.execute(
+                "SELECT digest FROM campaigns WHERE label = ?", (label,)
+            ).fetchone()
+            out.append({
+                "label": label,
+                "distance": distance,
+                "digest": digest[0] if digest else None,
+                "dominant_cause": causes[0] if causes else None,
+            })
+        return out

@@ -167,6 +167,13 @@ class TopologyOracle:
         """
         if source == target:
             return []
+        parents = self._search(source, target)
+        return self._unwind(parents, source, target)
+
+    def _search(
+        self, source: str, target: str
+    ) -> Dict[object, Tuple[object, Optional[int]]]:
+        """BFS parent map from ``source`` until ``target`` is reached."""
         parents: Dict[object, Tuple[object, Optional[int]]] = {source: (source, None)}
         frontier = deque([source])
         while frontier:
@@ -178,7 +185,7 @@ class TopologyOracle:
                     continue  # never route through a host
                 parents[neighbor] = (node, port)
                 if neighbor == target:
-                    return self._unwind(parents, source, target)
+                    return parents
                 frontier.append(neighbor)
         raise RoutingError(f"no route from {source!r} to {target!r}")
 
@@ -198,6 +205,57 @@ class TopologyOracle:
         ports.reverse()
         return ports
 
+    def node_path(self, source: str, target: str) -> List[object]:
+        """The node sequence a packet traverses from ``source`` to
+        ``target``, endpoints included.
+
+        Nodes are host names (strings) or ``('sw', name)`` tuples, same
+        as the wiring graph; a trivial ``source == target`` path is the
+        single node.
+        """
+        if source == target:
+            return [source]
+        parents = self._search(source, target)
+        nodes: List[object] = []
+        node: object = target
+        while node != source:
+            nodes.append(node)
+            node = parents[node][0]
+        nodes.append(source)
+        nodes.reverse()
+        return nodes
+
+    def edge_path(
+        self, source: str, target: str
+    ) -> List[Tuple[object, object]]:
+        """The *directed* edges of :meth:`node_path`, in travel order."""
+        nodes = self.node_path(source, target)
+        return list(zip(nodes, nodes[1:]))
+
+    def pairs_crossing(
+        self, edge: Tuple[object, object]
+    ) -> List[Tuple[str, str]]:
+        """Ordered host pairs whose route traverses the directed ``edge``.
+
+        This is the blast-radius primitive: given the corrupted segment
+        as a directed ``(from_node, to_node)`` edge, it answers "which
+        source->destination host conversations cross that wire in that
+        direction".  Pairs come back sorted for deterministic reports.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for source in self._hosts:
+            for target in self._hosts:
+                if source == target:
+                    continue
+                try:
+                    path = self.edge_path(source, target)
+                except RoutingError:
+                    continue
+                if edge in path:
+                    pairs.append((source, target))
+        pairs.sort()
+        return pairs
+
     def probes_from(self, source: str) -> List[Probe]:
         """One probe per *other* host position, with both route directions."""
         probes = []
@@ -212,3 +270,26 @@ class TopologyOracle:
                 )
             )
         return probes
+
+
+def paper_oracle(instrumented_host: str = "pc") -> TopologyOracle:
+    """The Figure 10 test-bed wiring as a :class:`TopologyOracle`.
+
+    Mirrors :func:`repro.myrinet.network.build_paper_testbed`: hosts
+    ``pc``/``sparc1``/``sparc2`` on ports 0/1/2 of one 8-port switch
+    named ``switch``.  ``instrumented_host`` is accepted (and validated)
+    so offline analyzers can assert the host named in a campaign spec
+    actually exists in this topology.
+    """
+    hosts = ("pc", "sparc1", "sparc2")
+    if instrumented_host not in hosts:
+        raise ConfigurationError(
+            f"instrumented host {instrumented_host!r} is not part of the "
+            f"paper test bed {hosts}"
+        )
+    oracle = TopologyOracle()
+    oracle.add_switch("switch")
+    for port, name in enumerate(hosts):
+        oracle.add_host(name)
+        oracle.connect_host(name, "switch", port)
+    return oracle

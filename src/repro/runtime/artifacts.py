@@ -44,7 +44,11 @@ from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from repro.capture.format import CaptureWriter, read_capture
 from repro.capture.session import CAPTURE_FILE_NAME
-from repro.telemetry.exporters import parse_spans_jsonl, to_chrome_trace
+from repro.telemetry.exporters import (
+    parse_spans_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = [
@@ -156,8 +160,7 @@ def merge_artifacts(
     }
 
     metrics_docs: List[Dict[str, Any]] = []
-    span_lines: List[str] = []
-    span_records = []
+    span_records: List[Any] = []
     capture_sources: List[Tuple[int, str, Path]] = []
 
     for index, name in sorted(entries):
@@ -169,15 +172,9 @@ def merge_artifacts(
             metrics_docs.append(json.loads(metrics_path.read_text()))
             spans_path = telemetry / "spans.jsonl"
             if spans_path.exists():
-                text = spans_path.read_text()
-                for line in text.splitlines():
-                    line = line.strip()
-                    if not line:
-                        continue
-                    record = json.loads(line)
-                    record["shard"] = index
-                    span_lines.append(json.dumps(record, sort_keys=True))
-                span_records.extend(parse_spans_jsonl(text))
+                for record in parse_spans_jsonl(spans_path.read_text()):
+                    record.shard = index
+                    span_records.append(record)
         else:
             summary["missing_shards"].append(index)
         capture_path = shard / CAPTURE_SUBDIR / CAPTURE_FILE_NAME
@@ -192,9 +189,7 @@ def merge_artifacts(
             json.dumps(_merge_metrics_docs(metrics_docs, label),
                        indent=2, sort_keys=True) + "\n"
         )
-        (out / "spans.jsonl").write_text(
-            "\n".join(span_lines) + ("\n" if span_lines else "")
-        )
+        (out / "spans.jsonl").write_text(spans_to_jsonl(span_records))
         (out / "trace.json").write_text(
             json.dumps(to_chrome_trace(span_records, label=label)) + "\n"
         )

@@ -28,6 +28,7 @@ derived seed alone).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import multiprocessing.connection
 import time
@@ -38,7 +39,7 @@ from repro.errors import CampaignError
 from repro.nftape.results import ExperimentResult
 from repro.runtime.artifacts import merge_artifacts
 from repro.runtime.journal import CampaignJournal, result_from_dict
-from repro.runtime.spec import CampaignSpec
+from repro.runtime.spec import CampaignSpec, spec_summary
 from repro.runtime.worker import (
     ExperimentJob,
     execute_job,
@@ -50,8 +51,13 @@ __all__ = [
     "SerialExecutor",
     "PooledExecutor",
     "DEFAULT_TIMEOUT_S",
+    "SPEC_FILE_NAME",
     "default_start_method",
 ]
+
+#: File name of the campaign-shape summary written into the artifacts
+#: root (see :func:`repro.runtime.spec.spec_summary`).
+SPEC_FILE_NAME = "spec.json"
 
 #: Default per-experiment wall-clock timeout (generous: scaled paper
 #: experiments run in seconds; a stuck shard should not stall a shift).
@@ -114,6 +120,16 @@ class _ExecutorBase:
         journal.begin(spec, resume=self.resume)
         return journal, completed
 
+    def _write_spec(self, spec: Optional[CampaignSpec]) -> None:
+        """Drop ``spec.json`` into the artifacts root (offline analyzers
+        — ``repro.insight`` — read the campaign's shape from it)."""
+        if self.artifacts_dir is None or spec is None:
+            return
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        (self.artifacts_dir / SPEC_FILE_NAME).write_text(
+            json.dumps(spec_summary(spec), indent=2, sort_keys=True) + "\n"
+        )
+
     def _merge(self, spec: CampaignSpec) -> None:
         if self.artifacts_dir is None:
             return
@@ -142,6 +158,7 @@ class SerialExecutor(_ExecutorBase):
         """Yield ``(index, result)`` pairs in experiment order."""
         spec: Optional[CampaignSpec] = getattr(campaign, "spec", None)
         journal, completed = self._open_journal(spec)
+        self._write_spec(spec)
         total = len(campaign.experiments) if spec is None else len(spec)
         for index in range(total):
             if index in completed:
@@ -242,6 +259,7 @@ class PooledExecutor(_ExecutorBase):
                 "can be shipped to worker processes"
             )
         journal, ready = self._open_journal(spec)
+        self._write_spec(spec)
         self.skipped = sorted(ready)
         total = len(spec)
         context = multiprocessing.get_context(self.start_method)

@@ -35,7 +35,13 @@ from repro.nftape.workload import WorkloadConfig
 from repro.runtime.seeding import derive_seed
 from repro.sim.timebase import MS
 
-__all__ = ["PlanSpec", "ExperimentSpec", "CampaignSpec", "PLAN_KINDS"]
+__all__ = [
+    "PlanSpec",
+    "ExperimentSpec",
+    "CampaignSpec",
+    "PLAN_KINDS",
+    "spec_summary",
+]
 
 #: The plan shapes :class:`PlanSpec` can describe, mapped to the live
 #: plan classes they materialize into.
@@ -187,3 +193,63 @@ class CampaignSpec:
               base_seed: int = 0) -> "CampaignSpec":
         """Convenience constructor from any iterable of specs."""
         return CampaignSpec(name, tuple(specs), base_seed=base_seed)
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce a value into JSON-representable data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def spec_summary(spec: CampaignSpec) -> Dict[str, Any]:
+    """A JSON-safe description of a campaign, for ``spec.json``.
+
+    The artifact engine drops this next to ``journal.jsonl`` so offline
+    consumers — ``repro.insight`` foremost — can recover the campaign's
+    shape (experiment names, derived seeds, plan direction, topology
+    options) without unpickling live spec objects.  It is a *summary*:
+    enough to interpret the artifacts, not enough to re-run them.
+    """
+    experiments = []
+    for index, experiment in enumerate(spec.experiments):
+        entry: Dict[str, Any] = {
+            "index": index,
+            "name": experiment.name,
+            "seed": spec.seed_for(index),
+            "duration_ps": experiment.duration_ps,
+            "drain_ps": experiment.drain_ps,
+            "params": _json_safe(experiment.params),
+        }
+        plan = experiment.plan
+        if plan is not None:
+            entry["plan"] = {
+                "kind": plan.kind,
+                "direction": plan.direction,
+                "use_serial": plan.use_serial,
+                "rearm_interval_ps": plan.rearm_interval_ps,
+                "on_ps": plan.on_ps,
+                "off_ps": plan.off_ps,
+                "interval_ps": plan.interval_ps,
+                "config": plan.config.describe(),
+            }
+        testbed = experiment.testbed
+        if testbed is not None:
+            entry["testbed"] = {
+                "seed": testbed.seed,
+                "instrumented_host": testbed.instrumented_host,
+                "with_device": testbed.with_device,
+                "pipeline": testbed.pipeline,
+            }
+        experiments.append(entry)
+    return {
+        "generated_by": "repro.runtime",
+        "version": 1,
+        "name": spec.name,
+        "base_seed": spec.base_seed,
+        "experiments": experiments,
+    }

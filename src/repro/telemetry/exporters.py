@@ -141,8 +141,9 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 # Chrome trace-event JSON (Perfetto / chrome://tracing)
 # ---------------------------------------------------------------------------
 
-#: Synthetic process/thread ids: one "process" per session; spans all
-#: nest on one "thread" so the viewer stacks them by wall time.
+#: Synthetic process/thread ids: one "process" per session (or per
+#: merged shard — see below); spans all nest on one "thread" so the
+#: viewer stacks them by wall time.
 TRACE_PID = 1
 TRACE_TID = 1
 
@@ -156,11 +157,24 @@ def to_chrome_trace(
     Every span becomes one ``"ph": "X"`` (complete) event.  Timestamps
     are microseconds relative to the earliest span, which keeps the
     numbers small and the viewer happy.
+
+    Merged multi-shard campaigns (records carrying a ``shard`` index)
+    render one synthetic *process row per shard*: ``pid = TRACE_PID +
+    shard + 1`` with a ``process_name`` metadata event naming the shard.
+    Without shard separation the per-shard span stacks — whose wall
+    clocks overlap freely under a worker pool — collapse onto one row
+    and the viewer draws nonsense nesting.
     """
     completed = [r for r in records if r.end_wall_ns is not None]
     origin_ns = min(
         (r.start_wall_ns for r in completed), default=0
     )
+
+    def _pid(record: SpanRecord) -> int:
+        if record.shard is None:
+            return TRACE_PID
+        return TRACE_PID + record.shard + 1
+
     events: List[Dict[str, Any]] = [
         {
             "name": "process_name",
@@ -171,6 +185,17 @@ def to_chrome_trace(
             "args": {"name": label},
         }
     ]
+    for shard in sorted({r.shard for r in completed if r.shard is not None}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": TRACE_PID + shard + 1,
+                "tid": TRACE_TID,
+                "ts": 0,
+                "args": {"name": f"{label} [shard {shard}]"},
+            }
+        )
     for record in completed:
         args: Dict[str, Any] = dict(record.attrs)
         args["path"] = record.path
@@ -178,6 +203,8 @@ def to_chrome_trace(
             args["start_sim_ps"] = record.start_sim_ps
         if record.sim_ps is not None:
             args["sim_ps"] = record.sim_ps
+        if record.shard is not None:
+            args["shard"] = record.shard
         events.append(
             {
                 "name": record.name,
@@ -185,7 +212,7 @@ def to_chrome_trace(
                 "ph": "X",
                 "ts": (record.start_wall_ns - origin_ns) / 1_000.0,
                 "dur": record.wall_ns / 1_000.0,
-                "pid": TRACE_PID,
+                "pid": _pid(record),
                 "tid": TRACE_TID,
                 "args": args,
             }

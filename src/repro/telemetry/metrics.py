@@ -203,6 +203,52 @@ class Histogram(_Metric):
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate from the fixed buckets.
+
+        Classic Prometheus ``histogram_quantile`` semantics: find the
+        bucket where the cumulative count crosses ``q * count`` and
+        interpolate linearly inside it (bucket observations are assumed
+        uniform).  Edge rules keep the estimate finite and reproducible:
+
+        * an empty histogram estimates ``0.0``;
+        * a rank landing in the ``+Inf`` tail clamps to the largest
+          finite bound (there is no upper edge to interpolate toward);
+        * the first bucket interpolates from ``0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(
+                f"quantile must be within [0, 1], got {q!r}"
+            )
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, bound in enumerate(self.buckets):
+            previous = running
+            running += self.counts[i]
+            if running >= rank:
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                in_bucket = running - previous
+                if in_bucket == 0:
+                    return bound
+                return lower + (bound - lower) * (rank - previous) / in_bucket
+        return self.buckets[-1]
+
+    def quantiles(
+        self, points: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, float]:
+        """Named quantile estimates, ``{"p50": ..., "p95": ..., ...}``.
+
+        The default points are the p50/p95/p99 triple the CLI summary
+        and the insight feature extractor consume.
+        """
+        out: Dict[str, float] = {}
+        for q in points:
+            label = format(q * 100, "g").replace(".", "_")
+            out[f"p{label}"] = self.quantile(q)
+        return out
+
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
         out: List[Tuple[float, int]] = []

@@ -45,6 +45,11 @@ class SpanRecord:
     start_sim_ps: Optional[int] = None
     end_sim_ps: Optional[int] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Campaign-global experiment index stamped by the artifact merge;
+    #: ``None`` for spans written directly by a live session.  Span ids
+    #: restart per shard, so ``(shard, span_id)`` is the unique key in a
+    #: merged ``spans.jsonl``.
+    shard: Optional[int] = None
 
     @property
     def wall_ns(self) -> int:
@@ -61,7 +66,7 @@ class SpanRecord:
         return self.end_sim_ps - self.start_sim_ps
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "span_id": self.span_id,
             "name": self.name,
             "path": self.path,
@@ -75,6 +80,11 @@ class SpanRecord:
             "sim_ps": self.sim_ps,
             "attrs": self.attrs,
         }
+        # Only merged records carry provenance; live-session spans.jsonl
+        # output stays byte-identical to the pre-shard format.
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
@@ -89,6 +99,7 @@ class SpanRecord:
             start_sim_ps=data.get("start_sim_ps"),
             end_sim_ps=data.get("end_sim_ps"),
             attrs=dict(data.get("attrs", {})),
+            shard=data.get("shard"),
         )
 
 

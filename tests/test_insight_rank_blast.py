@@ -1,0 +1,161 @@
+"""Ranking and blast-radius units: the deterministic verdict core.
+
+Two properties carry the whole ``repro.insight`` contract:
+
+* hypothesis ranking is **lexicographic over evidence tiers** — one
+  injection mark beats any flood of CRC verdicts, which beat any flood
+  of UDP anomalies, which beat any flood of drop deltas;
+* the blast radius over the Figure 10 route graph lists **exactly** the
+  host pairs whose conversations cross the instrumented segment in the
+  affected direction.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.insight.model import Hypothesis, TimelineEntry, canonical_json
+from repro.insight.rank import TIER_ORDER, build_hypotheses, scalar_score
+from repro.insight.correlate import _blast_radius
+from repro.myrinet.mapping import paper_oracle
+
+
+class TestScalarScore:
+    def test_tier_weights_respect_the_order(self):
+        """One unit of a higher tier outscores a saturated lower tier."""
+        for stronger, weaker in zip(TIER_ORDER, TIER_ORDER[1:]):
+            assert scalar_score({stronger: 1}) > scalar_score({weaker: 10**9})
+
+    def test_counts_saturate(self):
+        assert scalar_score({"drops": 10**9}) == scalar_score({"drops": 99})
+
+    def test_negative_counts_clamp_to_zero(self):
+        assert scalar_score({"crc": -5}) == 0
+
+
+class TestHypothesisOrdering:
+    def test_one_mark_beats_any_number_of_crc_verdicts(self):
+        ranked = build_hypotheses({
+            "injections": 0,
+            "marks_matched": 1,
+            "crc_broken_frames": 5000,
+        }, fault_label="IDLE->GAP")
+        assert ranked[0].cause == "injected-fault:IDLE->GAP"
+        assert ranked[1].cause == "link-crc-corruption"
+
+    def test_drop_flood_cannot_beat_one_udp_anomaly(self):
+        ranked = build_hypotheses({
+            "udp_broken_frames": 1,
+            "stage_drops": 10**6,
+        })
+        assert ranked[0].cause == "udp-payload-corruption"
+        assert ranked[1].cause == "congestion-loss"
+
+    def test_quiet_incident_yields_benign_verdict(self):
+        ranked = build_hypotheses({})
+        assert [h.cause for h in ranked] == ["no-fault-observed"]
+        assert ranked[0].score == 0
+
+    def test_injection_without_marks_still_ranks_first(self):
+        """Inject events are direct evidence even when no capture window
+        located the lane rewrite."""
+        ranked = build_hypotheses(
+            {"injections": 3, "crc_broken_frames": 2},
+            fault_label="GAP->GO",
+        )
+        assert ranked[0].cause == "injected-fault:GAP->GO"
+        assert ranked[0].tier_counts["marks"] == 1
+
+    def test_plan_context_lands_in_the_description(self):
+        ranked = build_hypotheses(
+            {"marks_matched": 2},
+            fault_label="X",
+            plan={"kind": "duty_cycle", "direction": "RL"},
+        )
+        assert "duty_cycle plan" in ranked[0].description
+        assert "direction RL" in ranked[0].description
+
+    def test_ties_break_on_cause_string(self):
+        a = Hypothesis("b-cause", "", {"crc": 1}, 0)
+        b = Hypothesis("a-cause", "", {"crc": 1}, 0)
+        ordered = sorted(
+            [a, b],
+            key=lambda h: (tuple(-c for c in h.sort_key()), h.cause),
+        )
+        assert [h.cause for h in ordered] == ["a-cause", "b-cause"]
+
+
+class TestModelPrimitives:
+    def test_canonical_json_is_minimal_and_sorted(self):
+        text = canonical_json({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_unplaced_timeline_entries_sort_first(self):
+        placed = TimelineEntry(time_ps=5, kind="phase", label="settle")
+        unplaced = TimelineEntry(time_ps=None, kind="phase", label="late")
+        ordered = sorted([placed, unplaced], key=lambda e: e.sort_key())
+        assert ordered[0] is unplaced
+
+
+class TestPaperOracle:
+    def test_node_path_runs_through_the_switch(self):
+        oracle = paper_oracle()
+        path = oracle.node_path("pc", "sparc1")
+        assert path[0] == "pc"
+        assert path[-1] == "sparc1"
+        assert ("sw", "switch") in path
+
+    def test_edge_path_pairs_up_the_node_path(self):
+        oracle = paper_oracle()
+        edges = oracle.edge_path("pc", "sparc2")
+        assert edges[0][0] == "pc"
+        assert edges[-1][1] == "sparc2"
+        nodes = oracle.node_path("pc", "sparc2")
+        assert edges == list(zip(nodes, nodes[1:]))
+
+    def test_pairs_crossing_the_host_to_switch_edge(self):
+        oracle = paper_oracle()
+        pairs = oracle.pairs_crossing(("pc", ("sw", "switch")))
+        assert pairs == [("pc", "sparc1"), ("pc", "sparc2")]
+
+    def test_pairs_crossing_the_switch_to_host_edge(self):
+        oracle = paper_oracle()
+        pairs = oracle.pairs_crossing((("sw", "switch"), "pc"))
+        assert pairs == [("sparc1", "pc"), ("sparc2", "pc")]
+
+    def test_unknown_instrumented_host_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_oracle("mainframe")
+
+
+class TestBlastRadius:
+    def test_r_direction_is_host_to_switch_traffic(self):
+        radius = _blast_radius("R", "pc", paper_oracle())
+        assert [(p["src"], p["dst"]) for p in radius.pairs] == [
+            ("pc", "sparc1"), ("pc", "sparc2"),
+        ]
+        assert all(p["direction"] == "pc->switch" for p in radius.pairs)
+
+    def test_l_direction_is_switch_to_host_traffic(self):
+        radius = _blast_radius("L", "pc", paper_oracle())
+        assert [(p["src"], p["dst"]) for p in radius.pairs] == [
+            ("sparc1", "pc"), ("sparc2", "pc"),
+        ]
+        assert all(p["direction"] == "switch->pc" for p in radius.pairs)
+
+    def test_rl_covers_both_directions_sorted(self):
+        radius = _blast_radius("RL", "pc", paper_oracle())
+        assert [(p["src"], p["dst"]) for p in radius.pairs] == [
+            ("pc", "sparc1"), ("pc", "sparc2"),
+            ("sparc1", "pc"), ("sparc2", "pc"),
+        ]
+        assert radius.segment["directions"] == ["L", "R"]
+
+    def test_pairs_carry_source_routes(self):
+        radius = _blast_radius("R", "pc", paper_oracle())
+        for pair in radius.pairs:
+            route = pair["route"]
+            assert isinstance(route, list) and route

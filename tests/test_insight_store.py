@@ -1,0 +1,170 @@
+"""Incident-store tests: persistence, similarity, determinism.
+
+The store's promise is that ``insight similar`` is a *deterministic*
+nearest-neighbour query: cosine distance over the fixed
+:data:`repro.insight.model.FEATURES` axes, ties broken on
+``(rounded distance, label)``, and no wall-clock state anywhere — so a
+campaign that injected the same fault class as the query always ranks
+ahead of campaigns that failed differently, in the same order on every
+machine.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.insight import InsightStore, cosine_distance
+from repro.insight.model import Hypothesis, Incident, IncidentReport
+
+
+def _report(label, features, cause="injected-fault:X", name="run-0"):
+    """A minimal single-incident report with a chosen feature vector."""
+    incident = Incident(index=0, name=name, fault_class="active")
+    incident.features = dict(features)
+    incident.hypotheses = [
+        Hypothesis(cause=cause, description="", tier_counts={}, score=1)
+    ]
+    return IncidentReport(
+        label=label,
+        campaign={"name": label, "source": "flat", "features": {}},
+        incidents=[incident],
+        counts={"incidents": 1},
+    )
+
+
+# Feature shapes: CRC-flavoured campaigns vs congestion-flavoured ones.
+CRC_HEAVY = {"marks_matched": 4.0, "crc_broken_frames": 12.0,
+             "injections": 4.0}
+CRC_HEAVY_SCALED = {"marks_matched": 8.0, "crc_broken_frames": 24.0,
+                    "injections": 8.0}
+DROP_HEAVY = {"stage_drops": 30.0, "sdram_dropped_capacity": 11.0}
+
+
+class TestCosineDistance:
+    def test_identical_vectors_are_distance_zero(self):
+        assert cosine_distance(CRC_HEAVY, dict(CRC_HEAVY)) == 0.0
+
+    def test_scaling_does_not_change_the_distance(self):
+        """Same fault class, bigger campaign: cosine sees parallel rays."""
+        assert cosine_distance(
+            CRC_HEAVY, CRC_HEAVY_SCALED
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_evidence_is_maximally_distant(self):
+        assert cosine_distance(CRC_HEAVY, DROP_HEAVY) == pytest.approx(1.0)
+
+    def test_zero_vector_rules(self):
+        assert cosine_distance({}, {}) == 0.0
+        assert cosine_distance({"a": 0.0}, {"b": 0.0}) == 0.0
+        assert cosine_distance({}, CRC_HEAVY) == 1.0
+        assert cosine_distance(CRC_HEAVY, {}) == 1.0
+
+
+class TestStoreBasics:
+    def test_add_get_round_trip(self):
+        with InsightStore() as store:
+            report = _report("alpha", CRC_HEAVY)
+            assert store.add_report(report) == "alpha"
+            stored = store.get("alpha")
+            assert stored["label"] == "alpha"
+            assert stored["incidents"][0]["top_cause"] == "injected-fault:X"
+            assert store.get("missing") is None
+
+    def test_re_adding_a_label_replaces_the_row(self):
+        with InsightStore() as store:
+            store.add_report(_report("alpha", CRC_HEAVY))
+            store.add_report(_report("alpha", DROP_HEAVY,
+                                     cause="congestion-loss"))
+            assert store.labels() == ["alpha"]
+            assert store.features("alpha")["stage_drops"] == 30.0
+            stored = store.get("alpha")
+            assert stored["incidents"][0]["top_cause"] == "congestion-loss"
+
+    def test_explicit_label_overrides_the_report_label(self):
+        with InsightStore() as store:
+            assert store.add_report(
+                _report("alpha", CRC_HEAVY), label="renamed"
+            ) == "renamed"
+            assert store.labels() == ["renamed"]
+
+    def test_persists_to_disk(self, tmp_path):
+        path = tmp_path / "insight.sqlite"
+        with InsightStore(path) as store:
+            store.add_report(_report("alpha", CRC_HEAVY))
+        with InsightStore(path) as store:
+            assert store.labels() == ["alpha"]
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "insight.sqlite"
+        with InsightStore(path) as store:
+            store._conn.execute(
+                "UPDATE meta SET value = '999' "
+                "WHERE key = 'schema_version'"
+            )
+            store._conn.commit()
+        with pytest.raises(ConfigurationError):
+            InsightStore(path)
+
+
+class TestSimilar:
+    def _seeded(self, store):
+        store.add_report(_report("crc-a", CRC_HEAVY))
+        store.add_report(_report("crc-b", CRC_HEAVY_SCALED))
+        store.add_report(_report("drops-a", DROP_HEAVY,
+                                 cause="congestion-loss"))
+
+    def test_same_fault_campaign_ranks_first(self):
+        """Acceptance shape: >=3 stored campaigns, same-fault one wins."""
+        with InsightStore() as store:
+            self._seeded(store)
+            query = _report("query", {"marks_matched": 1.0,
+                                      "crc_broken_frames": 3.0,
+                                      "injections": 1.0})
+            results = store.similar(query)
+            assert len(results) == 3
+            assert {r["label"] for r in results[:2]} == {"crc-a", "crc-b"}
+            assert results[-1]["label"] == "drops-a"
+            assert results[0]["dominant_cause"] == "injected-fault:X"
+
+    def test_label_query_excludes_itself(self):
+        with InsightStore() as store:
+            self._seeded(store)
+            results = store.similar("crc-a")
+            labels = [r["label"] for r in results]
+            assert "crc-a" not in labels
+            assert labels[0] == "crc-b"
+
+    def test_unknown_label_query_raises(self):
+        with InsightStore() as store:
+            with pytest.raises(ConfigurationError):
+                store.similar("nowhere")
+
+    def test_ties_break_on_label_not_insert_order(self):
+        with InsightStore() as store:
+            store.add_report(_report("zeta", CRC_HEAVY))
+            store.add_report(_report("alpha", dict(CRC_HEAVY)))
+            results = store.similar({"crc_broken_frames": 1.0,
+                                     "marks_matched": 1.0,
+                                     "injections": 1.0})
+            distances = [r["distance"] for r in results]
+            assert distances[0] == distances[1]
+            assert [r["label"] for r in results] == ["alpha", "zeta"]
+
+    def test_top_limits_and_exclude_label(self):
+        with InsightStore() as store:
+            self._seeded(store)
+            assert len(store.similar(_report("q", CRC_HEAVY), top=1)) == 1
+            results = store.similar(
+                _report("q", CRC_HEAVY), exclude_label="crc-a"
+            )
+            assert "crc-a" not in [r["label"] for r in results]
+
+    def test_results_carry_the_stored_digest(self):
+        with InsightStore() as store:
+            report = _report("alpha", CRC_HEAVY)
+            store.add_report(report)
+            results = store.similar({"marks_matched": 1.0})
+            assert results[0]["digest"] == report.digest()
+
+    def test_empty_store_returns_no_results(self):
+        with InsightStore() as store:
+            assert store.similar({"marks_matched": 1.0}) == []

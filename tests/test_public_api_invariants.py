@@ -39,6 +39,8 @@ PUBLIC_MODULES = [
     "repro.runtime", "repro.runtime.spec", "repro.runtime.seeding",
     "repro.runtime.executors", "repro.runtime.journal",
     "repro.runtime.artifacts", "repro.runtime.worker",
+    "repro.insight", "repro.insight.model", "repro.insight.correlate",
+    "repro.insight.rank", "repro.insight.store",
     "repro.errors", "repro.cli", "repro.api",
 ]
 

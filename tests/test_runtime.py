@@ -166,6 +166,29 @@ class TestParallelDeterminism:
         assert deterministic_series(tmp_path / "serial") == \
             deterministic_series(tmp_path / "pooled")
 
+        # Both executors describe the campaign in spec.json, byte-equal
+        # (the insight engine reads it to name faults and directions).
+        serial_doc = (tmp_path / "serial" / "spec.json").read_text()
+        pooled_doc = (tmp_path / "pooled" / "spec.json").read_text()
+        assert serial_doc == pooled_doc
+        parsed = json.loads(serial_doc)
+        assert parsed["name"] == spec.name
+        assert len(parsed["experiments"]) == 8
+        entry = parsed["experiments"][1]
+        assert entry["seed"] == spec.seed_for(1)
+        assert entry["plan"]["kind"] == "fault"
+        assert entry["plan"]["direction"] == "RL"
+
+        # Merged span rows are stamped with their campaign-global shard.
+        spans_text = (
+            tmp_path / "pooled" / "telemetry" / "spans.jsonl"
+        ).read_text()
+        shards = {
+            json.loads(line).get("shard")
+            for line in spans_text.splitlines()
+        }
+        assert shards == set(range(8))
+
     def test_results_survive_the_worker_boundary(self, tmp_path):
         """Counter maps and params come back from workers intact."""
         spec = tiny_spec(n=2, extra_params={"tag": "boundary"})

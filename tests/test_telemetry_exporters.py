@@ -115,6 +115,46 @@ class TestPrometheusExporter:
     def test_empty_registry_renders_empty(self):
         assert to_prometheus(MetricsRegistry()) == ""
 
+    def test_histogram_bucket_counts_are_cumulative_not_per_bucket(self):
+        """Regression pin: each le line carries the running total, and
+        the +Inf line always equals _count."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("audit.lat", buckets=(10, 20, 30))
+        for value in (5, 15, 25, 999):
+            histogram.observe(value)
+        series = _validate_prometheus(to_prometheus(registry))
+        buckets = [
+            int(series[f'repro_audit_lat_bucket{{le="{le}"}}'])
+            for le in ("10", "20", "30", "+Inf")
+        ]
+        assert buckets == sorted(buckets)  # cumulative => monotonic
+        assert buckets == [1, 2, 3, 4]
+        assert series["repro_audit_lat_count"] == str(buckets[-1])
+
+    def test_inf_bucket_present_even_when_empty_tail(self):
+        registry = MetricsRegistry()
+        registry.histogram("audit.lat", buckets=(10,)).observe(5)
+        series = _validate_prometheus(to_prometheus(registry))
+        assert series['repro_audit_lat_bucket{le="+Inf"}'] == "1"
+
+    def test_label_escaping_round_trips(self):
+        """Unescaping the rendered label value recovers the original —
+        i.e. backslash is escaped before quote/newline, not after."""
+        original = 'say "hi"\nback\\slash\\n'
+        registry = MetricsRegistry()
+        registry.counter("odd.labels", note=original).inc()
+        text = to_prometheus(registry)
+        match = re.search(r'note="((?:[^"\\]|\\.)*)"', text)
+        assert match
+        decoded = []
+        chars = iter(match.group(1))
+        for ch in chars:
+            if ch == "\\":
+                decoded.append({"n": "\n", '"': '"', "\\": "\\"}[next(chars)])
+            else:
+                decoded.append(ch)
+        assert "".join(decoded) == original
+
 
 class TestChromeTraceExporter:
     def _records(self):
@@ -163,6 +203,63 @@ class TestChromeTraceExporter:
         document = to_chrome_trace(tracker.records + tracker._stack)
         names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
         assert "never-closed" not in names
+
+
+class TestChromeTraceShardMerge:
+    """Regression: merged multi-shard records must not collapse onto one
+    process row — overlapping wall-clock stacks from different shards
+    render as malformed nesting unless each shard gets its own pid."""
+
+    def _sharded_records(self, shards=2):
+        records = []
+        for shard in range(shards):
+            tracker = SpanTracker()
+            with tracker.span("experiment", run=shard):
+                with tracker.span("workload"):
+                    pass
+            for record in tracker.records:
+                record.shard = shard
+                records.append(record)
+        return records
+
+    def test_each_shard_gets_a_distinct_pid(self):
+        document = to_chrome_trace(self._sharded_records(2))
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_shard = {}
+        for event in xs:
+            by_shard.setdefault(event["args"]["shard"], set()).add(
+                event["pid"]
+            )
+        assert set(by_shard) == {0, 1}
+        assert by_shard[0] != by_shard[1]
+        assert all(len(pids) == 1 for pids in by_shard.values())
+
+    def test_per_shard_process_name_metadata(self):
+        document = to_chrome_trace(
+            self._sharded_records(2), label="merged"
+        )
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        names = set(meta.values())
+        assert "merged [shard 0]" in names
+        assert "merged [shard 1]" in names
+        # Shard pids never collide with the unsharded base process.
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        base = [e["pid"] for e in document["traceEvents"]
+                if e["ph"] == "M" and e["args"]["name"] == "merged"]
+        assert base and all(e["pid"] != base[0] for e in xs)
+
+    def test_unsharded_records_keep_the_legacy_pid(self):
+        tracker = SpanTracker()
+        with tracker.span("experiment"):
+            pass
+        document = to_chrome_trace(tracker.records)
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [e["pid"] for e in xs] == [1]
+        assert all("shard" not in e.get("args", {}) for e in xs)
 
 
 class TestJsonlRoundTrip:

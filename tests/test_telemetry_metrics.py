@@ -98,6 +98,73 @@ class TestHistogram:
         assert 250 in LATENCY_NS_BUCKETS  # the paper's pipeline claim
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_estimates_zero(self):
+        histogram = Histogram("h.test", (), buckets=(10, 100))
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.99) == 0.0
+
+    def test_interpolates_inside_the_crossing_bucket(self):
+        """Ten observations in (100, 200]: the median interpolates to
+        the middle of that bucket, histogram_quantile-style."""
+        histogram = Histogram("h.test", (), buckets=(100, 200))
+        for _ in range(10):
+            histogram.observe(150)
+        assert histogram.quantile(0.5) == pytest.approx(150.0)
+        assert histogram.quantile(0.1) == pytest.approx(110.0)
+        assert histogram.quantile(1.0) == pytest.approx(200.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = Histogram("h.test", (), buckets=(100, 200))
+        for _ in range(4):
+            histogram.observe(50)
+        assert histogram.quantile(0.5) == pytest.approx(50.0)
+
+    def test_inf_tail_clamps_to_largest_finite_bound(self):
+        histogram = Histogram("h.test", (), buckets=(10, 100))
+        histogram.observe(5)
+        histogram.observe(10_000)  # lands in the +Inf tail
+        assert histogram.quantile(0.99) == 100.0
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram("h.test", (), buckets=(10,))
+        for bad in (-0.01, 1.01, 2.0):
+            with pytest.raises(ConfigurationError):
+                histogram.quantile(bad)
+
+    def test_quantiles_names_follow_the_points(self):
+        histogram = Histogram("h.test", (), buckets=(100,))
+        histogram.observe(50)
+        named = histogram.quantiles()
+        assert set(named) == {"p50", "p95", "p99"}
+        assert histogram.quantiles(points=(0.999,)).keys() == {"p99_9"}
+
+    def test_quantiles_monotonic_over_points(self):
+        histogram = Histogram("h.test", (), buckets=(10, 100, 1000))
+        for value in (5, 8, 50, 80, 500, 800, 900):
+            histogram.observe(value)
+        named = histogram.quantiles()
+        assert named["p50"] <= named["p95"] <= named["p99"]
+
+    def test_survives_a_to_from_dict_round_trip(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h.lat", buckets=(10, 100))
+        for value in (5, 50, 70):
+            histogram.observe(value)
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict()).get("h.lat")
+        assert rebuilt.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_as_dict_unchanged_by_quantile_support(self):
+        """metrics.json stays byte-identical: quantiles are derived at
+        read time, never serialized."""
+        histogram = Histogram("h.test", (), buckets=(10,))
+        histogram.observe(5)
+        histogram.quantile(0.5)
+        assert set(histogram.as_dict()) == {
+            "kind", "name", "labels", "buckets", "counts", "sum", "count",
+        }
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_series(self):
         registry = MetricsRegistry()

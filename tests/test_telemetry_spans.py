@@ -128,6 +128,20 @@ class TestSpanRecordSerialization:
         assert record.wall_ns == 0
         assert record.sim_ps is None
 
+    def test_shard_absent_from_live_sessions_but_round_trips(self):
+        """The merge-time shard stamp must not change live output: no
+        ``shard`` key unless one was assigned, lossless when it was."""
+        tracker = SpanTracker()
+        with tracker.span("experiment") as record:
+            pass
+        assert "shard" not in record.to_dict()
+        record.shard = 3
+        data = record.to_dict()
+        assert data["shard"] == 3
+        rebuilt = SpanRecord.from_dict(data)
+        assert rebuilt.shard == 3
+        assert rebuilt.to_dict() == data
+
 
 class TestTelemetrySessionLifecycle:
     def test_state_restored_after_session(self):
