@@ -73,9 +73,10 @@ __all__ = [
 #: (tmp fixture trees, installed packages).
 DEFAULT_SCOPED_ALLOWANCES: Dict[str, Sequence[str]] = {
     # Wall clock: telemetry strictly observes; the runtime layer times
-    # and kills host-side worker processes.  Neither feeds sim time.
-    "SIM001": ("repro.telemetry", "repro.runtime"),
-    "FLOW101": ("repro.telemetry", "repro.runtime"),
+    # and kills host-side worker processes; the server tracks uptime,
+    # queue latency and heartbeats.  None of them feed sim time.
+    "SIM001": ("repro.telemetry", "repro.runtime", "repro.server"),
+    "FLOW101": ("repro.telemetry", "repro.runtime", "repro.server"),
     # Randomness: the deterministic rng wrapper is the one sanctioned
     # importer of `random`.
     "SIM002": ("repro.sim.rng",),

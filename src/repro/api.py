@@ -22,7 +22,12 @@ of using the repository:
 * **analyze what ran** — feed a campaign's artifact directory to
   :func:`analyze_artifacts` for a ranked-root-cause
   :class:`IncidentReport`, and archive/query reports through
-  :class:`InsightStore` (see docs/insight.md).
+  :class:`InsightStore` (see docs/insight.md);
+* **watch it live** — subscribe to executor lifecycle events through
+  :class:`EventBus` / :class:`EventBusSession`, or run the whole thing
+  as a service: :class:`MonitorServer` accepts CampaignSpec JSON
+  (:func:`spec_to_json` / :func:`spec_from_json`) over HTTP and streams
+  events as NDJSON/SSE (see docs/server.md).
 
 Example::
 
@@ -66,12 +71,17 @@ from repro.nftape.results import ExperimentResult, ResultTable
 from repro.nftape.workload import WorkloadConfig
 from repro.runtime import (
     CampaignSpec,
+    EventBus,
+    EventBusSession,
     ExperimentSpec,
     PlanSpec,
     PooledExecutor,
     SerialExecutor,
     derive_seed,
+    spec_from_json,
+    spec_to_json,
 )
+from repro.server import MonitorServer
 from repro.sim import DeterministicRng, Simulator
 from repro.telemetry import TelemetrySession
 
@@ -111,9 +121,15 @@ __all__ = [
     "SerialExecutor",
     "PooledExecutor",
     "derive_seed",
-    # observation sessions
+    "spec_to_json",
+    "spec_from_json",
+    # observation sessions and the live event bus
     "TelemetrySession",
     "CaptureSession",
+    "EventBus",
+    "EventBusSession",
+    # monitoring-as-a-service (docs/server.md)
+    "MonitorServer",
     # offline incident correlation (docs/insight.md)
     "analyze_artifacts",
     "IncidentReport",

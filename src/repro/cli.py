@@ -8,6 +8,8 @@
     python -m repro run sec434 --artifacts-dir out/
     python -m repro campaign --experiments 8 --workers 4 --artifacts-dir out/
     python -m repro campaign --resume --artifacts-dir out/
+    python -m repro campaign --follow | jq .kind
+    python -m repro serve --root srv --port 8321
     python -m repro capture decode --input out/capture
     python -m repro capture summarize --input out/capture
     python -m repro insight analyze --input out --store incidents.db
@@ -180,8 +182,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="(deprecated: use --artifacts-dir) enable "
                                "SDRAM capture + packet provenance; write "
                                "capture.rcap here")
+    campaign.add_argument("--follow", action="store_true",
+                          help="print live NDJSON lifecycle events "
+                               "(campaign_started, experiment_finished, "
+                               "snapshot, ...) to stdout while the "
+                               "campaign runs; the table and summary "
+                               "move to stderr so stdout stays pure "
+                               "NDJSON")
     campaign.add_argument("--no-progress", action="store_true",
                           help="suppress the live progress line")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the monitoring-as-a-service campaign server "
+             "(POST /campaigns, live event streams, insight reports)",
+    )
+    serve.add_argument("--root", default="srv",
+                       help="artifact root; campaigns land under "
+                            "ROOT/<tenant>/<id>/ (default: srv)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8321)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="default worker processes per campaign "
+                            "(submissions may override; default: 1)")
+    serve.add_argument("--queue-limit", type=int, default=8,
+                       help="pending campaigns before POST /campaigns "
+                            "answers 429 (default: 8)")
+    serve.add_argument("--timeout-s", type=float, default=None,
+                       help="per-experiment wall-clock timeout for "
+                            "pooled campaigns (default: none)")
 
     capture = sub.add_parser(
         "capture",
@@ -531,6 +563,48 @@ def _campaign_spec(args, capture_enabled: bool):
     )
 
 
+class _FollowEvents:
+    """Install an :class:`~repro.runtime.events.EventBus` for a block
+    and pump every lifecycle event to stdout as NDJSON, live.
+
+    ``repro.cli campaign --follow`` uses this — no server required: the
+    executors publish onto the ambient bus and a printer thread drains
+    a bounded subscription, one JSON object per line.
+    """
+
+    def __enter__(self) -> "_FollowEvents":
+        import threading
+
+        from repro.runtime.events import EventBus, EventBusSession
+
+        self._stop = threading.Event()
+        bus = EventBus()
+        self._session = EventBusSession(bus)
+        self._session.__enter__()
+
+        def _pump() -> None:
+            with bus.subscribe() as subscription:
+                while True:
+                    event = subscription.get(timeout=0.2)
+                    if event is not None:
+                        print(event.to_json(), flush=True)
+                    elif self._stop.is_set():
+                        for event in subscription.drain():
+                            print(event.to_json(), flush=True)
+                        return
+
+        self._thread = threading.Thread(
+            target=_pump, name="repro-follow", daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._session.__exit__(exc_type, exc, tb)
+        return False
+
+
 def _run_campaign(args) -> int:
     """``campaign``: a Table 4 style control-symbol swap campaign.
 
@@ -581,6 +655,11 @@ def _run_campaign(args) -> int:
     spec = _campaign_spec(args, capture_enabled)
     campaign = Campaign.from_spec(spec, on_progress=progress)
 
+    # --follow: stdout carries pure NDJSON events; human output moves
+    # to stderr so `... --follow | jq .kind` just works.
+    table_out = sys.stderr if args.follow else sys.stdout
+    follow = _FollowEvents() if args.follow else nullcontext()
+
     if engine_root is not None or workers > 1:
         # Engine path: journal + per-experiment artifact shards, merged
         # deterministically on completion (same layout at any -w).
@@ -599,10 +678,11 @@ def _run_campaign(args) -> int:
                 journal_path=journal_path, resume=args.resume,
                 artifacts_dir=engine_root, label=spec.name,
             )
-        table = campaign.run(executor=executor)
+        with follow:
+            table = campaign.run(executor=executor)
         if progress is not None:
             print(file=sys.stderr)
-        print(table.render())
+        print(table.render(), file=table_out)
         line = (
             f"campaign: {len(executor.executed)} experiment(s) executed "
             f"with {workers} worker(s)"
@@ -612,14 +692,15 @@ def _run_campaign(args) -> int:
         retries = sum(executor.retries.values())
         if retries:
             line += f", {retries} retried"
-        print(line)
+        print(line, file=table_out)
         summary = executor.merge_summary
         if summary is not None:
             print(
                 f"artifacts merged under {engine_root}/: "
                 f"{summary['telemetry_shards']} telemetry shard(s) -> "
                 f"telemetry/, {summary['capture_shards']} capture "
-                f"shard(s) -> capture/capture.rcap"
+                f"shard(s) -> capture/capture.rcap",
+                file=table_out,
             )
         return 0
 
@@ -630,28 +711,74 @@ def _run_campaign(args) -> int:
         CaptureSession(out_dir=capture_dir, label=spec.name)
         if capture_dir else nullcontext()
     )
-    with session:
-        with capture:
-            table = campaign.run()
+    with follow:
+        with session:
+            with capture:
+                table = campaign.run()
     if progress is not None:
         print(file=sys.stderr)
-    print(table.render())
+    print(table.render(), file=table_out)
     fired = session.registry.value("sim.events_fired")
     rate = session.registry.value("sim.events_per_s")
     print(
         f"telemetry: {int(fired)} kernel events in {session.wall_s:.2f}s "
-        f"wall ({rate:,.0f} events/s)"
+        f"wall ({rate:,.0f} events/s)",
+        file=table_out,
     )
     if telemetry_dir:
         print(f"telemetry artifacts written to {telemetry_dir}/"
-              f" (metrics.json, spans.jsonl, trace.json)")
+              f" (metrics.json, spans.jsonl, trace.json)",
+              file=table_out)
     if capture_dir:
         recorder = capture.recorder
         print(
             f"capture: {len(recorder.events)} lifecycle events, "
             f"{recorder.corr_ids_assigned} correlation ids, "
-            f"{len(recorder.experiments)} experiment(s) -> {capture.path}"
+            f"{len(recorder.experiments)} experiment(s) -> {capture.path}",
+            file=table_out,
         )
+    return 0
+
+
+def _run_serve(args) -> int:
+    """``serve``: the monitoring-as-a-service campaign server.
+
+    Binds, prints the address and route summary, then blocks until
+    interrupted.  See docs/server.md for the HTTP contract.
+    """
+    import time
+
+    from repro.errors import ConfigurationError
+    from repro.server import MonitorServer
+
+    server = MonitorServer(
+        root=args.root, host=args.host, port=args.port,
+        workers=args.workers, queue_limit=args.queue_limit,
+        timeout_s=args.timeout_s,
+    )
+    try:
+        server.start()
+    except ConfigurationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    print(f"repro.server listening on http://{host}:{port} "
+          f"(artifact root: {args.root}/)")
+    print("  POST /campaigns                submit a CampaignSpec (JSON)")
+    print("  GET  /campaigns                list this tenant's campaigns")
+    print("  GET  /campaigns/{id}           status")
+    print("  GET  /campaigns/{id}/events    live NDJSON (SSE via Accept)")
+    print("  GET  /campaigns/{id}/report    insight verdict (JSON)")
+    print("  GET  /campaigns/{id}/artifacts/{table|metrics|capture|insight}")
+    print("  GET  /metrics                  Prometheus text exposition")
+    print("  GET  /healthz                  liveness + queue depth")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nserve: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
     return 0
 
 
@@ -910,6 +1037,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "campaign":
         return _run_campaign(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "metrics":
         return _run_metrics(args)

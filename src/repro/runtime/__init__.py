@@ -31,6 +31,13 @@ See docs/runtime.md for the full contract.
 """
 
 from repro.runtime.artifacts import merge_artifacts, shard_dir
+from repro.runtime.events import (
+    EVENT_KINDS,
+    EventBus,
+    EventBusSession,
+    Subscription,
+    events_active,
+)
 from repro.runtime.executors import (
     DEFAULT_TIMEOUT_S,
     PooledExecutor,
@@ -44,12 +51,20 @@ from repro.runtime.journal import (
 )
 from repro.runtime.seeding import derive_seed
 from repro.runtime.spec import CampaignSpec, ExperimentSpec, PlanSpec
+from repro.runtime.spec_codec import spec_from_json, spec_to_json
 from repro.runtime.worker import ExperimentJob, execute_job, job_for
 
 __all__ = [
     "CampaignSpec",
     "ExperimentSpec",
     "PlanSpec",
+    "EventBus",
+    "EventBusSession",
+    "Subscription",
+    "EVENT_KINDS",
+    "events_active",
+    "spec_from_json",
+    "spec_to_json",
     "SerialExecutor",
     "PooledExecutor",
     "CampaignJournal",

@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from repro.errors import CampaignError
 from repro.nftape.results import ExperimentResult
 from repro.runtime.artifacts import merge_artifacts
+from repro.runtime.events import EVENTS, emit
 from repro.runtime.journal import CampaignJournal, result_from_dict
 from repro.runtime.spec import CampaignSpec, spec_summary
 from repro.runtime.worker import (
@@ -63,6 +64,21 @@ SPEC_FILE_NAME = "spec.json"
 #: experiments run in seconds; a stuck shard should not stall a shift).
 DEFAULT_TIMEOUT_S = 900.0
 
+#: Minimum wall seconds between the pooled executor's heartbeat events
+#: (only emitted while an event bus is installed — see
+#: :mod:`repro.runtime.events`).
+HEARTBEAT_INTERVAL_S = 1.0
+
+#: Result fields accumulated into the periodic ``snapshot`` events
+#: (counter deltas since the previous snapshot).
+SNAPSHOT_FIELDS = (
+    "messages_sent",
+    "messages_received",
+    "injections",
+    "send_failures",
+    "checksum_drops",
+)
+
 
 def default_start_method() -> str:
     """``fork`` where the platform offers it (fast), else ``spawn``."""
@@ -79,6 +95,7 @@ class _ExecutorBase:
         resume: bool = False,
         artifacts_dir: Optional[Union[str, Path]] = None,
         label: Optional[str] = None,
+        events_label: Optional[str] = None,
     ) -> None:
         self.journal_path = None if journal_path is None else Path(journal_path)
         self.resume = resume
@@ -86,6 +103,11 @@ class _ExecutorBase:
             None if artifacts_dir is None else Path(artifacts_dir)
         )
         self.label = label
+        #: Campaign key the lifecycle events are published under; when
+        #: unset it falls back to ``label`` / the spec name.  The server
+        #: sets it to the campaign id so event streams stay unique while
+        #: artifact labels (and hence insight digests) match offline runs.
+        self.events_label = events_label
         #: Experiment indices actually executed this run (for tests/UX).
         self.executed: List[int] = []
         #: Indices restored from the journal instead of re-run.
@@ -94,6 +116,56 @@ class _ExecutorBase:
         self.retries: Dict[int, int] = {}
         #: Summary dict of the artifact merge (once performed).
         self.merge_summary: Optional[Dict[str, Any]] = None
+        self._events_campaign: Optional[str] = None
+        self._snapshot_totals: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # event emission (disabled-is-free: one slot read when no bus)
+    # ------------------------------------------------------------------
+
+    def _events_key(self, campaign: Any,
+                    spec: Optional[CampaignSpec]) -> str:
+        """The campaign key lifecycle events are published under."""
+        if self.events_label is not None:
+            return self.events_label
+        if self.label is not None:
+            return self.label
+        if spec is not None:
+            return spec.name
+        return getattr(campaign, "name", "campaign")
+
+    def _emit(self, kind: str, **payload: Any) -> None:
+        if not EVENTS.active or self._events_campaign is None:
+            return
+        emit(self._events_campaign, kind, **payload)
+
+    def _emit_finished(self, index: int, name: str,
+                       result: ExperimentResult) -> None:
+        """``experiment_finished`` plus the counter-delta ``snapshot``."""
+        if not EVENTS.active or self._events_campaign is None:
+            return
+        emit(
+            self._events_campaign, "experiment_finished",
+            index=index, name=name,
+            messages_sent=result.messages_sent,
+            messages_received=result.messages_received,
+            injections=result.injections,
+        )
+        deltas: Dict[str, int] = {}
+        for field in SNAPSHOT_FIELDS:
+            value = int(getattr(result, field, 0) or 0)
+            deltas[field] = value
+            self._snapshot_totals[field] = (
+                self._snapshot_totals.get(field, 0) + value
+            )
+        done = self._snapshot_totals.get("experiments", 0) + 1
+        self._snapshot_totals["experiments"] = done
+        emit(
+            self._events_campaign, "snapshot",
+            experiments_done=done,
+            deltas=deltas,
+            totals=dict(self._snapshot_totals),
+        )
 
     # ------------------------------------------------------------------
 
@@ -112,7 +184,8 @@ class _ExecutorBase:
                 "journalling requires a spec-based campaign "
                 "(build it with Campaign.from_spec)"
             )
-        journal = CampaignJournal(self.journal_path)
+        journal = CampaignJournal(self.journal_path,
+                                  events_label=self._events_campaign)
         completed: Dict[int, ExperimentResult] = {}
         if self.resume:
             completed = journal.completed(spec) if journal.path.exists() \
@@ -140,6 +213,12 @@ class _ExecutorBase:
         self.merge_summary = merge_artifacts(
             self.artifacts_dir, entries, label=self.label or spec.name
         )
+        self._emit(
+            "shard_merged",
+            telemetry_shards=self.merge_summary.get("telemetry_shards", 0),
+            capture_shards=self.merge_summary.get("capture_shards", 0),
+            missing_shards=list(self.merge_summary.get("missing_shards", [])),
+        )
 
 
 class SerialExecutor(_ExecutorBase):
@@ -157,15 +236,20 @@ class SerialExecutor(_ExecutorBase):
                 ) -> Iterator[Tuple[int, ExperimentResult]]:
         """Yield ``(index, result)`` pairs in experiment order."""
         spec: Optional[CampaignSpec] = getattr(campaign, "spec", None)
+        self._events_campaign = self._events_key(campaign, spec)
         journal, completed = self._open_journal(spec)
         self._write_spec(spec)
         total = len(campaign.experiments) if spec is None else len(spec)
+        self._emit("campaign_started", executor="serial", experiments=total,
+                   restored=len(completed))
         for index in range(total):
             if index in completed:
                 self.skipped.append(index)
                 if progress is not None:
                     progress(f"[{index + 1}/{total}] restored "
                              f"{completed[index].name} from journal")
+                self._emit("experiment_restored", index=index,
+                           name=completed[index].name)
                 yield index, completed[index]
                 continue
             if spec is not None:
@@ -179,6 +263,8 @@ class SerialExecutor(_ExecutorBase):
                 )
                 if progress is not None:
                     progress(f"[{index + 1}/{total}] running {job.name}")
+                self._emit("experiment_started", index=index, name=job.name,
+                           seed=job.seed, attempt=0)
                 result = execute_job(job, in_process=True)
                 if journal is not None:
                     journal.record(index, job.name, job.seed, result)
@@ -188,11 +274,16 @@ class SerialExecutor(_ExecutorBase):
                     progress(
                         f"[{index + 1}/{total}] running {experiment.name}"
                     )
+                self._emit("experiment_started", index=index,
+                           name=experiment.name, attempt=0)
                 result = experiment.run()
             self.executed.append(index)
+            self._emit_finished(index, result.name, result)
             yield index, result
         if spec is not None:
             self._merge(spec)
+        self._emit("campaign_finished", experiments=total,
+                   executed=len(self.executed), restored=len(self.skipped))
 
 
 class _Slot:
@@ -235,9 +326,11 @@ class PooledExecutor(_ExecutorBase):
         resume: bool = False,
         artifacts_dir: Optional[Union[str, Path]] = None,
         label: Optional[str] = None,
+        events_label: Optional[str] = None,
     ) -> None:
         super().__init__(journal_path=journal_path, resume=resume,
-                         artifacts_dir=artifacts_dir, label=label)
+                         artifacts_dir=artifacts_dir, label=label,
+                         events_label=events_label)
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -258,10 +351,17 @@ class PooledExecutor(_ExecutorBase):
                 "with Campaign.from_spec(CampaignSpec(...)) so experiments "
                 "can be shipped to worker processes"
             )
+        self._events_campaign = self._events_key(campaign, spec)
         journal, ready = self._open_journal(spec)
         self._write_spec(spec)
         self.skipped = sorted(ready)
         total = len(spec)
+        self._emit("campaign_started", executor="pooled",
+                   experiments=total, workers=self.workers,
+                   restored=len(ready))
+        for index in self.skipped:
+            self._emit("experiment_restored", index=index,
+                       name=ready[index].name)
         context = multiprocessing.get_context(self.start_method)
         pending: List[int] = [i for i in range(total) if i not in ready]
         attempts: Dict[int, int] = {index: 0 for index in pending}
@@ -291,8 +391,10 @@ class PooledExecutor(_ExecutorBase):
                 else time.monotonic() + self.timeout_s
             )
             running[index] = _Slot(job, process, parent_conn, deadline)
+            self._emit("experiment_started", index=index, name=job.name,
+                       seed=job.seed, attempt=attempts[index])
 
-        def _reap(index: int, reason: str) -> None:
+        def _reap(index: int, reason: str, timed_out: bool = False) -> None:
             """Kill a slot and either re-queue its job or fail."""
             slot = running.pop(index)
             if slot.process.is_alive():
@@ -300,13 +402,25 @@ class PooledExecutor(_ExecutorBase):
             slot.process.join(timeout=5)
             slot.conn.close()
             attempts[index] += 1
+            if timed_out:
+                self._emit("experiment_timeout", index=index,
+                           name=slot.job.name, timeout_s=self.timeout_s,
+                           attempt=attempts[index] - 1)
             if attempts[index] > self.max_retries:
                 self._shutdown(running)
+                self._emit("experiment_failed", index=index,
+                           name=slot.job.name, reason=reason,
+                           attempts=attempts[index])
+                self._emit("campaign_failed", experiments=total,
+                           failed_index=index, reason=reason)
                 raise CampaignError(
                     f"experiment {index} ({slot.job.name!r}) failed after "
                     f"{attempts[index]} attempt(s): {reason}"
                 )
             self.retries[index] = self.retries.get(index, 0) + 1
+            self._emit("experiment_retried", index=index,
+                       name=slot.job.name, reason=reason,
+                       attempt=attempts[index])
             if progress is not None:
                 progress(
                     f"retrying {slot.job.name} ({reason}, attempt "
@@ -314,6 +428,7 @@ class PooledExecutor(_ExecutorBase):
                 )
             pending.insert(0, index)
 
+        next_heartbeat = time.monotonic() + HEARTBEAT_INTERVAL_S
         try:
             while pending or running:
                 while pending and len(running) < self.workers:
@@ -326,11 +441,24 @@ class PooledExecutor(_ExecutorBase):
                         min(slot.deadline for slot in running.values())
                         - now,
                     )
+                if EVENTS.active and wait_timeout is None:
+                    # Bound the wait so heartbeats keep flowing even
+                    # with no per-experiment deadline configured.
+                    wait_timeout = HEARTBEAT_INTERVAL_S
                 ready_conns = multiprocessing.connection.wait(
                     [slot.conn for slot in running.values()],
                     timeout=wait_timeout,
                 )
                 now = time.monotonic()
+                if EVENTS.active and now >= next_heartbeat:
+                    next_heartbeat = now + HEARTBEAT_INTERVAL_S
+                    self._emit(
+                        "heartbeat",
+                        running=sorted(running),
+                        pending=len(pending),
+                        completed=len(self.executed) + len(self.skipped),
+                        experiments=total,
+                    )
                 for index in list(running):
                     slot = running[index]
                     # A slot counts as ready if wait() flagged it OR a
@@ -350,6 +478,18 @@ class PooledExecutor(_ExecutorBase):
                         running.pop(index)
                         if status != "ok":
                             self._shutdown(running)
+                            self._emit(
+                                "experiment_failed", index=index,
+                                name=payload.get("name"),
+                                reason=f"{payload.get('type')}: "
+                                       f"{payload.get('message')}",
+                                attempts=attempts[index] + 1,
+                            )
+                            self._emit(
+                                "campaign_failed", experiments=total,
+                                failed_index=index,
+                                reason=payload.get("type"),
+                            )
                             raise CampaignError(
                                 f"experiment {index} "
                                 f"({payload.get('name')!r}) raised "
@@ -359,6 +499,9 @@ class PooledExecutor(_ExecutorBase):
                             )
                         ready[index] = result_from_dict(payload["result"])
                         self.executed.append(index)
+                        self._emit_finished(
+                            index, payload["name"], ready[index]
+                        )
                         if journal is not None:
                             journal.record(
                                 index, payload["name"], payload["seed"],
@@ -373,6 +516,7 @@ class PooledExecutor(_ExecutorBase):
                         _reap(
                             index,
                             f"timed out after {self.timeout_s:.0f}s wall",
+                            timed_out=True,
                         )
                     elif not slot.process.is_alive():
                         _reap(index, "worker crashed "
@@ -387,6 +531,9 @@ class PooledExecutor(_ExecutorBase):
             self._shutdown(running)
         self.executed.sort()
         self._merge(spec)
+        self._emit("campaign_finished", experiments=total,
+                   executed=len(self.executed), restored=len(self.skipped),
+                   retried=sum(self.retries.values()))
 
     @staticmethod
     def _shutdown(running: Dict[int, _Slot]) -> None:

@@ -35,6 +35,8 @@ from typing import Any, Dict, Optional, Union
 
 from repro.errors import CampaignError
 from repro.nftape.results import ExperimentResult
+from repro.runtime.events import EVENTS as _EVENTS
+from repro.runtime.events import emit as _emit
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -99,10 +101,23 @@ def result_from_dict(payload: Dict[str, Any]) -> ExperimentResult:
 
 
 class CampaignJournal:
-    """Append-only JSONL checkpoint for one campaign run."""
+    """Append-only JSONL checkpoint for one campaign run.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    Writes are **line-atomic from a reader's point of view**: each
+    record is serialized to one string, written with a single
+    ``write()`` call, and flushed before the file is closed — so a
+    concurrent status reader (the live server's status endpoint, a
+    ``completed()`` poll from another process) only ever observes whole
+    lines plus, at worst, one torn tail the parser already tolerates.
+    ``events_label`` additionally publishes a ``journal_record`` event
+    per append when an event bus is installed (see
+    :mod:`repro.runtime.events`).
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 events_label: Optional[str] = None) -> None:
         self.path = Path(path)
+        self.events_label = events_label
 
     # ------------------------------------------------------------------
     # header
@@ -156,7 +171,7 @@ class CampaignJournal:
 
     def record(self, index: int, name: str, seed: int,
                result: ExperimentResult, attempt: int = 0) -> None:
-        """Append one completed experiment (flushed per line)."""
+        """Append one completed experiment (one write, flushed per line)."""
         entry = {
             "type": "result",
             "index": index,
@@ -165,9 +180,13 @@ class CampaignJournal:
             "attempt": attempt,
             "result": result_to_dict(result),
         }
+        line = json.dumps(entry, sort_keys=True) + "\n"
         with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(entry, sort_keys=True) + "\n")
+            stream.write(line)
             stream.flush()
+        if self.events_label is not None and _EVENTS.active:
+            _emit(self.events_label, "journal_record",
+                  index=index, name=name, attempt=attempt)
 
     def completed(self, spec: Optional[Any] = None
                   ) -> Dict[int, ExperimentResult]:

@@ -1,0 +1,34 @@
+"""repro.server — monitoring-as-a-service for campaign execution.
+
+A stdlib-only asyncio HTTP service (ROADMAP item 1) that turns the
+campaign engine into a long-running, multi-tenant analysis station:
+
+* ``POST /campaigns`` — submit a CampaignSpec as JSON; bounded job
+  queue with honest ``429`` back-pressure;
+* ``GET /campaigns/{id}/events`` — live NDJSON / SSE lifecycle stream
+  from the :mod:`repro.runtime.events` bus, replayed from seq 0;
+* ``GET /campaigns/{id}/report`` — the auto-run :mod:`repro.insight`
+  verdict as structured JSON (the agent-facing tool API);
+* ``GET /campaigns/{id}/artifacts/...`` — merged table / metrics /
+  ``.rcap`` capture, byte-identical to an offline run of the same spec;
+* ``GET /metrics`` — Prometheus text exposition (server + process
+  self-metrics); ``GET /healthz``.
+
+Start it from the command line::
+
+    python -m repro.cli serve --root srv --port 8321
+
+See docs/server.md for the full HTTP contract.
+"""
+
+from repro.server.service import (
+    DEFAULT_QUEUE_LIMIT,
+    CampaignRecord,
+    MonitorServer,
+)
+
+__all__ = [
+    "CampaignRecord",
+    "DEFAULT_QUEUE_LIMIT",
+    "MonitorServer",
+]

@@ -1,0 +1,188 @@
+"""Minimal stdlib asyncio HTTP/1.1 plumbing for :mod:`repro.server`.
+
+No third-party web framework: the container bakes in only the python
+toolchain, and the service needs exactly four HTTP features — request
+parsing, JSON responses, long-lived streaming responses, and honest
+status codes.  This module provides them over raw
+:class:`asyncio.StreamReader` / :class:`asyncio.StreamWriter` pairs.
+
+Protocol choices (deliberately boring):
+
+* **one request per connection** — every response carries
+  ``Connection: close``.  Streaming endpoints (NDJSON / SSE) have no
+  ``Content-Length``; the body runs until the server closes the socket,
+  which HTTP/1.1 defines as end-of-message for close-delimited bodies;
+* bounded request bodies (:data:`MAX_BODY_BYTES`) — oversized uploads
+  get ``413`` before the server buffers them;
+* ``Bad request`` problems raise :class:`BadRequest` with a message the
+  handler turns into a ``400`` JSON body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "BadRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "REASONS",
+    "Request",
+    "error_body",
+    "json_response",
+    "read_request",
+    "response",
+    "stream_headers",
+]
+
+#: Largest accepted request body (a CampaignSpec is a few KiB).
+MAX_BODY_BYTES = 1 << 20
+#: Largest accepted request-line + header block.
+MAX_HEADER_BYTES = 32 << 10
+
+#: Status -> reason phrase for every code this server emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class BadRequest(Exception):
+    """Malformed HTTP or malformed JSON body (handler answers 400/413).
+
+    ``status`` defaults to 400; the body-size guard raises with 413.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "target", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str,
+                 headers: Dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.target = target
+        split = urlsplit(target)
+        self.path = unquote(split.path)
+        self.query: Dict[str, str] = dict(parse_qsl(split.query))
+        #: Header names lower-cased at parse time.
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        """The body parsed as JSON (raises :class:`BadRequest`)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+
+    def wants_sse(self) -> bool:
+        """True when the client asked for ``text/event-stream``."""
+        return "text/event-stream" in self.headers.get("accept", "")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` on a clean EOF before any bytes.
+
+    Raises :class:`BadRequest` on malformed framing or an oversized
+    header block / body.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request head")
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request head too large", status=413)
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request head too large", status=413)
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest("malformed Content-Length")
+        if length < 0:
+            raise BadRequest("malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("request body too large", status=413)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("chunked request bodies are not supported")
+    return Request(method, target, headers, body)
+
+
+def _head(status: int, content_type: str,
+          content_length: Optional[int],
+          extra: Optional[Mapping[str, str]] = None) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    if extra:
+        lines.extend(f"{name}: {value}" for name, value in extra.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def response(status: int, body: bytes,
+             content_type: str = "application/json",
+             extra: Optional[Mapping[str, str]] = None) -> bytes:
+    """A complete, length-delimited response as bytes."""
+    return _head(status, content_type, len(body), extra) + body
+
+
+def json_response(status: int, document: Any,
+                  extra: Optional[Mapping[str, str]] = None) -> bytes:
+    """A complete JSON response (sorted keys, trailing newline)."""
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    return response(status, body, "application/json", extra)
+
+
+def stream_headers(content_type: str) -> bytes:
+    """Headers for a close-delimited streaming body (no length)."""
+    return _head(200, content_type, None, {"Cache-Control": "no-store",
+                                           "X-Accel-Buffering": "no"})
+
+
+def error_body(status: int, message: str) -> Tuple[int, bytes]:
+    """Status + JSON error body pair for :func:`response` callers."""
+    body = (json.dumps({"error": message, "status": status},
+                       sort_keys=True) + "\n").encode("utf-8")
+    return status, body

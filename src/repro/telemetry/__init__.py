@@ -29,6 +29,7 @@ Design contract (enforced by tests):
 """
 
 from repro.telemetry.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
     parse_spans_jsonl,
     spans_to_jsonl,
     to_chrome_trace,
@@ -46,6 +47,7 @@ from repro.telemetry.state import STATE, telemetry_active
 
 __all__ = [
     "ARTIFACT_NAMES",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",

@@ -27,7 +27,13 @@ __all__ = [
     "parse_spans_jsonl",
     "to_prometheus",
     "to_chrome_trace",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+#: The content type a Prometheus scraper expects for the text
+#: exposition format version 0.0.4 (what :func:`to_prometheus` emits).
+#: ``repro.server``'s ``GET /metrics`` must serve exactly this.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 # ---------------------------------------------------------------------------

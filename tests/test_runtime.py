@@ -247,6 +247,40 @@ class TestJournalResume:
         restored = CampaignJournal(journal).completed(spec)
         assert sorted(restored) == [0, 1]
 
+    def test_reader_during_write_sees_only_whole_lines(self, tmp_path):
+        """Journal writes are line-atomic and flushed per record: a
+        reader polling the file *while the campaign runs* only ever
+        parses complete JSON lines, and every line the writer reported
+        done is already on disk (the live server's status endpoint and
+        ``completed()`` polls rely on this)."""
+        import json as jsonlib
+
+        spec = tiny_spec(n=3)
+        journal = tmp_path / "journal.jsonl"
+        snapshots = []
+
+        def probe_reader(message):
+            # Runs as each experiment *starts*, i.e. concurrent with the
+            # journal's lifetime and between its flushed appends: every
+            # earlier experiment's record must already be on disk.
+            if not journal.exists():
+                return
+            entries = [jsonlib.loads(line)  # raises on any torn line
+                       for line in journal.read_text().splitlines()]
+            snapshots.append(
+                sorted(e["index"] for e in entries
+                       if e.get("type") == "result")
+            )
+
+        Campaign.from_spec(spec, on_progress=probe_reader).run(
+            executor=SerialExecutor(journal_path=journal)
+        )
+        # Each poll saw every record completed so far — nothing was
+        # sitting unflushed in the writer's buffer.
+        assert snapshots == [[], [0], [0, 1]]
+        restored = CampaignJournal(journal).completed(spec)
+        assert sorted(restored) == [0, 1, 2]
+
     def test_resume_without_journal_path_fails(self):
         with pytest.raises(CampaignError, match="journal"):
             Campaign.from_spec(tiny_spec(n=1)).run(

@@ -11,6 +11,7 @@ import re
 import pytest
 
 from repro.telemetry.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
     parse_spans_jsonl,
     spans_to_jsonl,
     to_chrome_trace,
@@ -154,6 +155,49 @@ class TestPrometheusExporter:
             else:
                 decoded.append(ch)
         assert "".join(decoded) == original
+
+
+class TestPrometheusExposition:
+    """Regression pins for the HTTP-facing exposition contract.
+
+    ``repro.server``'s ``GET /metrics`` serves :func:`to_prometheus`
+    output under :data:`PROMETHEUS_CONTENT_TYPE`; these tests keep both
+    halves of that contract stable without starting a server.
+    """
+
+    def test_content_type_is_text_exposition_0_0_4(self):
+        assert PROMETHEUS_CONTENT_TYPE \
+            == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_server_self_metrics_render_well_formed(self):
+        """The exact series shapes the server scrape emits all pass the
+        line-format validator (counter _total suffixes, bare gauges)."""
+        registry = MetricsRegistry()
+        registry.counter("server.campaigns_submitted").inc(3)
+        registry.counter("server.campaigns_completed").inc(2)
+        registry.counter("server.campaigns_failed").inc(0)
+        registry.counter("server.campaigns_rejected").inc(1)
+        registry.gauge("server.queue_depth").set(1)
+        registry.gauge("server.queue_limit").set(8)
+        registry.gauge("server.tenants").set(2)
+        registry.counter("events.published").inc(42)
+        registry.counter("events.dropped").inc(0)
+        registry.gauge("process.uptime_s").set(12.5)
+        registry.gauge("process.rss_bytes").set(40 * 1024 * 1024)
+        series = _validate_prometheus(to_prometheus(registry))
+        assert series["repro_server_campaigns_submitted_total"] == "3"
+        assert series["repro_server_queue_depth"] == "1"
+        assert series["repro_events_dropped_total"] == "0"
+        assert series["repro_process_uptime_s"] == "12.5"
+        assert series["repro_process_rss_bytes"] == str(40 * 1024 * 1024)
+
+    def test_zero_valued_counters_are_still_exposed(self):
+        """Absence-vs-zero matters to scrapers: a server that has never
+        dropped an event must still expose events_dropped_total 0."""
+        registry = MetricsRegistry()
+        registry.counter("events.dropped").inc(0)
+        series = _validate_prometheus(to_prometheus(registry))
+        assert series == {"repro_events_dropped_total": "0"}
 
 
 class TestChromeTraceExporter:
