@@ -34,13 +34,13 @@ QUERY_PASSES = 20
 
 
 def _build_artifacts(tmp_path) -> pathlib.Path:
-    """One flat-layout smoke campaign (the CI gate's shape)."""
+    """One engine-layout smoke campaign (the CI gate's shape)."""
     root = tmp_path / "art"
     duration_ms = max(1, int(scaled_ps(2 * MS) // MS))
     code = main([
         "campaign", "--experiments", "2",
         "--duration-ms", str(duration_ms),
-        "--telemetry-dir", str(root), "--capture-dir", str(root),
+        "--artifacts-dir", str(root),
         "--no-progress",
     ])
     assert code == 0

@@ -1,0 +1,144 @@
+"""Scenario compiler throughput — parse, compile, and codec rates.
+
+The scenario pipeline sits in front of every campaign the DSL starts
+(``scenario run``, ``campaign --scenario``, ``POST /campaigns``), so
+its cost is pure overhead on top of the engine.  Three rates bound it:
+
+* **compile throughput** — full ``load_scenario`` + ``compile_scenario``
+  passes per second over the entire library (yamlish parse included);
+* **codec round-trip** — ``scenario_to_json`` / ``scenario_from_json``
+  document round-trips per second (the server's ingest path);
+* **sweep expansion** — compiled experiments per second for the
+  seu-sweep scenario, whose sweep axis fans one document out into many
+  experiment specs.
+
+Writes ``BENCH_scenario.json`` at the repo root; the committed snapshot
+is the baseline to compare regenerated numbers against.  Compilation is
+pure and deterministic, so the digest recorded here must match the
+golden corpus (``tests/golden/scenario_*.expected``) — the assert keeps
+the benchmark honest about compiling the real library.
+"""
+
+import hashlib
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import record_result
+from repro.runtime import spec_to_json
+from repro.scenario import (
+    compile_scenario,
+    list_scenarios,
+    load_scenario,
+    scenario_from_json,
+    scenario_to_json,
+)
+
+#: Repo-root snapshot: {compile: {...}, codec: {...}, sweep: {...}}.
+BENCH_SCENARIO_PATH = (
+    pathlib.Path(__file__).parent.parent / "BENCH_scenario.json"
+)
+
+COMPILE_PASSES = 20
+CODEC_PASSES = 200
+SWEEP_PASSES = 50
+
+
+def _compile_digest(spec) -> str:
+    text = json.dumps(spec_to_json(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def test_scenario_compile_throughput(benchmark):
+    names = list_scenarios()
+    golden_dir = pathlib.Path(__file__).parent.parent / "tests" / "golden"
+
+    def compile_library():
+        t0 = time.perf_counter()
+        specs = {}
+        for _ in range(COMPILE_PASSES):
+            specs = {
+                name: compile_scenario(load_scenario(name)) for name in names
+            }
+        return specs, time.perf_counter() - t0
+
+    specs, compile_wall = benchmark.pedantic(
+        compile_library, rounds=1, iterations=1
+    )
+    assert len(specs) == len(names)
+    for name, spec in specs.items():
+        expected = golden_dir / f"scenario_{name}.expected"
+        assert _compile_digest(spec) == expected.read_text().strip()
+
+    compiles = COMPILE_PASSES * len(names)
+    experiments = sum(len(s.experiments) for s in specs.values())
+    compile_row = {
+        "passes": COMPILE_PASSES,
+        "library_scenarios": len(names),
+        "wall_s": round(compile_wall, 6),
+        "compiles_per_s": (
+            round(compiles / compile_wall, 1) if compile_wall else 0.0
+        ),
+        "experiments_per_library_pass": experiments,
+    }
+
+    # Codec round-trip: the server's ingest path re-decodes documents.
+    docs = [scenario_to_json(load_scenario(name)) for name in names]
+    t0 = time.perf_counter()
+    for _ in range(CODEC_PASSES):
+        for doc in docs:
+            assert scenario_to_json(scenario_from_json(doc)) == doc
+    codec_wall = time.perf_counter() - t0
+    round_trips = CODEC_PASSES * len(docs)
+    codec_row = {
+        "passes": CODEC_PASSES,
+        "wall_s": round(codec_wall, 6),
+        "round_trips_per_s": (
+            round(round_trips / codec_wall, 1) if codec_wall else 0.0
+        ),
+    }
+
+    # Sweep expansion: one document fanning out into N experiments.
+    sweep_doc = load_scenario("seu-sweep")
+    t0 = time.perf_counter()
+    sweep_spec = None
+    for _ in range(SWEEP_PASSES):
+        sweep_spec = compile_scenario(sweep_doc)
+    sweep_wall = time.perf_counter() - t0
+    points = len(sweep_spec.experiments)
+    sweep_row = {
+        "passes": SWEEP_PASSES,
+        "sweep_points": points,
+        "wall_s": round(sweep_wall, 6),
+        "experiments_per_s": (
+            round(SWEEP_PASSES * points / sweep_wall, 1)
+            if sweep_wall else 0.0
+        ),
+    }
+
+    document = {
+        "generated_by": "benchmarks/bench_scenario.py",
+        "schema": (
+            "compile -> library pass rates; codec -> document round-trip "
+            "rates; sweep -> seu-sweep expansion rates"
+        ),
+        "compile": compile_row,
+        "codec": codec_row,
+        "sweep": sweep_row,
+    }
+    BENCH_SCENARIO_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "Scenario compiler throughput",
+        "============================",
+        "",
+        f"compile : {compile_row['compiles_per_s']:>10.1f} compiles/s "
+        f"({len(names)} library scenarios, {COMPILE_PASSES} passes)",
+        f"codec   : {codec_row['round_trips_per_s']:>10.1f} round-trips/s "
+        f"({CODEC_PASSES} passes)",
+        f"sweep   : {sweep_row['experiments_per_s']:>10.1f} experiments/s "
+        f"(seu-sweep, {points} points/pass)",
+    ]
+    record_result("scenario_compiler", "\n".join(lines))

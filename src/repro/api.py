@@ -2,13 +2,21 @@
 
 Import from here, not from the implementation packages: the names in
 ``__all__`` are the ones guaranteed across minor versions, whatever
-internal layering changes underneath.  One import serves the three ways
-of using the repository:
+internal layering changes underneath.  :data:`API_VERSION` names the
+surface contract — it bumps only when a name in the **stable** tier of
+``docs/api.md`` changes meaning or disappears; additions are free.  One
+import serves the ways of using the repository:
 
 * **drive the device directly** — :class:`Simulator`,
   :class:`FaultInjectorDevice`, :class:`InjectorSession`,
   :func:`build_paper_testbed`, and the fault-model helpers
   (:func:`replace_bytes`, :func:`control_symbol_swap`);
+* **describe what to run declaratively** — write a scenario document
+  (topology + traffic + fault plans; see docs/scenarios.md) and
+  :func:`compile_scenario` it into a :class:`CampaignSpec`; the
+  built-in library is reachable through :func:`list_scenarios` /
+  :func:`load_scenario`, and documents round-trip as JSON via
+  :func:`scenario_to_json` / :func:`scenario_from_json`;
 * **run campaigns** — describe experiments as data with
   :class:`ExperimentSpec` / :class:`PlanSpec`, collect them in a
   :class:`CampaignSpec`, and execute through
@@ -26,8 +34,8 @@ of using the repository:
 * **watch it live** — subscribe to executor lifecycle events through
   :class:`EventBus` / :class:`EventBusSession`, or run the whole thing
   as a service: :class:`MonitorServer` accepts CampaignSpec JSON
-  (:func:`spec_to_json` / :func:`spec_from_json`) over HTTP and streams
-  events as NDJSON/SSE (see docs/server.md).
+  (:func:`spec_to_json` / :func:`spec_from_json`) or scenario documents
+  over HTTP and streams events as NDJSON/SSE (see docs/server.md).
 
 Example::
 
@@ -35,11 +43,18 @@ Example::
         Campaign, CampaignSpec, ExperimentSpec, PlanSpec,
         PooledExecutor, control_symbol_swap, MatchMode,
     )
+
+    from repro.api import compile_scenario, load_scenario
+    table = Campaign.from_spec(
+        compile_scenario(load_scenario("paper-sec35"))).run()
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+#: The public-surface contract version ("v<major>"); see docs/api.md.
+API_VERSION = "v1"
 
 from repro.capture import CaptureSession
 from repro.core import FaultInjectorDevice, InjectorSession
@@ -81,11 +96,26 @@ from repro.runtime import (
     spec_from_json,
     spec_to_json,
 )
+from repro.scenario import (
+    FaultSpec,
+    ScenarioDoc,
+    ScenarioExperiment,
+    SweepSpec,
+    TopologySpec,
+    TrafficSpec,
+    compile_scenario,
+    list_scenarios,
+    load_scenario,
+    scenario_from_json,
+    scenario_to_json,
+)
 from repro.server import MonitorServer
 from repro.sim import DeterministicRng, Simulator
 from repro.telemetry import TelemetrySession
 
 __all__ = [
+    # surface contract
+    "API_VERSION",
     # simulation substrate
     "Simulator",
     "DeterministicRng",
@@ -112,6 +142,18 @@ __all__ = [
     "ExperimentResult",
     "ResultTable",
     "classify_result",
+    # declarative scenarios (docs/scenarios.md)
+    "ScenarioDoc",
+    "ScenarioExperiment",
+    "TopologySpec",
+    "TrafficSpec",
+    "FaultSpec",
+    "SweepSpec",
+    "compile_scenario",
+    "scenario_to_json",
+    "scenario_from_json",
+    "list_scenarios",
+    "load_scenario",
     # declarative campaigns and executors
     "Campaign",
     "default_row",

@@ -9,6 +9,10 @@
     python -m repro campaign --experiments 8 --workers 4 --artifacts-dir out/
     python -m repro campaign --resume --artifacts-dir out/
     python -m repro campaign --follow | jq .kind
+    python -m repro campaign --scenario dual-injector --artifacts-dir out/
+    python -m repro scenario list
+    python -m repro scenario compile fabric-congestion --json
+    python -m repro scenario run paper-sec35 --artifacts-dir out/
     python -m repro serve --root srv --port 8321
     python -m repro capture decode --input out/capture
     python -m repro capture summarize --input out/capture
@@ -28,9 +32,9 @@ Artifacts land under one umbrella: ``--artifacts-dir DIR`` writes
 ``DIR/telemetry/`` (metrics.json, spans.jsonl, trace.json) and
 ``DIR/capture/`` (capture.rcap); sharded campaigns additionally keep
 ``DIR/journal.jsonl`` and per-experiment shards under
-``DIR/experiments/``.  The older ``--telemetry-dir``/``--capture-dir``
-flags still work but are deprecated aliases (they warn on stderr and
-will be removed two minor releases after 0.4 — see docs/runtime.md).
+``DIR/experiments/``.  The PR-4-era ``--telemetry-dir``/``--capture-dir``
+aliases are retired: passing either now fails with a ``DeprecationWarning``
+naming the replacement (see docs/runtime.md).
 """
 
 from __future__ import annotations
@@ -141,11 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write all artifacts under this directory "
                           "(DIR/telemetry/ and DIR/capture/)")
     run.add_argument("--telemetry-dir", default=None,
-                     help="(deprecated: use --artifacts-dir) write "
-                          "metrics.json/spans.jsonl/trace.json here")
+                     help=argparse.SUPPRESS)
     run.add_argument("--capture-dir", default=None,
-                     help="(deprecated: use --artifacts-dir) record packet "
-                          "provenance; write capture.rcap here")
+                     help=argparse.SUPPRESS)
 
     campaign = sub.add_parser(
         "campaign",
@@ -176,12 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "DIR/telemetry/, DIR/capture/, "
                                "DIR/journal.jsonl, DIR/experiments/")
     campaign.add_argument("--telemetry-dir", default=None,
-                          help="(deprecated: use --artifacts-dir) write "
-                               "metrics.json/spans.jsonl/trace.json here")
+                          help=argparse.SUPPRESS)
     campaign.add_argument("--capture-dir", default=None,
-                          help="(deprecated: use --artifacts-dir) enable "
-                               "SDRAM capture + packet provenance; write "
-                               "capture.rcap here")
+                          help=argparse.SUPPRESS)
+    campaign.add_argument("--scenario", default=None, metavar="NAME",
+                          help="run a library scenario (or a .yaml/.json "
+                               "scenario file) instead of the built-in "
+                               "control-symbol campaign; see "
+                               "'scenario list'")
     campaign.add_argument("--follow", action="store_true",
                           help="print live NDJSON lifecycle events "
                                "(campaign_started, experiment_finished, "
@@ -191,6 +195,56 @@ def build_parser() -> argparse.ArgumentParser:
                                "NDJSON")
     campaign.add_argument("--no-progress", action="store_true",
                           help="suppress the live progress line")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="compile or run declarative scenario documents "
+             "(topology + traffic + fault plans -> campaigns)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command")
+    scenario_sub.add_parser(
+        "list", help="list the built-in scenario library"
+    )
+    compile_cmd = scenario_sub.add_parser(
+        "compile",
+        help="compile a scenario to its campaign spec without running it",
+    )
+    compile_cmd.add_argument(
+        "scenario", metavar="NAME_OR_PATH",
+        help="a library scenario name, or a .yaml/.json scenario file",
+    )
+    compile_cmd.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="print the full campaign spec JSON instead of the summary",
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run", help="compile a scenario and run the campaign"
+    )
+    scenario_run.add_argument(
+        "scenario", metavar="NAME_OR_PATH",
+        help="a library scenario name, or a .yaml/.json scenario file",
+    )
+    scenario_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1; results are bit-identical "
+             "at any worker count)",
+    )
+    scenario_run.add_argument(
+        "--artifacts-dir", default=None,
+        help="write journal + merged artifacts under this directory",
+    )
+    scenario_run.add_argument(
+        "--resume", action="store_true",
+        help="resume from ARTIFACTS_DIR/journal.jsonl",
+    )
+    scenario_run.add_argument(
+        "--pipeline", choices=("scalar", "fast"), default=None,
+        help="data-path implementation (scalar|fast)",
+    )
+    scenario_run.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -370,28 +424,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pipeline to check with (--check only; "
                              "--regen always uses the scalar reference)")
     golden.add_argument("--only", default=None,
-                        help="restrict to one scenario by name")
+                        help="restrict to one name, from either the "
+                             "fastpath run corpus or the scenario "
+                             "compile corpus")
     return parser
 
 
 def _resolve_artifact_dirs(args) -> Tuple[Optional[str], Optional[str]]:
-    """Map ``--artifacts-dir`` (and its deprecated aliases) to dirs.
+    """Map ``--artifacts-dir`` to ``(telemetry_dir, capture_dir)``.
 
-    Returns ``(telemetry_dir, capture_dir)``.  ``--artifacts-dir DIR``
-    wins and expands to ``DIR/telemetry`` and ``DIR/capture``; the old
-    per-artifact flags still work but print a deprecation warning (see
-    docs/runtime.md for the removal timeline).
+    The PR-4-era ``--telemetry-dir``/``--capture-dir`` aliases went
+    through a deprecation-warning release and are now retired: passing
+    either exits 2 with a ``DeprecationWarning`` line naming the
+    replacement, so old scripts fail loudly with the fix in the message
+    instead of silently producing a different artifact layout.
     """
     from pathlib import Path
 
-    telemetry_dir = getattr(args, "telemetry_dir", None)
-    capture_dir = getattr(args, "capture_dir", None)
-    if telemetry_dir or capture_dir:
+    retired = [
+        flag for flag, value in (
+            ("--telemetry-dir", getattr(args, "telemetry_dir", None)),
+            ("--capture-dir", getattr(args, "capture_dir", None)),
+        ) if value
+    ]
+    if retired:
         print(
-            "warning: --telemetry-dir/--capture-dir are deprecated; use "
-            "--artifacts-dir DIR (writes DIR/telemetry/ and DIR/capture/)",
+            f"DeprecationWarning: {'/'.join(retired)} "
+            "has been removed; use --artifacts-dir DIR (writes "
+            "DIR/telemetry/ and DIR/capture/ — see docs/runtime.md)",
             file=sys.stderr,
         )
+        raise SystemExit(2)
+    telemetry_dir = capture_dir = None
     artifacts_dir = getattr(args, "artifacts_dir", None)
     if artifacts_dir:
         root = Path(artifacts_dir)
@@ -563,6 +627,92 @@ def _campaign_spec(args, capture_enabled: bool):
     )
 
 
+def _load_scenario_doc(ref: str):
+    """Resolve a scenario reference: library name, or a file path."""
+    import json
+    from pathlib import Path
+
+    from repro.scenario import scenario_from_json
+    from repro.scenario.library import load_scenario
+    from repro.scenario.yamlish import loads as yamlish_loads
+
+    path = Path(ref)
+    if path.suffix in (".yaml", ".yml", ".json") or path.is_file():
+        text = path.read_text(encoding="utf-8")
+        if path.suffix == ".json":
+            data = json.loads(text)
+        else:
+            data = yamlish_loads(text)
+        return scenario_from_json(data)
+    return load_scenario(ref)
+
+
+def _execute_spec(spec, *, workers: int, resume: bool,
+                  engine_root: Optional[str], follow_events: bool,
+                  no_progress: bool) -> int:
+    """Run ``spec`` through the campaign engine and print the results.
+
+    The shared back half of ``campaign`` and ``scenario run``: executor
+    selection (serial vs pooled), journalling, deterministic artifact
+    merging, and the human-readable summary.
+    """
+    from contextlib import nullcontext
+    from pathlib import Path
+
+    from repro.nftape.campaign import Campaign
+    from repro.runtime.executors import PooledExecutor, SerialExecutor
+
+    progress = None
+    if not no_progress:
+        def progress(message: str) -> None:
+            print(f"\r{message:<60}", end="", file=sys.stderr, flush=True)
+
+    campaign = Campaign.from_spec(spec, on_progress=progress)
+    table_out = sys.stderr if follow_events else sys.stdout
+    follow = _FollowEvents() if follow_events else nullcontext()
+
+    journal_path = (
+        None if engine_root is None
+        else Path(engine_root) / "journal.jsonl"
+    )
+    if workers > 1:
+        executor = PooledExecutor(
+            workers=workers, journal_path=journal_path,
+            resume=resume, artifacts_dir=engine_root,
+            label=spec.name,
+        )
+    else:
+        executor = SerialExecutor(
+            journal_path=journal_path, resume=resume,
+            artifacts_dir=engine_root, label=spec.name,
+        )
+    with follow:
+        table = campaign.run(executor=executor)
+    if progress is not None:
+        print(file=sys.stderr)
+    print(table.render(), file=table_out)
+    line = (
+        f"campaign: {len(executor.executed)} experiment(s) executed "
+        f"with {workers} worker(s)"
+    )
+    if executor.skipped:
+        line += f", {len(executor.skipped)} restored from journal"
+    retries = sum(executor.retries.values())
+    if retries:
+        line += f", {retries} retried"
+    print(line, file=table_out)
+    summary = executor.merge_summary
+    if summary is not None:
+        print(
+            f"artifacts merged under {engine_root}/: "
+            f"{summary['telemetry_shards']} telemetry shard(s) -> "
+            f"telemetry/, {summary['capture_shards']} capture "
+            f"shard(s) -> capture/capture.rcap",
+            file=table_out,
+        )
+    return 0
+
+
 class _FollowEvents:
     """Install an :class:`~repro.runtime.events.EventBus` for a block
     and pump every lifecycle event to stdout as NDJSON, live.
@@ -615,29 +765,21 @@ def _run_campaign(args) -> int:
     ``trace.json``) plus a binary ``capture.rcap`` that ``python -m
     repro capture decode`` analyzes; ``--workers N`` shards the
     experiments across N worker processes with bit-identical output.
-    The deprecated ``--telemetry-dir``/``--capture-dir`` aliases keep
-    the pre-engine in-process behaviour.
+    ``--scenario NAME_OR_PATH`` swaps the built-in swap matrix for a
+    compiled scenario document (library name or YAML/JSON file) —
+    sugar for ``python -m repro scenario run``.
     """
     from contextlib import nullcontext
-    from pathlib import Path
 
     from repro.capture import CaptureSession
+    from repro.errors import ConfigurationError
     from repro.nftape.campaign import Campaign
-    from repro.runtime.executors import PooledExecutor, SerialExecutor
     from repro.telemetry import TelemetrySession
 
     telemetry_dir, capture_dir = _resolve_artifact_dirs(args)
     workers = max(1, args.workers)
     engine_root = args.artifacts_dir
 
-    if workers > 1 and engine_root is None and (telemetry_dir or capture_dir):
-        print(
-            "--workers > 1 shards artifacts per experiment; pass "
-            "--artifacts-dir DIR instead of the deprecated "
-            "--telemetry-dir/--capture-dir flags",
-            file=sys.stderr,
-        )
-        return 2
     if args.resume and engine_root is None:
         print(
             "--resume reads the campaign journal; pass --artifacts-dir DIR "
@@ -646,63 +788,38 @@ def _run_campaign(args) -> int:
         )
         return 2
 
+    capture_enabled = bool(capture_dir) or engine_root is not None
+    if getattr(args, "scenario", None):
+        from repro.scenario import compile_scenario
+
+        try:
+            spec = compile_scenario(_load_scenario_doc(args.scenario))
+        except (ConfigurationError, OSError) as exc:
+            print(f"scenario error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        spec = _campaign_spec(args, capture_enabled)
+
+    if engine_root is not None or workers > 1:
+        # Engine path: journal + per-experiment artifact shards, merged
+        # deterministically on completion (same layout at any -w).
+        return _execute_spec(
+            spec, workers=workers, resume=args.resume,
+            engine_root=engine_root, follow_events=args.follow,
+            no_progress=args.no_progress,
+        )
+
     progress = None
     if not args.no_progress:
         def progress(message: str) -> None:
             print(f"\r{message:<60}", end="", file=sys.stderr, flush=True)
 
-    capture_enabled = bool(capture_dir) or engine_root is not None
-    spec = _campaign_spec(args, capture_enabled)
     campaign = Campaign.from_spec(spec, on_progress=progress)
 
     # --follow: stdout carries pure NDJSON events; human output moves
     # to stderr so `... --follow | jq .kind` just works.
     table_out = sys.stderr if args.follow else sys.stdout
     follow = _FollowEvents() if args.follow else nullcontext()
-
-    if engine_root is not None or workers > 1:
-        # Engine path: journal + per-experiment artifact shards, merged
-        # deterministically on completion (same layout at any -w).
-        journal_path = (
-            None if engine_root is None
-            else Path(engine_root) / "journal.jsonl"
-        )
-        if workers > 1:
-            executor = PooledExecutor(
-                workers=workers, journal_path=journal_path,
-                resume=args.resume, artifacts_dir=engine_root,
-                label=spec.name,
-            )
-        else:
-            executor = SerialExecutor(
-                journal_path=journal_path, resume=args.resume,
-                artifacts_dir=engine_root, label=spec.name,
-            )
-        with follow:
-            table = campaign.run(executor=executor)
-        if progress is not None:
-            print(file=sys.stderr)
-        print(table.render(), file=table_out)
-        line = (
-            f"campaign: {len(executor.executed)} experiment(s) executed "
-            f"with {workers} worker(s)"
-        )
-        if executor.skipped:
-            line += f", {len(executor.skipped)} restored from journal"
-        retries = sum(executor.retries.values())
-        if retries:
-            line += f", {retries} retried"
-        print(line, file=table_out)
-        summary = executor.merge_summary
-        if summary is not None:
-            print(
-                f"artifacts merged under {engine_root}/: "
-                f"{summary['telemetry_shards']} telemetry shard(s) -> "
-                f"telemetry/, {summary['capture_shards']} capture "
-                f"shard(s) -> capture/capture.rcap",
-                file=table_out,
-            )
-        return 0
 
     # Legacy ambient-session path (serial, deprecated per-artifact
     # flags): one process-wide session brackets the whole campaign.
@@ -993,18 +1110,140 @@ def _run_sanitize(args) -> int:
     return 0 if report.deterministic else 1
 
 
+def _run_scenario(args) -> int:
+    """``scenario list|compile|run``: the declarative front door."""
+    import hashlib
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.scenario import compile_scenario
+    from repro.scenario.library import list_scenarios, load_scenario
+
+    if args.scenario_command == "list":
+        names = list_scenarios()
+        if not names:
+            print("no library scenarios found")
+            return 0
+        width = max(len(name) for name in names)
+        print("built-in scenario library:")
+        for name in names:
+            doc = load_scenario(name)
+            print(f"  {name:<{width}}  {doc.description}")
+        return 0
+
+    try:
+        doc = _load_scenario_doc(args.scenario)
+        spec = compile_scenario(doc)
+    except (ConfigurationError, OSError) as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.scenario_command == "compile":
+        from repro.runtime.spec_codec import spec_to_json
+
+        payload = spec_to_json(spec)
+        if args.json_out:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+        print(
+            f"scenario {doc.name}: {len(spec.experiments)} experiment(s), "
+            f"compile digest {digest}"
+        )
+        width = max(len(exp.name) for exp in spec.experiments)
+        for exp in spec.experiments:
+            plans = (1 if exp.plan is not None else 0) + len(exp.extra_plans)
+            total_ms = (exp.duration_ps + exp.drain_ps) / MS
+            print(
+                f"  {exp.name:<{width}}  {total_ms:g} ms simulated, "
+                f"{plans} fault plan(s)"
+            )
+        return 0
+
+    # scenario run
+    if args.resume and args.artifacts_dir is None:
+        print(
+            "--resume reads the campaign journal; pass --artifacts-dir DIR "
+            "(the journal lives at DIR/journal.jsonl)",
+            file=sys.stderr,
+        )
+        return 2
+    return _execute_spec(
+        spec, workers=max(1, args.workers), resume=args.resume,
+        engine_root=args.artifacts_dir, follow_events=False,
+        no_progress=args.no_progress,
+    )
+
+
 def _run_golden(args) -> int:
-    """``golden --check|--regen``: the digest corpus gate."""
-    from repro.fastpath.golden import check_corpus, regen_corpus
+    """``golden --check|--regen``: the digest corpus gate.
+
+    Covers two corpora in one pass: the fast-path run digests
+    (``*.digest``) and the scenario compile digests
+    (``scenario_*.expected``).  ``--only NAME`` restricts to whichever
+    corpus owns that name.
+    """
+    from pathlib import Path
+
+    from repro.fastpath.golden import (
+        GOLDEN_SCENARIOS,
+        check_corpus,
+        regen_corpus,
+    )
+    from repro.scenario.golden import (
+        check_scenario_corpus,
+        regen_scenario_corpus,
+    )
+    from repro.scenario.library import list_scenarios
+
+    directory = Path(args.dir)
+    run_fastpath = run_scenarios = True
+    fast_only = None
+    scenario_only = None
+    if args.only is not None:
+        if args.only in GOLDEN_SCENARIOS:
+            fast_only, run_scenarios = args.only, False
+        elif args.only in list_scenarios():
+            scenario_only, run_fastpath = [args.only], False
+        else:
+            print(
+                f"unknown golden name {args.only!r}; fastpath corpus: "
+                f"{list(GOLDEN_SCENARIOS)}; scenario corpus: "
+                f"{list_scenarios()}",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.regen:
-        written = regen_corpus(args.dir, only=args.only)
-        for path in written:
-            print(f"wrote {path}")
+        if run_fastpath:
+            for path in regen_corpus(args.dir, only=fast_only):
+                print(f"wrote {path}")
+        if run_scenarios:
+            for name in sorted(regen_scenario_corpus(
+                    directory, only=scenario_only)):
+                print(f"wrote {directory / f'scenario_{name}.expected'}")
         return 0
-    report = check_corpus(args.dir, pipeline=args.pipeline, only=args.only)
-    print(report.render())
-    return 0 if report.ok else 1
+
+    ok = True
+    if run_fastpath:
+        report = check_corpus(
+            args.dir, pipeline=args.pipeline, only=fast_only
+        )
+        print(report.render())
+        ok = ok and report.ok
+    if run_scenarios:
+        scenario_ok, messages = check_scenario_corpus(
+            directory, only=scenario_only
+        )
+        for message in messages:
+            print(message)
+        ok = ok and scenario_ok
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1037,6 +1276,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "campaign":
         return _run_campaign(args)
+
+    if args.command == "scenario":
+        if args.scenario_command is None:
+            parser.parse_args(["scenario", "--help"])
+            return 2
+        return _run_scenario(args)
 
     if args.command == "serve":
         return _run_serve(args)

@@ -54,3 +54,16 @@ class CommandError(DeviceError):
 
 class CampaignError(ReproError):
     """Raised when an NFTAPE-style campaign is configured incorrectly."""
+
+
+class ScenarioError(ConfigurationError):
+    """Raised when a scenario document cannot be parsed or compiled.
+
+    Carries a JSON-pointer-style ``location`` (``/experiments/0/faults/1``)
+    naming the offending node of the document, so callers can surface
+    the exact spot to whoever wrote the scenario.
+    """
+
+    def __init__(self, location: str, message: str) -> None:
+        self.location = location or "/"
+        super().__init__(f"{self.location}: {message}")

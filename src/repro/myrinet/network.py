@@ -15,7 +15,7 @@ Linux PC and two UltraSPARC workstations on an 8-port Myrinet switch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import ConfigurationError
 from repro.myrinet.addresses import MacAddress, McpAddress
@@ -302,4 +302,264 @@ def build_paper_testbed(
     for port, name in enumerate(("pc", "sparc1", "sparc2")):
         spliced = device if name == instrumented_host else None
         network.connect(name, "switch", port, device=spliced)
+    return network
+
+
+# ---------------------------------------------------------------------------
+# declarative fabrics — source-routed topologies beyond the paper's LAN
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A multi-switch source-routed fabric as frozen, picklable data.
+
+    The wiring vocabulary matches :class:`MyrinetNetwork` one-to-one:
+
+    * ``hosts`` — host names, in creation order (the *last* host holds
+      the highest auto-assigned MCP address and becomes the mapper);
+    * ``switches`` — ``(name, num_ports)`` pairs;
+    * ``host_links`` — ``(host, switch, port)`` attachments, exactly one
+      per host;
+    * ``trunks`` — ``(switch_a, port_a, switch_b, port_b)`` inter-switch
+      wires.
+
+    A spec travels inside
+    :class:`~repro.nftape.experiment.TestbedOptions` (and therefore
+    inside campaign specs, over the spec codec, and across worker
+    processes), so every field is an immutable tuple of scalars.
+    :meth:`validate` enforces the wiring rules the mapper depends on;
+    :func:`build_fabric` realizes the spec into a live network.
+    """
+
+    hosts: Tuple[str, ...]
+    switches: Tuple[Tuple[str, int], ...]
+    host_links: Tuple[Tuple[str, str, int], ...]
+    trunks: Tuple[Tuple[str, int, str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept lists from hand-built specs; store canonical tuples.
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+        object.__setattr__(
+            self, "switches", tuple(tuple(s) for s in self.switches)
+        )
+        object.__setattr__(
+            self, "host_links", tuple(tuple(l) for l in self.host_links)
+        )
+        object.__setattr__(
+            self, "trunks", tuple(tuple(t) for t in self.trunks)
+        )
+
+    def validate(self) -> None:
+        """Check the wiring invariants; raise :class:`ConfigurationError`.
+
+        Rules: unique names, known references, in-range and unshared
+        ports, exactly one link per host, a *connected and acyclic*
+        switch graph (source-routed scouts assume a unique route between
+        any two points — a trunk cycle would make routes ambiguous).
+        """
+        if not self.hosts:
+            raise ConfigurationError("fabric has no hosts")
+        if not self.switches:
+            raise ConfigurationError("fabric has no switches")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise ConfigurationError("duplicate host name in fabric")
+        ports: Dict[str, int] = {}
+        for name, num_ports in self.switches:
+            if name in ports:
+                raise ConfigurationError(
+                    f"duplicate switch name {name!r} in fabric"
+                )
+            if name in self.hosts:
+                raise ConfigurationError(
+                    f"{name!r} is both a host and a switch"
+                )
+            if num_ports < 1:
+                raise ConfigurationError(
+                    f"switch {name!r} needs at least one port"
+                )
+            ports[name] = num_ports
+        used: Dict[Tuple[str, int], str] = {}
+
+        def _claim(switch: str, port: int, what: str) -> None:
+            if switch not in ports:
+                raise ConfigurationError(
+                    f"{what} references unknown switch {switch!r}"
+                )
+            if not 0 <= port < ports[switch]:
+                raise ConfigurationError(
+                    f"{what} uses port {port} outside {switch!r}'s "
+                    f"0..{ports[switch] - 1} range"
+                )
+            if (switch, port) in used:
+                raise ConfigurationError(
+                    f"{what} reuses {switch!r} port {port} "
+                    f"(already wired to {used[(switch, port)]})"
+                )
+            used[(switch, port)] = what
+
+        linked: Dict[str, int] = {}
+        for host, switch, port in self.host_links:
+            if host not in self.hosts:
+                raise ConfigurationError(
+                    f"link references unknown host {host!r}"
+                )
+            linked[host] = linked.get(host, 0) + 1
+            _claim(switch, port, f"host {host!r}")
+        for host in self.hosts:
+            if linked.get(host, 0) != 1:
+                raise ConfigurationError(
+                    f"host {host!r} must have exactly one switch link, "
+                    f"has {linked.get(host, 0)}"
+                )
+        # Union-find over the switch graph: a trunk joining two already-
+        # connected switches closes a cycle (ambiguous source routes).
+        parent = {name: name for name in ports}
+
+        def _find(node: str) -> str:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        for index, (sw_a, port_a, sw_b, port_b) in enumerate(self.trunks):
+            _claim(sw_a, port_a, f"trunk {index}")
+            _claim(sw_b, port_b, f"trunk {index}")
+            root_a, root_b = _find(sw_a), _find(sw_b)
+            if root_a == root_b:
+                raise ConfigurationError(
+                    f"trunk {index} ({sw_a!r}<->{sw_b!r}) closes a "
+                    "switch cycle; source-routed fabrics must be acyclic"
+                )
+            parent[root_a] = root_b
+        roots = {_find(name) for name in ports}
+        if len(roots) != 1:
+            raise ConfigurationError(
+                f"fabric is split into {len(roots)} disconnected switch "
+                "islands; add trunks until one fabric remains"
+            )
+
+    def oracle(self) -> TopologyOracle:
+        """The wiring as a :class:`TopologyOracle` (no simulator needed).
+
+        Offline analyzers (``repro.insight`` blast radius) use this to
+        reason about routes of fabric campaigns the same way
+        :func:`~repro.myrinet.mapping.paper_oracle` covers the Figure 10
+        test bed.
+        """
+        self.validate()
+        oracle = TopologyOracle()
+        for name, _num_ports in self.switches:
+            oracle.add_switch(name)
+        for host in self.hosts:
+            oracle.add_host(host)
+        for host, switch, port in self.host_links:
+            oracle.connect_host(host, switch, port)
+        for sw_a, port_a, sw_b, port_b in self.trunks:
+            oracle.connect_switches(sw_a, port_a, sw_b, port_b)
+        return oracle
+
+
+def star_fabric(hosts: int, ports: int = 16,
+                host_prefix: str = "h") -> FabricSpec:
+    """N hosts on one switch — the paper's shape at arbitrary width."""
+    names = tuple(f"{host_prefix}{i}" for i in range(hosts))
+    return FabricSpec(
+        hosts=names,
+        switches=(("sw0", max(ports, hosts)),),
+        host_links=tuple(
+            (name, "sw0", port) for port, name in enumerate(names)
+        ),
+    )
+
+
+def line_fabric(switches: int, hosts_per_switch: int,
+                ports: int = 8) -> FabricSpec:
+    """A chain of switches, each carrying ``hosts_per_switch`` hosts.
+
+    Trunks use the two highest ports of each switch, so every flow
+    between non-adjacent segments crosses every intermediate trunk —
+    the congestion-collapse shape.
+    """
+    needed = hosts_per_switch + 2
+    num_ports = max(ports, needed)
+    hosts: List[str] = []
+    host_links: List[Tuple[str, str, int]] = []
+    trunks: List[Tuple[str, int, str, int]] = []
+    for s in range(switches):
+        for h in range(hosts_per_switch):
+            name = f"h{s}x{h}"
+            hosts.append(name)
+            host_links.append((name, f"sw{s}", h))
+        if s + 1 < switches:
+            trunks.append((f"sw{s}", num_ports - 1,
+                           f"sw{s + 1}", num_ports - 2))
+    return FabricSpec(
+        hosts=tuple(hosts),
+        switches=tuple((f"sw{s}", num_ports) for s in range(switches)),
+        host_links=tuple(host_links),
+        trunks=tuple(trunks),
+    )
+
+
+def tree_fabric(leaves: int, hosts_per_leaf: int,
+                ports: int = 8) -> FabricSpec:
+    """A spine switch fanning out to ``leaves`` leaf switches."""
+    num_ports = max(ports, hosts_per_leaf + 1, leaves)
+    hosts: List[str] = []
+    host_links: List[Tuple[str, str, int]] = []
+    trunks: List[Tuple[str, int, str, int]] = []
+    for s in range(leaves):
+        for h in range(hosts_per_leaf):
+            name = f"h{s}x{h}"
+            hosts.append(name)
+            host_links.append((name, f"leaf{s}", h))
+        trunks.append(("spine", s, f"leaf{s}", num_ports - 1))
+    switches = (("spine", num_ports),) + tuple(
+        (f"leaf{s}", num_ports) for s in range(leaves)
+    )
+    return FabricSpec(
+        hosts=tuple(hosts),
+        switches=switches,
+        host_links=tuple(host_links),
+        trunks=tuple(trunks),
+    )
+
+
+def build_fabric(
+    sim: Simulator,
+    fabric: FabricSpec,
+    device: Optional[InPathDevice] = None,
+    instrumented_host: Optional[str] = None,
+    rng: Optional[DeterministicRng] = None,
+    host_kwargs: Optional[Dict] = None,
+    switch_kwargs: Optional[Dict] = None,
+    **network_kwargs,
+) -> MyrinetNetwork:
+    """Realize a :class:`FabricSpec` into a live :class:`MyrinetNetwork`.
+
+    ``device``, if given, is spliced into ``instrumented_host``'s link
+    (default: the fabric's first host) — the same placement contract as
+    :func:`build_paper_testbed`, so experiments and campaigns treat
+    paper and fabric test beds identically.
+    """
+    fabric.validate()
+    if instrumented_host is None:
+        instrumented_host = fabric.hosts[0]
+    if instrumented_host not in fabric.hosts:
+        raise ConfigurationError(
+            f"instrumented host {instrumented_host!r} is not part of "
+            f"the fabric (hosts: {', '.join(fabric.hosts)})"
+        )
+    network = MyrinetNetwork(sim, rng=rng, **network_kwargs)
+    for name, num_ports in fabric.switches:
+        network.add_switch(name, num_ports=num_ports,
+                           **(switch_kwargs or {}))
+    for name in fabric.hosts:
+        network.add_host(name, **(host_kwargs or {}))
+    for host, switch, port in fabric.host_links:
+        spliced = device if host == instrumented_host else None
+        network.connect(host, switch, port, device=spliced)
+    for sw_a, port_a, sw_b, port_b in fabric.trunks:
+        network.connect_switches(sw_a, port_a, sw_b, port_b)
     return network

@@ -21,7 +21,12 @@ from repro.core.device import FaultInjectorDevice
 from repro.core.session import InjectorSession
 from repro.errors import CampaignError
 from repro.myrinet.monitor import Mmon
-from repro.myrinet.network import MyrinetNetwork, build_paper_testbed
+from repro.myrinet.network import (
+    FabricSpec,
+    MyrinetNetwork,
+    build_fabric,
+    build_paper_testbed,
+)
 from repro.nftape.results import ExperimentResult
 from repro.nftape.workload import AllPairsWorkload, WorkloadConfig
 from repro.sim.kernel import Simulator
@@ -59,6 +64,10 @@ class TestbedOptions:
     host_kwargs: Dict[str, Any] = field(default_factory=dict)
     switch_kwargs: Dict[str, Any] = field(default_factory=dict)
     long_timeout_periods: Optional[int] = None
+    #: ``None`` builds the paper's Figure 10 LAN; a :class:`FabricSpec`
+    #: builds that multi-switch fabric instead (instrumented_host must
+    #: then name one of the fabric's hosts).
+    topology: Optional[FabricSpec] = None
 
 
 class Testbed:
@@ -89,8 +98,7 @@ class Testbed:
             switch_kwargs.setdefault(
                 "long_timeout_periods", self.options.long_timeout_periods
             )
-        self.network: MyrinetNetwork = build_paper_testbed(
-            self.sim,
+        build_kwargs = dict(
             device=self.device,
             instrumented_host=self.options.instrumented_host,
             rng=self.rng.fork("network"),
@@ -101,6 +109,12 @@ class Testbed:
             mcp_reply_timeout_ps=self.options.mcp_reply_timeout_ps,
             mcp_initial_delay_ps=self.options.mcp_initial_delay_ps,
         )
+        if self.options.topology is not None:
+            self.network: MyrinetNetwork = build_fabric(
+                self.sim, self.options.topology, **build_kwargs
+            )
+        else:
+            self.network = build_paper_testbed(self.sim, **build_kwargs)
         self.mmon = Mmon(self.network)
 
     def settle(self, verify: bool = True) -> None:

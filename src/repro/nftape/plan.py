@@ -182,3 +182,44 @@ class InjectNowPlan:
             testbed.device.injector(self.direction).set_match_mode(
                 MatchMode.OFF
             )
+
+
+@dataclass
+class CompositePlan:
+    """Several plans running simultaneously — compound failures.
+
+    The constituent plans are installed, started, and stopped together;
+    each keeps its own pacing (re-arm schedules, duty cycles, pulse
+    timers).  Two plans must not drive the same injector direction —
+    the later ``install`` would silently overwrite the earlier
+    configuration, so that combination is rejected up front.
+    """
+
+    plans: tuple
+
+    def __post_init__(self) -> None:
+        self.plans = tuple(self.plans)
+        if not self.plans:
+            raise CampaignError("composite plan needs at least one plan")
+        seen: set = set()
+        for plan in self.plans:
+            for direction in getattr(plan, "directions",
+                                     getattr(plan, "direction", "")):
+                if direction in seen:
+                    raise CampaignError(
+                        "composite plan drives injector direction "
+                        f"{direction!r} twice"
+                    )
+                seen.add(direction)
+
+    def install(self, testbed) -> None:
+        for plan in self.plans:
+            plan.install(testbed)
+
+    def start(self, testbed) -> None:
+        for plan in self.plans:
+            plan.start(testbed)
+
+    def stop(self, testbed) -> None:
+        for plan in self.plans:
+            plan.stop(testbed)

@@ -42,6 +42,19 @@ class WorkloadConfig:
     flood_ping: bool = True
     forbidden_bytes: Set[int] = field(default_factory=set)
     stack_kwargs: Dict[str, int] = field(default_factory=dict)
+    #: Heavy-tail bursts: each tick sends a Pareto-distributed number of
+    #: messages, capped at ``burst_max``.  The default of 1 keeps the
+    #: classic paced load (and draws nothing from the rng, so existing
+    #: campaigns are bit-identical).
+    burst_max: int = 1
+    #: Pareto shape for burst sizes; smaller means heavier tails.
+    burst_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.burst_max < 1:
+            raise ConfigurationError("burst_max must be >= 1")
+        if self.burst_alpha <= 0:
+            raise ConfigurationError("burst_alpha must be positive")
 
 
 def _filler_byte(seq: int, index: int, alphabet: List[int]) -> int:
@@ -136,6 +149,9 @@ class AllPairsWorkload:
         self.stacks: Dict[str, HostStack] = {}
         self.sinks: Dict[str, _ValidatingSink] = {}
         self._senders: List[_PairSender] = []
+        self._burst_rng = (
+            self._rng.fork("burst") if self.config.burst_max > 1 else None
+        )
         self._running = False
         self.flood: Optional[FloodPing] = None
         self._echo: Optional[EchoResponder] = None
@@ -197,12 +213,22 @@ class AllPairsWorkload:
     def _tick(self, sender: _PairSender) -> None:
         if not self._running:
             return
-        sender.send_one()
+        for _ in range(self._burst_size()):
+            sender.send_one()
         self._network.sim.schedule(
             self.config.send_interval_ps,
             lambda: self._tick(sender),
             label="workload-send",
         )
+
+    def _burst_size(self) -> int:
+        """How many messages this tick sends (1 unless bursting)."""
+        if self._burst_rng is None:
+            return 1
+        # Inverse-CDF Pareto draw: heavy-tailed, capped at burst_max.
+        u = self._burst_rng.random()
+        size = int((1.0 - u) ** (-1.0 / self.config.burst_alpha))
+        return min(self.config.burst_max, max(1, size))
 
     # ------------------------------------------------------------------
 

@@ -30,7 +30,13 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.hw.registers import InjectorConfig
 from repro.nftape.experiment import Experiment, TestbedOptions
-from repro.nftape.plan import DutyCyclePlan, FaultPlan, InjectNowPlan
+from repro.nftape.plan import (
+    CompositePlan,
+    DutyCyclePlan,
+    FaultPlan,
+    InjectNowPlan,
+)
+from repro.nftape.random_faults import RandomBitFlipPlan
 from repro.nftape.workload import WorkloadConfig
 from repro.runtime.seeding import derive_seed
 from repro.sim.timebase import MS
@@ -49,6 +55,7 @@ PLAN_KINDS = {
     "fault": FaultPlan,
     "duty_cycle": DutyCyclePlan,
     "inject_now": InjectNowPlan,
+    "seu": RandomBitFlipPlan,
 }
 
 
@@ -63,7 +70,9 @@ class PlanSpec:
 
     kind: str
     direction: str
-    config: InjectorConfig
+    #: Required for every kind except ``seu``, whose plan synthesizes
+    #: its own per-flip configurations.
+    config: Optional[InjectorConfig] = None
     use_serial: bool = True
     #: ``fault``: once-mode re-arm period (``None`` = no re-arming).
     rearm_interval_ps: Optional[int] = None
@@ -72,6 +81,11 @@ class PlanSpec:
     off_ps: int = 3 * MS
     #: ``inject_now``: forced-injection pulse period.
     interval_ps: int = 1 * MS
+    #: ``seu``: mean gap between exponentially-paced bit flips, the rng
+    #: seed, and the chance a flip lands on the control bit.
+    mean_interval_ps: int = 2 * MS
+    seed: int = 0
+    flip_control_bit_probability: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in PLAN_KINDS:
@@ -84,9 +98,23 @@ class PlanSpec:
                 f"plan direction must be 'R', 'L', or 'RL', "
                 f"got {self.direction!r}"
             )
+        if self.config is None and self.kind != "seu":
+            raise ConfigurationError(
+                f"plan kind {self.kind!r} needs an injector config"
+            )
 
     def materialize(self) -> Any:
         """Build the live plan object this spec describes."""
+        if self.kind == "seu":
+            return RandomBitFlipPlan(
+                direction=self.direction,
+                mean_interval_ps=self.mean_interval_ps,
+                use_serial=self.use_serial,
+                seed=self.seed,
+                flip_control_bit_probability=(
+                    self.flip_control_bit_probability
+                ),
+            )
         if self.kind == "fault":
             return FaultPlan(
                 self.direction, self.config,
@@ -124,6 +152,24 @@ class ExperimentSpec:
     testbed: Optional[TestbedOptions] = None
     drain_ps: int = 5 * MS
     params: Dict[str, Any] = field(default_factory=dict)
+    #: Additional plans run *simultaneously* with ``plan`` (compound
+    #: failures).  Materializes into a :class:`CompositePlan`; each plan
+    #: must drive a distinct injector direction.
+    extra_plans: Tuple[PlanSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extra_plans", tuple(self.extra_plans))
+        if self.extra_plans and self.plan is None:
+            raise ConfigurationError(
+                "extra_plans without a primary plan; promote the first "
+                "extra plan to `plan`"
+            )
+
+    def all_plans(self) -> Tuple[PlanSpec, ...]:
+        """Primary plan plus extras, in install order."""
+        if self.plan is None:
+            return ()
+        return (self.plan,) + self.extra_plans
 
     def materialize(self, seed: Optional[int] = None) -> Experiment:
         """Build a live :class:`Experiment`, optionally forcing a seed.
@@ -146,10 +192,18 @@ class ExperimentSpec:
             forbidden_bytes=set(workload.forbidden_bytes),
             stack_kwargs=dict(workload.stack_kwargs),
         )
+        plan: Optional[Any] = None
+        if self.plan is not None:
+            plan = self.plan.materialize()
+            if self.extra_plans:
+                plan = CompositePlan(
+                    (plan,)
+                    + tuple(p.materialize() for p in self.extra_plans)
+                )
         return Experiment(
             self.name,
             duration_ps=self.duration_ps,
-            plan=None if self.plan is None else self.plan.materialize(),
+            plan=plan,
             workload_config=workload,
             testbed_options=options,
             drain_ps=self.drain_ps,
@@ -225,9 +279,8 @@ def spec_summary(spec: CampaignSpec) -> Dict[str, Any]:
             "drain_ps": experiment.drain_ps,
             "params": _json_safe(experiment.params),
         }
-        plan = experiment.plan
-        if plan is not None:
-            entry["plan"] = {
+        def _plan_entry(plan: PlanSpec) -> Dict[str, Any]:
+            return {
                 "kind": plan.kind,
                 "direction": plan.direction,
                 "use_serial": plan.use_serial,
@@ -235,8 +288,23 @@ def spec_summary(spec: CampaignSpec) -> Dict[str, Any]:
                 "on_ps": plan.on_ps,
                 "off_ps": plan.off_ps,
                 "interval_ps": plan.interval_ps,
-                "config": plan.config.describe(),
+                "mean_interval_ps": plan.mean_interval_ps,
+                "seed": plan.seed,
+                "flip_control_bit_probability": (
+                    plan.flip_control_bit_probability
+                ),
+                "config": (
+                    None if plan.config is None
+                    else plan.config.describe()
+                ),
             }
+
+        if experiment.plan is not None:
+            entry["plan"] = _plan_entry(experiment.plan)
+        if experiment.extra_plans:
+            entry["extra_plans"] = [
+                _plan_entry(p) for p in experiment.extra_plans
+            ]
         testbed = experiment.testbed
         if testbed is not None:
             entry["testbed"] = {
@@ -245,6 +313,13 @@ def spec_summary(spec: CampaignSpec) -> Dict[str, Any]:
                 "with_device": testbed.with_device,
                 "pipeline": testbed.pipeline,
             }
+            if testbed.topology is not None:
+                entry["testbed"]["topology"] = {
+                    "hosts": list(testbed.topology.hosts),
+                    "switches": [
+                        list(s) for s in testbed.topology.switches
+                    ],
+                }
         experiments.append(entry)
     return {
         "generated_by": "repro.runtime",

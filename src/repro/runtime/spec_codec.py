@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional
 from repro.core.monitor import MonitorConfig
 from repro.errors import ConfigurationError
 from repro.hw.registers import CorruptMode, InjectorConfig, MatchMode
+from repro.myrinet.network import FabricSpec
 from repro.nftape.experiment import TestbedOptions
 from repro.nftape.workload import WorkloadConfig
 from repro.runtime.spec import CampaignSpec, ExperimentSpec, PlanSpec
@@ -69,12 +70,18 @@ def _encode_plan(plan: PlanSpec) -> Dict[str, Any]:
     return {
         "kind": plan.kind,
         "direction": plan.direction,
-        "config": _encode_injector(plan.config),
+        "config": (
+            None if plan.config is None
+            else _encode_injector(plan.config)
+        ),
         "use_serial": plan.use_serial,
         "rearm_interval_ps": plan.rearm_interval_ps,
         "on_ps": plan.on_ps,
         "off_ps": plan.off_ps,
         "interval_ps": plan.interval_ps,
+        "mean_interval_ps": plan.mean_interval_ps,
+        "seed": plan.seed,
+        "flip_control_bit_probability": plan.flip_control_bit_probability,
     }
 
 
@@ -87,6 +94,17 @@ def _encode_workload(workload: WorkloadConfig) -> Dict[str, Any]:
         "stack_kwargs": _check_kwargs(
             workload.stack_kwargs, "workload.stack_kwargs"
         ),
+        "burst_max": workload.burst_max,
+        "burst_alpha": workload.burst_alpha,
+    }
+
+
+def _encode_fabric(fabric: FabricSpec) -> Dict[str, Any]:
+    return {
+        "hosts": list(fabric.hosts),
+        "switches": [list(entry) for entry in fabric.switches],
+        "host_links": [list(entry) for entry in fabric.host_links],
+        "trunks": [list(entry) for entry in fabric.trunks],
     }
 
 
@@ -129,6 +147,10 @@ def _encode_testbed(testbed: TestbedOptions) -> Dict[str, Any]:
             testbed.switch_kwargs, "testbed.switch_kwargs"
         ),
         "long_timeout_periods": testbed.long_timeout_periods,
+        "topology": (
+            None if testbed.topology is None
+            else _encode_fabric(testbed.topology)
+        ),
     }
 
 
@@ -150,6 +172,9 @@ def _encode_experiment(experiment: ExperimentSpec) -> Dict[str, Any]:
             else _encode_testbed(experiment.testbed)
         ),
         "params": _check_kwargs(experiment.params, "experiment.params"),
+        "extra_plans": [
+            _encode_plan(plan) for plan in experiment.extra_plans
+        ],
     }
 
 
@@ -226,7 +251,9 @@ def _decode_plan(doc: Any, path: str) -> PlanSpec:
     doc = _require_mapping(doc, path)
     unknown = sorted(
         set(doc) - {"kind", "direction", "config", "use_serial",
-                    "rearm_interval_ps", "on_ps", "off_ps", "interval_ps"}
+                    "rearm_interval_ps", "on_ps", "off_ps", "interval_ps",
+                    "mean_interval_ps", "seed",
+                    "flip_control_bit_probability"}
     )
     if unknown:
         raise ConfigurationError(f"{path}: unknown field(s) {unknown}")
@@ -238,13 +265,26 @@ def _decode_plan(doc: Any, path: str) -> PlanSpec:
     if "use_serial" in doc:
         kwargs["use_serial"] = bool(doc["use_serial"])
     kwargs["rearm_interval_ps"] = _take_int(doc, "rearm_interval_ps", path)
-    for field in ("on_ps", "off_ps", "interval_ps"):
+    for field in ("on_ps", "off_ps", "interval_ps", "mean_interval_ps",
+                  "seed"):
         value = _take_int(doc, field, path)
         if value is not None:
             kwargs[field] = value
+    if "flip_control_bit_probability" in doc:
+        value = doc["flip_control_bit_probability"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"{path}.flip_control_bit_probability must be a number, "
+                f"got {type(value).__name__}"
+            )
+        kwargs["flip_control_bit_probability"] = float(value)
+    # An *absent* config keeps the historical default-injector decode;
+    # an explicit null means "no config" (the seu kind).
+    config = doc.get("config", {})
     return PlanSpec(
         str(doc["kind"]), str(doc["direction"]),
-        _decode_injector(doc.get("config", {}), f"{path}.config"),
+        (None if config is None
+         else _decode_injector(config, f"{path}.config")),
         **kwargs,
     )
 
@@ -253,15 +293,24 @@ def _decode_workload(doc: Any, path: str) -> WorkloadConfig:
     doc = _require_mapping(doc, path)
     unknown = sorted(
         set(doc) - {"payload_size", "send_interval_ps", "flood_ping",
-                    "forbidden_bytes", "stack_kwargs"}
+                    "forbidden_bytes", "stack_kwargs", "burst_max",
+                    "burst_alpha"}
     )
     if unknown:
         raise ConfigurationError(f"{path}: unknown field(s) {unknown}")
     kwargs: Dict[str, Any] = {}
-    for field in ("payload_size", "send_interval_ps"):
+    for field in ("payload_size", "send_interval_ps", "burst_max"):
         value = _take_int(doc, field, path)
         if value is not None:
             kwargs[field] = value
+    if "burst_alpha" in doc:
+        value = doc["burst_alpha"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"{path}.burst_alpha must be a number, "
+                f"got {type(value).__name__}"
+            )
+        kwargs["burst_alpha"] = float(value)
     if "flood_ping" in doc:
         kwargs["flood_ping"] = bool(doc["flood_ping"])
     if "forbidden_bytes" in doc:
@@ -286,7 +335,7 @@ def _decode_testbed(doc: Any, path: str) -> TestbedOptions:
                     "mcp_reply_timeout_ps", "mcp_initial_delay_ps",
                     "settle_ps", "pipeline_depth", "pipeline",
                     "device_kwargs", "host_kwargs", "switch_kwargs",
-                    "long_timeout_periods"}
+                    "long_timeout_periods", "topology"}
     )
     if unknown:
         raise ConfigurationError(f"{path}: unknown field(s) {unknown}")
@@ -327,14 +376,68 @@ def _decode_testbed(doc: Any, path: str) -> TestbedOptions:
             kwargs[field] = dict(
                 _require_mapping(doc[field], f"{path}.{field}")
             )
+    if doc.get("topology") is not None:
+        kwargs["topology"] = _decode_fabric(
+            doc["topology"], f"{path}.topology"
+        )
     return TestbedOptions(**kwargs)
+
+
+def _decode_fabric(doc: Any, path: str) -> FabricSpec:
+    doc = _require_mapping(doc, path)
+    unknown = sorted(
+        set(doc) - {"hosts", "switches", "host_links", "trunks"}
+    )
+    if unknown:
+        raise ConfigurationError(f"{path}: unknown field(s) {unknown}")
+
+    def _rows(key: str, width: int, required: bool) -> list:
+        raw = doc.get(key, None if required else [])
+        if raw is None and required:
+            raise ConfigurationError(f"{path}.{key} is required")
+        if not isinstance(raw, list) or any(
+            not isinstance(row, list) or len(row) != width
+            for row in raw
+        ):
+            raise ConfigurationError(
+                f"{path}.{key} must be a list of {width}-element lists"
+            )
+        return raw
+
+    hosts = doc.get("hosts")
+    if not isinstance(hosts, list) or any(
+        not isinstance(h, str) for h in hosts
+    ):
+        raise ConfigurationError(
+            f"{path}.hosts must be a list of host names"
+        )
+    fabric = FabricSpec(
+        hosts=tuple(hosts),
+        switches=tuple(
+            (str(name), int(ports))
+            for name, ports in _rows("switches", 2, required=True)
+        ),
+        host_links=tuple(
+            (str(host), str(switch), int(port))
+            for host, switch, port in _rows("host_links", 3, required=True)
+        ),
+        trunks=tuple(
+            (str(a), int(pa), str(b), int(pb))
+            for a, pa, b, pb in _rows("trunks", 4, required=False)
+        ),
+    )
+    try:
+        fabric.validate()
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{path}: {exc}") from None
+    return fabric
 
 
 def _decode_experiment(doc: Any, path: str) -> ExperimentSpec:
     doc = _require_mapping(doc, path)
     unknown = sorted(
         set(doc) - {"name", "duration_ps", "drain_ps", "plan", "workload",
-                    "testbed", "params"}
+                    "testbed", "params", "extra_plans"}
     )
     if unknown:
         raise ConfigurationError(f"{path}: unknown field(s) {unknown}")
@@ -358,6 +461,16 @@ def _decode_experiment(doc: Any, path: str) -> ExperimentSpec:
     if "params" in doc:
         kwargs["params"] = dict(
             _require_mapping(doc["params"], f"{path}.params")
+        )
+    if doc.get("extra_plans"):
+        extra = doc["extra_plans"]
+        if not isinstance(extra, list):
+            raise ConfigurationError(
+                f"{path}.extra_plans must be a list"
+            )
+        kwargs["extra_plans"] = tuple(
+            _decode_plan(entry, f"{path}.extra_plans[{index}]")
+            for index, entry in enumerate(extra)
         )
     return ExperimentSpec(str(doc["name"]), duration_ps, **kwargs)
 

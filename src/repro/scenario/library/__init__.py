@@ -1,0 +1,51 @@
+"""The built-in scenario library.
+
+Each ``.yaml`` file next to this module is one named scenario; the name
+is the file stem.  :func:`list_scenarios` enumerates them,
+:func:`load_scenario` parses one into a
+:class:`~repro.scenario.model.ScenarioDoc` — from which
+:func:`~repro.scenario.compile.compile_scenario` produces the runnable
+campaign.  Every library scenario's compiled form is pinned by a golden
+digest (``tests/golden/scenario_<name>.expected``, checked in CI via
+``repro.cli golden``), so a change to the compiler, the presets, or a
+library file is always a *visible* change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.errors import ScenarioError
+from repro.scenario.codec import scenario_from_json
+from repro.scenario.model import ScenarioDoc
+from repro.scenario.yamlish import loads
+
+__all__ = ["list_scenarios", "load_scenario", "scenario_path"]
+
+_LIBRARY_DIR = Path(__file__).resolve().parent
+
+
+def list_scenarios() -> List[str]:
+    """Names of every library scenario, sorted."""
+    return sorted(
+        path.stem for path in _LIBRARY_DIR.glob("*.yaml")
+    )
+
+
+def scenario_path(name: str) -> Path:
+    """Filesystem path of library scenario ``name``."""
+    path = _LIBRARY_DIR / f"{name}.yaml"
+    if not path.is_file():
+        raise ScenarioError(
+            "/",
+            f"unknown library scenario {name!r}; "
+            f"available: {', '.join(list_scenarios())}"
+        )
+    return path
+
+
+def load_scenario(name: str) -> ScenarioDoc:
+    """Parse library scenario ``name`` into its document form."""
+    text = scenario_path(name).read_text(encoding="utf-8")
+    return scenario_from_json(loads(text))

@@ -1,0 +1,263 @@
+"""A tiny YAML-subset loader for scenario files (stdlib only).
+
+The container has no PyYAML, and scenario documents do not need full
+YAML — they need mappings, lists, scalars, comments, and indentation.
+This module parses exactly that subset:
+
+* block mappings (``key: value`` / ``key:`` + indented block);
+* block sequences (``- item`` / ``-`` + indented block);
+* flow collections on one line (``[1, 2]``, ``{a: 1, b: 2}``), nestable;
+* scalars: integers, floats, booleans (``true``/``false``), ``null``,
+  quoted and bare strings;
+* ``#`` comments and blank lines.
+
+Anchors, aliases, multi-document streams, block scalars, and multi-line
+flow collections are intentionally **not** supported; an input that
+needs them raises :class:`YamlishError` with the line number.  The
+subset is deliberately small enough that every accepted document means
+the same thing to a real YAML parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["YamlishError", "loads"]
+
+
+class YamlishError(ReproError):
+    """Raised on input outside the supported YAML subset."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        self.line_no = line_no
+        super().__init__(f"line {line_no}: {message}")
+
+
+def _strip_comment(text: str) -> str:
+    """Remove a trailing comment, respecting quoted strings."""
+    quote = None
+    for index, char in enumerate(text):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "#" and (index == 0 or text[index - 1] in " \t"):
+            return text[:index]
+    return text
+
+
+def _parse_scalar(token: str, line_no: int) -> Any:
+    token = token.strip()
+    if not token:
+        return None
+    if token[0] in "\"'":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise YamlishError(line_no, f"unterminated string {token!r}")
+        return token[1:-1]
+    low = token.lower()
+    if low in ("null", "~"):
+        return None
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    for cast in (lambda text: int(text, 0), float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue  # not this numeric shape; fall through to string
+    if token[0] in "&*|>":
+        raise YamlishError(
+            line_no,
+            f"{token[0]!r} scalars (anchors/aliases/block text) are "
+            "outside the supported YAML subset"
+        )
+    return token
+
+
+def _split_flow(body: str, line_no: int) -> List[str]:
+    """Split a flow-collection body on top-level commas."""
+    items: List[str] = []
+    depth = 0
+    quote = None
+    start = 0
+    for index, char in enumerate(body):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+            if depth < 0:
+                raise YamlishError(line_no, "unbalanced flow collection")
+        elif char == "," and depth == 0:
+            items.append(body[start:index])
+            start = index + 1
+    if depth != 0 or quote is not None:
+        raise YamlishError(
+            line_no,
+            "flow collections must open and close on one line"
+        )
+    items.append(body[start:])
+    return [item for item in (i.strip() for i in items) if item]
+
+
+def _parse_value(token: str, line_no: int) -> Any:
+    token = token.strip()
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise YamlishError(line_no, "unterminated flow list")
+        return [
+            _parse_value(item, line_no)
+            for item in _split_flow(token[1:-1], line_no)
+        ]
+    if token.startswith("{"):
+        if not token.endswith("}"):
+            raise YamlishError(line_no, "unterminated flow mapping")
+        out = {}
+        for item in _split_flow(token[1:-1], line_no):
+            key, sep, value = item.partition(":")
+            if not sep:
+                raise YamlishError(
+                    line_no, f"flow mapping entry {item!r} lacks ':'"
+                )
+            out[str(_parse_scalar(key, line_no))] = _parse_value(
+                value, line_no
+            )
+        return out
+    return _parse_scalar(token, line_no)
+
+
+def _split_key(content: str, line_no: int) -> Tuple[str, str]:
+    """Split ``key: rest`` respecting quotes and flow collections."""
+    quote = None
+    depth = 0
+    for index, char in enumerate(content):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        elif char == ":" and depth == 0 and (
+            index + 1 == len(content) or content[index + 1] in " \t"
+        ):
+            return content[:index], content[index + 1:]
+    return "", ""
+
+
+class _Line:
+    __slots__ = ("no", "indent", "content")
+
+    def __init__(self, no: int, indent: int, content: str) -> None:
+        self.no = no
+        self.indent = indent
+        self.content = content
+
+
+def _logical_lines(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for no, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamlishError(no, "indent with spaces, not tabs")
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        if stripped.strip() == "---":
+            if lines:
+                raise YamlishError(
+                    no, "multi-document streams are not supported"
+                )
+            continue
+        indent = len(stripped) - len(stripped.lstrip())
+        lines.append(_Line(no, indent, stripped.strip()))
+    return lines
+
+
+def _parse_block(lines: List[_Line], pos: int, indent: int) -> Tuple[Any, int]:
+    """Parse the block starting at ``lines[pos]`` (indent-delimited)."""
+    first = lines[pos]
+    if first.content.startswith("- ") or first.content == "-":
+        return _parse_sequence(lines, pos, first.indent)
+    return _parse_mapping(lines, pos, first.indent)
+
+
+def _parse_sequence(lines: List[_Line], pos: int,
+                    indent: int) -> Tuple[List[Any], int]:
+    items: List[Any] = []
+    while pos < len(lines) and lines[pos].indent == indent:
+        line = lines[pos]
+        if not (line.content.startswith("- ") or line.content == "-"):
+            break
+        rest = line.content[1:].strip()
+        if rest:
+            # "- key: value" opens an inline mapping item.
+            key, value = _split_key(rest, line.no)
+            if key:
+                synthetic = _Line(line.no, indent + 2, rest)
+                block = lines[: pos] + [synthetic] + lines[pos + 1:]
+                item, pos = _parse_mapping(block, pos, indent + 2)
+                items.append(item)
+                continue
+            items.append(_parse_value(rest, line.no))
+            pos += 1
+        else:
+            pos += 1
+            if pos < len(lines) and lines[pos].indent > indent:
+                item, pos = _parse_block(lines, pos, lines[pos].indent)
+                items.append(item)
+            else:
+                items.append(None)
+    return items, pos
+
+
+def _parse_mapping(lines: List[_Line], pos: int,
+                   indent: int) -> Tuple[dict, int]:
+    out: dict = {}
+    while pos < len(lines) and lines[pos].indent == indent:
+        line = lines[pos]
+        if line.content.startswith("- ") or line.content == "-":
+            break
+        key_text, rest = _split_key(line.content, line.no)
+        if not key_text and not rest:
+            raise YamlishError(
+                line.no, f"expected 'key: value', got {line.content!r}"
+            )
+        key = str(_parse_scalar(key_text, line.no))
+        if key in out:
+            raise YamlishError(line.no, f"duplicate key {key!r}")
+        rest = rest.strip()
+        if rest:
+            out[key] = _parse_value(rest, line.no)
+            pos += 1
+        else:
+            pos += 1
+            if pos < len(lines) and lines[pos].indent > indent:
+                out[key], pos = _parse_block(lines, pos, lines[pos].indent)
+            else:
+                out[key] = None
+    return out, pos
+
+
+def loads(text: str) -> Any:
+    """Parse a YAML-subset document into plain Python data."""
+    lines = _logical_lines(text)
+    if not lines:
+        return None
+    value, pos = _parse_block(lines, 0, lines[0].indent)
+    if pos != len(lines):
+        line = lines[pos]
+        raise YamlishError(
+            line.no,
+            f"unexpected content {line.content!r} (check indentation)"
+        )
+    return value

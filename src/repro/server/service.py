@@ -62,6 +62,7 @@ from repro.runtime.events import (
 from repro.runtime.executors import PooledExecutor, SerialExecutor
 from repro.runtime.spec import CampaignSpec
 from repro.runtime.spec_codec import spec_from_json
+from repro.scenario import compile_scenario, scenario_from_json
 from repro.server.http import (
     BadRequest,
     Request,
@@ -303,8 +304,16 @@ class MonitorServer:
                 f"invalid tenant {tenant!r} (want [A-Za-z0-9][A-Za-z0-9_.-]*)"
             )
         workers = self.workers
-        if isinstance(document, dict) and "spec" in document:
-            extra = {k for k in document if k not in ("spec", "workers")}
+        scenario_doc = None
+        if isinstance(document, dict) and (
+                "spec" in document or "scenario" in document):
+            if "spec" in document and "scenario" in document:
+                raise ConfigurationError(
+                    "pass exactly one of 'spec' (a campaign spec) or "
+                    "'scenario' (a scenario document to compile)"
+                )
+            extra = {k for k in document
+                     if k not in ("spec", "scenario", "workers")}
             if extra:
                 raise ConfigurationError(
                     f"unknown submission fields: {sorted(extra)}"
@@ -317,8 +326,16 @@ class MonitorServer:
                         "workers must be a positive integer"
                     )
                 workers = document["workers"]
-            document = document["spec"]
-        spec = spec_from_json(document)
+            scenario_doc = document.get("scenario")
+            document = document.get("spec")
+        if scenario_doc is not None:
+            # Server-side compilation: the client ships the declarative
+            # document and the server owns the document -> campaign
+            # mapping.  ScenarioError subclasses ConfigurationError, so
+            # bad documents answer 400 with the JSON-pointer location.
+            spec = compile_scenario(scenario_from_json(scenario_doc))
+        else:
+            spec = spec_from_json(document)
 
         with self._lock:
             if len(self._pending) >= self.queue_limit:

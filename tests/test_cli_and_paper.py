@@ -79,22 +79,43 @@ class TestCli:
         assert main(["campaign", "--resume", "--no-progress"]) == 2
         assert "--artifacts-dir" in capsys.readouterr().err
 
-    def test_campaign_workers_reject_deprecated_dirs(self, tmp_path, capsys):
-        assert main([
-            "campaign", "--workers", "2",
-            "--telemetry-dir", str(tmp_path / "t"), "--no-progress",
-        ]) == 2
-        assert "--artifacts-dir" in capsys.readouterr().err
+    def test_retired_flags_fail_with_pinned_hint(self, tmp_path, capsys):
+        """The PR-4 aliases are retired: exit 2, exact replacement hint.
 
-    def test_deprecated_flags_warn_but_work(self, tmp_path, capsys):
-        tel = tmp_path / "tel"
-        assert main([
-            "campaign", "--experiments", "1", "--duration-ms", "1",
-            "--telemetry-dir", str(tel), "--no-progress",
-        ]) == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert (tel / "metrics.json").exists()
+        The message text is pinned because migration tooling (and
+        humans) grep for it; change it deliberately or not at all.
+        """
+        with pytest.raises(SystemExit) as err:
+            main([
+                "campaign", "--telemetry-dir", str(tmp_path / "t"),
+                "--no-progress",
+            ])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert stderr.startswith("DeprecationWarning: --telemetry-dir ")
+        assert (
+            "has been removed; use --artifacts-dir DIR "
+            "(writes DIR/telemetry/ and DIR/capture/ — see "
+            "docs/runtime.md)"
+        ) in stderr
+
+    def test_retired_flags_fail_together_naming_both(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            main([
+                "campaign", "--telemetry-dir", str(tmp_path / "t"),
+                "--capture-dir", str(tmp_path / "c"), "--no-progress",
+            ])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "--telemetry-dir/--capture-dir" in stderr
+
+    def test_retired_flags_fail_on_run_too(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            main([
+                "run", "sec434", "--capture-dir", str(tmp_path / "c"),
+            ])
+        assert err.value.code == 2
+        assert "DeprecationWarning" in capsys.readouterr().err
 
     def test_artifacts_dir_umbrella_on_run(self, tmp_path, capsys):
         root = tmp_path / "art"
@@ -107,14 +128,15 @@ class TestCli:
         assert (root / "capture" / "capture.rcap").exists()
 
     def test_campaign_capture_then_decode(self, tmp_path, capsys):
-        """CLI acceptance: campaign --capture-dir, then summarize/decode."""
-        cap_dir = str(tmp_path / "cap")
+        """CLI acceptance: campaign --artifacts-dir, then summarize/decode."""
+        root = tmp_path / "art"
         assert main([
             "campaign", "--experiments", "1", "--duration-ms", "1",
-            "--seed", "1", "--capture-dir", cap_dir, "--no-progress",
+            "--seed", "1", "--artifacts-dir", str(root), "--no-progress",
         ]) == 0
+        cap_dir = str(root / "capture")
         out = capsys.readouterr().out
-        assert "capture:" in out and "correlation ids" in out
+        assert "capture shard(s)" in out
 
         assert main(["capture", "summarize", "--input", cap_dir]) == 0
         out = capsys.readouterr().out

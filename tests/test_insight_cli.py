@@ -18,13 +18,9 @@ _HEX_DIGEST = re.compile(r"^[0-9a-f]{32}$")
 
 
 @pytest.fixture(scope="module")
-def artifact_root(tmp_path_factory):
+def artifact_root(tmp_path_factory, run_flat_campaign):
     root = tmp_path_factory.mktemp("insight-cli") / "art"
-    assert main([
-        "campaign", "--experiments", "2", "--duration-ms", "1",
-        "--telemetry-dir", str(root), "--capture-dir", str(root),
-        "--no-progress",
-    ]) == 0
+    run_flat_campaign(root, experiments=2)
     return root
 
 

@@ -53,14 +53,10 @@ def engine_root_serial(tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
-def flat_root(tmp_path_factory):
+def flat_root(tmp_path_factory, run_flat_campaign):
     """A legacy flat-layout artifact directory (serial ambient session)."""
     root = tmp_path_factory.mktemp("insight") / "flat"
-    assert main([
-        "campaign", "--experiments", "1", "--duration-ms", "1",
-        "--telemetry-dir", str(root), "--capture-dir", str(root),
-        "--no-progress",
-    ]) == 0
+    run_flat_campaign(root, experiments=1)
     return root
 
 

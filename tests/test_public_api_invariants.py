@@ -41,8 +41,66 @@ PUBLIC_MODULES = [
     "repro.runtime.artifacts", "repro.runtime.worker",
     "repro.insight", "repro.insight.model", "repro.insight.correlate",
     "repro.insight.rank", "repro.insight.store",
+    "repro.scenario", "repro.scenario.model", "repro.scenario.codec",
+    "repro.scenario.yamlish", "repro.scenario.compile",
+    "repro.scenario.library", "repro.scenario.golden",
     "repro.errors", "repro.cli", "repro.api",
 ]
+
+# The repro.api v1 contract: exactly these names, no more, no fewer.
+# Adding a name is an intentional API change — extend this set in the
+# same commit.  Removing or renaming one requires an API_VERSION bump
+# (see docs/api.md for the tier of each name).
+API_V1_NAMES = {
+    "API_VERSION",
+    # simulation substrate
+    "Simulator", "DeterministicRng",
+    # the device and its host-side session
+    "FaultInjectorDevice", "InjectorSession", "InjectorConfig",
+    "MatchMode", "CorruptMode", "replace_bytes", "control_symbol_swap",
+    "build_paper_testbed",
+    # data-path pipeline selection
+    "PIPELINES", "pipeline_override", "resolve_pipeline",
+    "set_default_pipeline",
+    # test beds and experiments
+    "Testbed", "TestbedOptions", "build_testbed", "Experiment",
+    "WorkloadConfig", "ExperimentResult", "ResultTable",
+    "classify_result",
+    # declarative scenarios
+    "ScenarioDoc", "ScenarioExperiment", "TopologySpec", "TrafficSpec",
+    "FaultSpec", "SweepSpec", "compile_scenario", "scenario_to_json",
+    "scenario_from_json", "list_scenarios", "load_scenario",
+    # declarative campaigns and executors
+    "Campaign", "default_row", "CampaignSpec", "ExperimentSpec",
+    "PlanSpec", "SerialExecutor", "PooledExecutor", "derive_seed",
+    "spec_to_json", "spec_from_json",
+    # observation sessions and the live event bus
+    "TelemetrySession", "CaptureSession", "EventBus", "EventBusSession",
+    # monitoring-as-a-service
+    "MonitorServer",
+    # offline incident correlation
+    "analyze_artifacts", "IncidentReport", "InsightStore",
+    "paper_oracle",
+    # the paper's evaluation
+    "table2_latency", "table4_spec", "table4_control_symbols",
+    "sec35_passthrough", "sec431_throughput", "sec432_packet_types",
+    "sec433_addresses", "sec434_udp_checksum",
+}
+
+
+class TestApiV1Surface:
+    def test_exported_name_set_is_pinned(self):
+        import repro.api as api
+        assert set(api.__all__) == API_V1_NAMES
+
+    def test_every_export_resolves(self):
+        import repro.api as api
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_version_string(self):
+        import repro.api as api
+        assert api.API_VERSION == "v1"
 
 
 @pytest.mark.parametrize("name", PUBLIC_MODULES)

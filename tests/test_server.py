@@ -111,6 +111,26 @@ class Client:
 # ----------------------------------------------------------------------
 
 class TestLifecycle:
+    def test_scenario_document_compiled_server_side(self, server):
+        """``POST /campaigns`` with ``{"scenario": ...}`` compiles and
+        runs the document exactly as the offline compiler would."""
+        from repro.scenario import (
+            compile_scenario, load_scenario, scenario_to_json,
+        )
+
+        doc = load_scenario("paper-sec35")
+        client = Client(server)
+        response, submitted = client.request(
+            "POST", "/campaigns",
+            body=json.dumps({"scenario": scenario_to_json(doc)}))
+        assert response.status == 202
+        submitted = json.loads(submitted)
+        assert submitted["name"] == "paper-sec35"
+        assert submitted["experiments"] == len(
+            compile_scenario(doc).experiments)
+        status = client.wait_done(submitted["id"])
+        assert status["state"] == "completed"
+
     def test_submit_stream_and_report(self, server):
         client = Client(server)
         _, submitted = client.submit(tiny_spec(n=2, name="svc campaign"))
@@ -208,6 +228,24 @@ class TestErrors:
             body=json.dumps({"spec": document}))
         assert response.status == 400
         assert "duration_ps" in json.loads(payload)["error"]
+
+    def test_bad_scenario_is_400_with_pointer(self, server):
+        document = {"scenario": {
+            "scenario": 1, "name": "x",
+            "topology": {"kind": "torus"},
+            "experiments": [{"name": "e"}],
+        }}
+        response, payload = Client(server).request(
+            "POST", "/campaigns", body=json.dumps(document))
+        assert response.status == 400
+        assert "/topology/kind" in json.loads(payload)["error"]
+
+    def test_spec_and_scenario_together_is_400(self, server):
+        document = {"spec": spec_to_json(tiny_spec(n=1)), "scenario": {}}
+        response, payload = Client(server).request(
+            "POST", "/campaigns", body=json.dumps(document))
+        assert response.status == 400
+        assert "exactly one" in json.loads(payload)["error"]
 
     def test_unknown_routes_and_methods(self, server):
         client = Client(server)

@@ -147,36 +147,36 @@ class TestCliCampaign:
     def test_campaign_drops_artifacts_and_reports(self, tmp_path, capsys):
         exit_code = cli.main([
             "campaign", "--experiments", "1", "--duration-ms", "1",
-            "--seed", "3", "--telemetry-dir", str(tmp_path), "--no-progress",
+            "--seed", "3", "--artifacts-dir", str(tmp_path), "--no-progress",
         ])
         assert exit_code == 0
         out = capsys.readouterr().out
-        assert "telemetry:" in out and "events/s" in out
+        assert "artifacts merged" in out
         for name in ARTIFACT_NAMES:
-            assert (tmp_path / name).exists(), name
+            assert (tmp_path / "telemetry" / name).exists(), name
 
     def test_metrics_rerenders_prometheus(self, tmp_path, capsys):
         assert cli.main([
             "campaign", "--experiments", "1", "--duration-ms", "1",
-            "--telemetry-dir", str(tmp_path), "--no-progress",
+            "--artifacts-dir", str(tmp_path), "--no-progress",
         ]) == 0
         capsys.readouterr()
         assert cli.main([
-            "metrics", "--input", str(tmp_path / "metrics.json"),
+            "metrics", "--input", str(tmp_path / "telemetry" / "metrics.json"),
             "--format", "prom",
         ]) == 0
         prom = capsys.readouterr().out
         assert "# TYPE repro_sim_events_fired_total counter" in prom
-        assert "repro_campaign_experiments_total 1" in prom
+        assert "repro_campaign_shards_merged 1" in prom
 
     def test_metrics_json_round_trip(self, tmp_path, capsys):
         assert cli.main([
             "campaign", "--experiments", "1", "--duration-ms", "1",
-            "--telemetry-dir", str(tmp_path), "--no-progress",
+            "--artifacts-dir", str(tmp_path), "--no-progress",
         ]) == 0
         capsys.readouterr()
         assert cli.main([
-            "metrics", "--input", str(tmp_path / "metrics.json"),
+            "metrics", "--input", str(tmp_path / "telemetry" / "metrics.json"),
             "--format", "json",
         ]) == 0
         document = json.loads(capsys.readouterr().out)
