@@ -1,32 +1,38 @@
-"""Sharded campaign engine — serial vs pooled wall time, same bytes.
+"""Sharded campaign engine — serial vs pooled vs fabric, same bytes.
 
 The engine's contract (docs/runtime.md) is *determinism first*: a
-campaign spec run through :class:`~repro.runtime.SerialExecutor` and
-through :class:`~repro.runtime.PooledExecutor` at any worker count must
-produce byte-identical tables.  This benchmark asserts that contract on
-a nine-experiment Table 4 campaign and records the wall-clock of the
-serial, two-worker, and four-worker runs in ``BENCH_parallel.json`` at
-the repo root.
+campaign spec run through :class:`~repro.runtime.SerialExecutor`,
+:class:`~repro.runtime.PooledExecutor`, or the distributed
+:class:`~repro.runtime.FabricExecutor` at any worker count must produce
+byte-identical tables.  This benchmark asserts that contract on a
+nine-experiment Table 4 campaign and records the wall-clock of the
+serial, pooled (2/4 workers), and fabric (2/4 workers) runs in
+``BENCH_parallel.json`` at the repo root — plus the fabric's
+**execution/merge overlap**: the coordinator folds completed artifact
+shards while later experiments are still running, and
+``merge_overlap_s`` records how much merge work was hidden behind
+execution instead of serialized after it.
 
 Honesty note on speedups: the simulation is CPU-bound pure Python, so
 sharding only pays when the host grants more than one core.  The
 snapshot therefore records ``cpu_count`` (the *effective* affinity, not
-the nominal core count) and a ``cpu_limited`` flag; the speedup
-assertion is gated on having at least two schedulable CPUs.  On a
-single-core container the committed numbers legitimately show the
-pooled runs paying process-spawn overhead for no parallelism — the
-determinism assertions still hold, which is the part the paper's
-methodology depends on.
+the nominal core count) and a ``cpu_limited`` flag; the >=2-worker
+speedup assertions (pooled and fabric) are gated on having at least two
+schedulable CPUs.  On a single-core container the committed numbers
+legitimately show the parallel runs paying process-spawn overhead for
+no parallelism — the determinism assertions and the overlap accounting
+still hold, which is the part the paper's methodology depends on.
 """
 
 import json
 import os
 import pathlib
+import tempfile
 
 from benchmarks.conftest import bench_scale, record_result
 from repro.nftape.campaign import Campaign
 from repro.nftape.paper import _table4_row, table4_spec
-from repro.runtime import PooledExecutor, SerialExecutor
+from repro.runtime import FabricExecutor, PooledExecutor, SerialExecutor
 from repro.sim.timebase import MS
 
 #: Repo-root scaling artifact: variant -> wall_s, plus speedups + cpu info.
@@ -51,11 +57,18 @@ def _spec():
     )
 
 
-def _run_variant(spec, workers: int) -> dict:
-    """Run the spec serially (``workers == 1``) or pooled; time it."""
+def _run_variant(spec, workers: int, fabric: bool = False) -> dict:
+    """Run the spec through one executor variant; time it."""
     import time
 
-    if workers == 1:
+    scratch = None
+    if fabric:
+        # The fabric needs an artifacts home to exercise (and measure)
+        # the incremental shard merge.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-bench-fabric-")
+        executor = FabricExecutor(workers=workers, poll_s=0.01,
+                                  artifacts_dir=scratch.name)
+    elif workers == 1:
         executor = SerialExecutor()
     else:
         executor = PooledExecutor(workers=workers)
@@ -63,11 +76,18 @@ def _run_variant(spec, workers: int) -> dict:
     start = time.perf_counter()
     table = campaign.run(executor=executor)
     wall_s = time.perf_counter() - start
-    return {
+    variant = {
         "workers": workers,
         "wall_s": round(wall_s, 6),
         "render": table.render(),
     }
+    if fabric:
+        variant["merge_busy_s"] = round(
+            executor.timings["merge_busy_s"], 6)
+        variant["merge_overlap_s"] = round(
+            executor.timings["merge_overlap_s"], 6)
+        scratch.cleanup()
+    return variant
 
 
 def test_parallel_campaign_scaling(benchmark):
@@ -79,14 +99,24 @@ def test_parallel_campaign_scaling(benchmark):
             _run_variant(spec, workers=1),
             _run_variant(spec, workers=2),
             _run_variant(spec, workers=4),
+            _run_variant(spec, workers=2, fabric=True),
+            _run_variant(spec, workers=4, fabric=True),
         )
 
-    serial, pooled2, pooled4 = benchmark.pedantic(
+    serial, pooled2, pooled4, fabric2, fabric4 = benchmark.pedantic(
         run_all, rounds=1, iterations=1
     )
 
-    # The engine's core guarantee: identical bytes at any worker count.
+    # The engine's core guarantee: identical bytes at any worker count,
+    # through the pool and through the fabric alike.
     assert serial["render"] == pooled2["render"] == pooled4["render"]
+    assert serial["render"] == fabric2["render"] == fabric4["render"]
+
+    # Overlap accounting is well-formed: overlapped merge time is a
+    # subset of total merge time, which is a subset of the run.
+    for variant in (fabric2, fabric4):
+        assert 0 <= variant["merge_overlap_s"] <= variant["merge_busy_s"]
+        assert variant["merge_busy_s"] <= variant["wall_s"]
 
     def speedup(variant):
         return (
@@ -95,23 +125,42 @@ def test_parallel_campaign_scaling(benchmark):
         )
 
     speedup_2w, speedup_4w = speedup(pooled2), speedup(pooled4)
+    fabric_speedup_2w = speedup(fabric2)
+    fabric_speedup_4w = speedup(fabric4)
     cpu_limited = cpu_count < 2
     if not cpu_limited:
-        # With real cores available the sharded run must beat serial.
+        # With real cores available the sharded runs must beat serial.
         assert speedup_2w > 1.0, (serial, pooled2)
+        assert fabric_speedup_2w > 1.0, (serial, fabric2)
+
+    def snapshot(variant, **extra):
+        doc = {"workers": variant["workers"],
+               "wall_s": variant["wall_s"]}
+        doc.update(extra)
+        return doc
 
     document = {
         "generated_by": "benchmarks/bench_parallel_campaign.py",
-        "schema": "variant -> {workers, wall_s}; speedups vs serial",
+        "schema": ("variant -> {workers, wall_s"
+                   "[, merge_busy_s, merge_overlap_s]}; "
+                   "speedups vs serial"),
         "bench_scale": bench_scale(),
         "experiments": len(spec),
         "cpu_count": cpu_count,
         "cpu_limited": cpu_limited,
-        "serial": {"workers": 1, "wall_s": serial["wall_s"]},
-        "workers_2": {"workers": 2, "wall_s": pooled2["wall_s"]},
-        "workers_4": {"workers": 4, "wall_s": pooled4["wall_s"]},
+        "serial": snapshot(serial),
+        "workers_2": snapshot(pooled2),
+        "workers_4": snapshot(pooled4),
+        "fabric_2": snapshot(
+            fabric2, merge_busy_s=fabric2["merge_busy_s"],
+            merge_overlap_s=fabric2["merge_overlap_s"]),
+        "fabric_4": snapshot(
+            fabric4, merge_busy_s=fabric4["merge_busy_s"],
+            merge_overlap_s=fabric4["merge_overlap_s"]),
         "speedup_2w": speedup_2w,
         "speedup_4w": speedup_4w,
+        "fabric_speedup_2w": fabric_speedup_2w,
+        "fabric_speedup_4w": fabric_speedup_4w,
         "tables_identical": True,
     }
     BENCH_PARALLEL_PATH.write_text(
@@ -124,11 +173,19 @@ def test_parallel_campaign_scaling(benchmark):
         f"  serial:    {serial['wall_s']:.3f}s",
         f"  2 workers: {pooled2['wall_s']:.3f}s  (speedup {speedup_2w}x)",
         f"  4 workers: {pooled4['wall_s']:.3f}s  (speedup {speedup_4w}x)",
+        f"  fabric 2w: {fabric2['wall_s']:.3f}s  "
+        f"(speedup {fabric_speedup_2w}x, "
+        f"merge overlap {fabric2['merge_overlap_s']:.3f}s "
+        f"of {fabric2['merge_busy_s']:.3f}s)",
+        f"  fabric 4w: {fabric4['wall_s']:.3f}s  "
+        f"(speedup {fabric_speedup_4w}x, "
+        f"merge overlap {fabric4['merge_overlap_s']:.3f}s "
+        f"of {fabric4['merge_busy_s']:.3f}s)",
         "  tables byte-identical across all worker counts: yes",
     ]
     if cpu_limited:
         lines.append(
-            "  note: single-cpu host; pooled runs pay spawn overhead "
-            "without parallelism (speedup gate skipped)"
+            "  note: single-cpu host; parallel runs pay spawn overhead "
+            "without parallelism (speedup gates skipped)"
         )
     record_result("parallel_campaign", "\n".join(lines))

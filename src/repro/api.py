@@ -21,8 +21,11 @@ import serves the ways of using the repository:
   :class:`ExperimentSpec` / :class:`PlanSpec`, collect them in a
   :class:`CampaignSpec`, and execute through
   :meth:`Campaign.run <repro.nftape.campaign.Campaign.run>` with a
-  :class:`SerialExecutor` or a sharded :class:`PooledExecutor`
-  (bit-identical results at any worker count — see docs/runtime.md);
+  :class:`SerialExecutor`, a sharded :class:`PooledExecutor`, or the
+  distributed :class:`FabricExecutor` — pull-queue workers pushing
+  into a queryable sqlite :class:`ResultStore`, with crashed/hung
+  workers re-issued by lease (bit-identical results at any worker
+  count — see docs/runtime.md);
 * **regenerate the paper** — the ``table*``/``sec*`` entry points, one
   per table/figure of the evaluation, each taking the same
   ``seed: int = 0`` base seed (per-experiment seeds derive from it via
@@ -89,10 +92,13 @@ from repro.runtime import (
     EventBus,
     EventBusSession,
     ExperimentSpec,
+    FabricExecutor,
     PlanSpec,
     PooledExecutor,
+    ResultStore,
     SerialExecutor,
     derive_seed,
+    spec_digest,
     spec_from_json,
     spec_to_json,
 )
@@ -162,7 +168,10 @@ __all__ = [
     "PlanSpec",
     "SerialExecutor",
     "PooledExecutor",
+    "FabricExecutor",
+    "ResultStore",
     "derive_seed",
+    "spec_digest",
     "spec_to_json",
     "spec_from_json",
     # observation sessions and the live event bus

@@ -7,7 +7,10 @@
     python -m repro run all --scale 0.5 --out report.md
     python -m repro run sec434 --artifacts-dir out/
     python -m repro campaign --experiments 8 --workers 4 --artifacts-dir out/
+    python -m repro campaign --experiments 8 --fabric 4 --artifacts-dir out/
     python -m repro campaign --resume --artifacts-dir out/
+    python -m repro store query --artifacts-dir out/
+    python -m repro store export --artifacts-dir out/ 'cli control-symbol campaign'
     python -m repro campaign --follow | jq .kind
     python -m repro campaign --scenario dual-injector --artifacts-dir out/
     python -m repro scenario list
@@ -169,9 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes; >1 shards experiments "
                                "across a pool with bit-identical results "
                                "(default 1 = in-process serial)")
+    campaign.add_argument("--fabric", type=int, default=0, metavar="N",
+                          help="run on the distributed campaign fabric "
+                               "with N pull-queue workers: results land "
+                               "in ARTIFACTS_DIR/results.sqlite (query "
+                               "with 'store query') and crashed or hung "
+                               "workers forfeit their leases and are "
+                               "re-issued; results stay bit-identical "
+                               "at any N (default 0 = off)")
     campaign.add_argument("--resume", action="store_true",
                           help="resume an interrupted campaign from "
-                               "ARTIFACTS_DIR/journal.jsonl (requires "
+                               "ARTIFACTS_DIR/journal.jsonl — or, with "
+                               "--fabric, from ARTIFACTS_DIR/"
+                               "results.sqlite (requires "
                                "--artifacts-dir)")
     campaign.add_argument("--artifacts-dir", default=None,
                           help="write all artifacts under this directory: "
@@ -230,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
              "at any worker count)",
     )
     scenario_run.add_argument(
+        "--fabric", type=int, default=0, metavar="N",
+        help="run on the distributed campaign fabric with N pull-queue "
+             "workers (see 'campaign --fabric')",
+    )
+    scenario_run.add_argument(
         "--artifacts-dir", default=None,
         help="write journal + merged artifacts under this directory",
     )
@@ -262,12 +280,53 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="default worker processes per campaign "
                             "(submissions may override; default: 1)")
+    serve.add_argument("--runners", type=int, default=1,
+                       help="concurrent campaign runners; >1 drains the "
+                            "queue N campaigns at a time through the "
+                            "fabric executor (default: 1 = serial queue)")
     serve.add_argument("--queue-limit", type=int, default=8,
                        help="pending campaigns before POST /campaigns "
                             "answers 429 (default: 8)")
     serve.add_argument("--timeout-s", type=float, default=None,
                        help="per-experiment wall-clock timeout for "
                             "pooled campaigns (default: none)")
+
+    store = sub.add_parser(
+        "store",
+        help="query or export the fabric result store "
+             "(ARTIFACTS_DIR/results.sqlite)",
+    )
+    store_sub = store.add_subparsers(dest="store_command")
+    store_query = store_sub.add_parser(
+        "query",
+        help="list stored campaigns and their progress; with a campaign "
+             "reference, show its aggregate counters and attempt audit",
+    )
+    store_export = store_sub.add_parser(
+        "export",
+        help="dump one campaign's winning rows as NDJSON, index order",
+    )
+    for store_cmd in (store_query, store_export):
+        store_cmd.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="results.sqlite path (alternative to --artifacts-dir)",
+        )
+        store_cmd.add_argument(
+            "--artifacts-dir", default=None, metavar="DIR",
+            help="campaign artifacts root holding DIR/results.sqlite",
+        )
+    store_query.add_argument(
+        "campaign", nargs="?", default=None, metavar="REF",
+        help="a spec-digest prefix or exact campaign name (optional)",
+    )
+    store_export.add_argument(
+        "campaign", metavar="REF",
+        help="a spec-digest prefix or exact campaign name",
+    )
+    store_export.add_argument(
+        "--out", default=None,
+        help="write the NDJSON to PATH instead of stdout",
+    )
 
     capture = sub.add_parser(
         "capture",
@@ -322,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--store", default=None,
                          help="also persist the report into this sqlite "
                               "incident store")
+    analyze.add_argument("--result-store", default=None, metavar="PATH",
+                         help="cross-check the report against a fabric "
+                              "result store (ARTIFACTS_DIR/results.sqlite): "
+                              "indices, names, seeds, and aggregate "
+                              "consistency; exit 1 on mismatch")
     analyze.add_argument("--digest-only", action="store_true",
                          help="print only the report digest (CI gate)")
     report_cmd = insight_sub.add_parser(
@@ -649,18 +713,19 @@ def _load_scenario_doc(ref: str):
 
 def _execute_spec(spec, *, workers: int, resume: bool,
                   engine_root: Optional[str], follow_events: bool,
-                  no_progress: bool) -> int:
+                  no_progress: bool, fabric: int = 0) -> int:
     """Run ``spec`` through the campaign engine and print the results.
 
     The shared back half of ``campaign`` and ``scenario run``: executor
-    selection (serial vs pooled), journalling, deterministic artifact
-    merging, and the human-readable summary.
+    selection (serial vs pooled vs fabric), journalling or the result
+    store, deterministic artifact merging, and the human summary.
     """
     from contextlib import nullcontext
     from pathlib import Path
 
     from repro.nftape.campaign import Campaign
     from repro.runtime.executors import PooledExecutor, SerialExecutor
+    from repro.runtime.fabric import FabricExecutor
 
     progress = None
     if not no_progress:
@@ -675,7 +740,12 @@ def _execute_spec(spec, *, workers: int, resume: bool,
         None if engine_root is None
         else Path(engine_root) / "journal.jsonl"
     )
-    if workers > 1:
+    if fabric > 0:
+        executor = FabricExecutor(
+            workers=fabric, resume=resume,
+            artifacts_dir=engine_root, label=spec.name,
+        )
+    elif workers > 1:
         executor = PooledExecutor(
             workers=workers, journal_path=journal_path,
             resume=resume, artifacts_dir=engine_root,
@@ -691,15 +761,28 @@ def _execute_spec(spec, *, workers: int, resume: bool,
     if progress is not None:
         print(file=sys.stderr)
     print(table.render(), file=table_out)
-    line = (
-        f"campaign: {len(executor.executed)} experiment(s) executed "
-        f"with {workers} worker(s)"
-    )
-    if executor.skipped:
-        line += f", {len(executor.skipped)} restored from journal"
-    retries = sum(executor.retries.values())
-    if retries:
-        line += f", {retries} retried"
+    if fabric > 0:
+        line = (
+            f"campaign: {len(executor.executed)} experiment(s) executed "
+            f"on the fabric with {fabric} worker(s)"
+        )
+        if executor.skipped:
+            line += f", {len(executor.skipped)} restored from store"
+        reissued = sum(executor.reissues.values())
+        if reissued:
+            line += f", {reissued} lease(s) re-issued"
+        if engine_root is not None:
+            line += f"; store: {Path(engine_root) / 'results.sqlite'}"
+    else:
+        line = (
+            f"campaign: {len(executor.executed)} experiment(s) executed "
+            f"with {workers} worker(s)"
+        )
+        if executor.skipped:
+            line += f", {len(executor.skipped)} restored from journal"
+        retries = sum(executor.retries.values())
+        if retries:
+            line += f", {retries} retried"
     print(line, file=table_out)
     summary = executor.merge_summary
     if summary is not None:
@@ -800,13 +883,15 @@ def _run_campaign(args) -> int:
     else:
         spec = _campaign_spec(args, capture_enabled)
 
-    if engine_root is not None or workers > 1:
-        # Engine path: journal + per-experiment artifact shards, merged
-        # deterministically on completion (same layout at any -w).
+    fabric = max(0, getattr(args, "fabric", 0))
+    if engine_root is not None or workers > 1 or fabric > 0:
+        # Engine path: journal (or result store) + per-experiment
+        # artifact shards, merged deterministically on completion
+        # (same layout at any -w / --fabric N).
         return _execute_spec(
             spec, workers=workers, resume=args.resume,
             engine_root=engine_root, follow_events=args.follow,
-            no_progress=args.no_progress,
+            no_progress=args.no_progress, fabric=fabric,
         )
 
     progress = None
@@ -871,7 +956,7 @@ def _run_serve(args) -> int:
     server = MonitorServer(
         root=args.root, host=args.host, port=args.port,
         workers=args.workers, queue_limit=args.queue_limit,
-        timeout_s=args.timeout_s,
+        timeout_s=args.timeout_s, runners=args.runners,
     )
     try:
         server.start()
@@ -896,6 +981,92 @@ def _run_serve(args) -> int:
         print("\nserve: shutting down", file=sys.stderr)
     finally:
         server.stop()
+    return 0
+
+
+def _run_store(args) -> int:
+    """``store query|export``: inspect the fabric result store.
+
+    ``query`` with no reference prints the campaign progress view (one
+    line per stored campaign); with a reference it adds the aggregate
+    counters and the per-experiment attempt audit (lease re-issues and
+    duplicate deliveries leave losing attempt rows behind).  ``export``
+    dumps the winning rows as NDJSON in experiment-index order.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.errors import CampaignError
+    from repro.runtime.fabric import STORE_FILE_NAME
+    from repro.runtime.store import ResultStore
+
+    if args.store:
+        store_path = Path(args.store)
+    elif args.artifacts_dir:
+        store_path = Path(args.artifacts_dir) / STORE_FILE_NAME
+    else:
+        print("pass --store PATH or --artifacts-dir DIR", file=sys.stderr)
+        return 2
+    if not store_path.exists():
+        print(f"no result store at {store_path} (run a campaign with "
+              "--fabric N --artifacts-dir DIR first)", file=sys.stderr)
+        return 2
+
+    with ResultStore(store_path) as store:
+        if args.store_command == "query" and args.campaign is None:
+            campaigns = store.campaigns()
+            if not campaigns:
+                print("result store is empty")
+                return 0
+            width = max(len(row["name"]) for row in campaigns)
+            for row in campaigns:
+                print(
+                    f"{row['spec_digest'][:12]}  {row['name']:<{width}}  "
+                    f"{row['experiments_done']}/{row['experiments']} done  "
+                    f"injections={row['injections']} "
+                    f"sent={row['messages_sent']} "
+                    f"received={row['messages_received']}"
+                )
+            return 0
+
+        try:
+            digest = store.resolve(args.campaign)
+        except CampaignError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if digest is None:
+            print(f"no stored campaign matches {args.campaign!r}",
+                  file=sys.stderr)
+            return 2
+
+        if args.store_command == "query":
+            totals = store.aggregate(digest)
+            print(f"campaign {digest}")
+            for field, value in totals.items():
+                print(f"  {field}: {value}")
+            for row in store.export_rows(digest):
+                attempts = store.attempts(digest, row["index"])
+                audit = "" if len(attempts) == 1 else (
+                    f"  ({len(attempts)} attempts recorded)"
+                )
+                print(
+                    f"  [{row['index']:3d}] {row['name']} "
+                    f"seed={row['seed']} won by attempt "
+                    f"{row['attempt']}{audit}"
+                )
+            return 0
+
+        # store export
+        lines = [json.dumps(row, sort_keys=True)
+                 for row in store.export_rows(digest)]
+    body = "\n".join(lines) + ("\n" if lines else "")
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(body)
+        print(f"{len(lines)} row(s) written to {target}")
+    else:
+        print(body, end="")
     return 0
 
 
@@ -1066,6 +1237,18 @@ def _run_insight(args) -> int:
                 key = store.add_report(report)
             if not args.digest_only:
                 print(f"stored as {key!r} in {args.store}")
+        if args.result_store:
+            from repro.insight.store_ingest import crosscheck_report
+
+            if not Path(args.result_store).exists():
+                print(f"no result store at {args.result_store}",
+                      file=sys.stderr)
+                return 2
+            ok, lines = crosscheck_report(report, args.result_store)
+            for text in lines:
+                print(text)
+            if not ok:
+                return 1
         return 0
 
     if args.insight_command == "similar":
@@ -1177,6 +1360,7 @@ def _run_scenario(args) -> int:
         spec, workers=max(1, args.workers), resume=args.resume,
         engine_root=args.artifacts_dir, follow_events=False,
         no_progress=args.no_progress,
+        fabric=max(0, getattr(args, "fabric", 0)),
     )
 
 
@@ -1300,6 +1484,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.parse_args(["capture", "--help"])
             return 2
         return _run_capture(args)
+
+    if args.command == "store":
+        if args.store_command is None:
+            parser.parse_args(["store", "--help"])
+            return 2
+        return _run_store(args)
 
     names = list(args.experiments)
     if names == ["all"]:

@@ -41,6 +41,7 @@ from repro.insight.model import (
 )
 from repro.insight.rank import TIER_ORDER, build_hypotheses
 from repro.insight.store import InsightStore, cosine_distance
+from repro.insight.store_ingest import crosscheck_report
 
 __all__ = [
     "analyze_artifacts",
@@ -54,6 +55,7 @@ __all__ = [
     "InsightStore",
     "build_hypotheses",
     "cosine_distance",
+    "crosscheck_report",
     "canonical_json",
     "FEATURES",
     "TIER_ORDER",

@@ -25,7 +25,14 @@ The pieces:
 * :mod:`~repro.runtime.artifacts` — per-experiment telemetry/capture
   shards and their deterministic merge;
 * :mod:`~repro.runtime.worker` — the single per-experiment code path
-  shared by the serial executor and the pooled workers.
+  shared by the serial executor and the pooled workers, plus the
+  fabric's filesystem lease protocol;
+* :mod:`~repro.runtime.fabric` — :class:`FabricExecutor`: pull-queue
+  workers leasing experiments from a shared work queue, with crash /
+  hang / duplicate-delivery recovery (chaos-tested);
+* :mod:`~repro.runtime.store` — the fabric's queryable sqlite
+  :class:`ResultStore` (schema-versioned, WAL, one winner per
+  experiment, incremental aggregates) backing ``--resume``.
 
 See docs/runtime.md for the full contract.
 """
@@ -44,6 +51,7 @@ from repro.runtime.executors import (
     SerialExecutor,
     default_start_method,
 )
+from repro.runtime.fabric import FabricExecutor
 from repro.runtime.journal import (
     CampaignJournal,
     result_from_dict,
@@ -52,6 +60,7 @@ from repro.runtime.journal import (
 from repro.runtime.seeding import derive_seed
 from repro.runtime.spec import CampaignSpec, ExperimentSpec, PlanSpec
 from repro.runtime.spec_codec import spec_from_json, spec_to_json
+from repro.runtime.store import ResultStore, spec_digest
 from repro.runtime.worker import ExperimentJob, execute_job, job_for
 
 __all__ = [
@@ -67,6 +76,9 @@ __all__ = [
     "spec_to_json",
     "SerialExecutor",
     "PooledExecutor",
+    "FabricExecutor",
+    "ResultStore",
+    "spec_digest",
     "CampaignJournal",
     "ExperimentJob",
     "derive_seed",

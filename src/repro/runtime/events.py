@@ -31,7 +31,10 @@ gaps, and the server's replay endpoint orders on it.
 Lifecycle kinds (see :data:`EVENT_KINDS`): ``campaign_started``,
 ``experiment_started`` / ``experiment_finished`` /
 ``experiment_restored`` / ``experiment_retried`` /
-``experiment_timeout`` / ``experiment_failed``, ``snapshot`` (periodic
+``experiment_timeout`` / ``experiment_failed``,
+``fabric_lease_reissued`` (a fabric lease expired and the experiment
+was re-queued with the same derived seed — *not* a second
+``experiment_started``), ``snapshot`` (periodic
 counter *deltas* since the previous snapshot), ``journal_record``,
 ``shard_merged``, ``campaign_finished``, ``campaign_failed``, and
 ``heartbeat``.
@@ -70,6 +73,7 @@ EVENT_KINDS = (
     "experiment_retried",
     "experiment_timeout",
     "experiment_failed",
+    "fabric_lease_reissued",
     "snapshot",
     "journal_record",
     "shard_merged",

@@ -22,18 +22,37 @@ the crash-retry and timeout paths end-to-end —
 * ``"_crash_until_attempt": n`` — the child process dies abruptly
   (``os._exit``) on attempts ``< n``, then succeeds;
 * ``"_hang_wall_s": s`` — the child sleeps ``s`` wall seconds before
-  running, tripping the per-experiment timeout.
+  running, tripping the per-experiment timeout (or, on the fabric, the
+  lease deadline).  ``"_hang_until_attempt": n`` scopes the hang to
+  attempts ``< n`` so re-issued attempts run clean;
+* ``"_crash_after_artifacts": n`` — like ``_crash_until_attempt`` but
+  the crash lands *after* the shard artifacts are written and promoted,
+  exercising the retry-must-not-double-count merge invariant.
 
-Both only ever fire inside a sacrificial worker process; the in-process
-serial executor ignores them.
+All of them only ever fire inside a sacrificial worker process; the
+in-process serial executor ignores them.
+
+Lease protocol
+--------------
+The campaign fabric's work-queue leases also live here (they are part
+of the per-experiment contract, not of any one executor): a lease is a
+JSON file claimed atomically with ``O_CREAT | O_EXCL``, carrying the
+claimer's identity and a wall-clock deadline.  A forfeited lease is
+*renamed* to a numbered tombstone — the tombstone count **is** the next
+attempt number, so re-issued attempts are derivable from the filesystem
+alone, with no coordinator state to lose.
 """
 
 from __future__ import annotations
 
+import errno
+import json
 import os
+import shutil
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 from repro.capture import CaptureSession
 from repro.nftape.results import ExperimentResult
@@ -50,12 +69,26 @@ __all__ = [
     "run_job_in_child",
     "CRASH_PARAM",
     "HANG_PARAM",
+    "HANG_UNTIL_PARAM",
+    "CRASH_AFTER_PARAM",
+    "Lease",
+    "lease_path",
+    "claim_lease",
+    "read_lease",
+    "release_lease",
+    "forfeit_lease",
+    "forfeit_count",
 ]
 
 #: Reserved params key: crash the worker on attempts below the value.
 CRASH_PARAM = "_crash_until_attempt"
 #: Reserved params key: sleep this many wall seconds before running.
 HANG_PARAM = "_hang_wall_s"
+#: Reserved params key: limit the hang to attempts below the value.
+HANG_UNTIL_PARAM = "_hang_until_attempt"
+#: Reserved params key: crash *after* artifact promotion on attempts
+#: below the value (the double-count regression hook).
+CRASH_AFTER_PARAM = "_crash_after_artifacts"
 #: Exit code of a deliberately crashed worker (distinctive in logs).
 CRASH_EXIT_CODE = 86
 
@@ -104,15 +137,43 @@ def job_for(
     )
 
 
+def _promote_shard(staging: Path, final: Path) -> bool:
+    """Atomically install a fully written shard; False when outraced.
+
+    Workers write artifacts into a per-attempt staging directory and
+    rename it into place — a crash mid-write leaves only staging debris
+    (ignored by the merge), never a torn shard, and when a re-issued or
+    duplicate attempt finds the shard already promoted its own copy is
+    discarded whole.  Either way the merged artifacts fold each
+    experiment exactly once.
+    """
+    if final.exists():
+        shutil.rmtree(staging)
+        return False
+    try:
+        os.rename(staging, final)
+    except OSError as exc:
+        if exc.errno not in (errno.EEXIST, errno.ENOTEMPTY):
+            raise
+        shutil.rmtree(staging)  # lost the promotion race
+        return False
+    return True
+
+
 def execute_job(job: ExperimentJob,
                 in_process: bool = False) -> ExperimentResult:
     """Run one experiment job to completion; the shared code path.
 
     With ``job.artifacts_dir`` set, telemetry and capture sessions are
-    opened around the run and shard artifacts written on exit.  The
-    fault-injection hooks (module docstring) fire only when
-    ``in_process`` is false — they exist to kill sacrificial workers,
-    never the orchestrating process.
+    opened around the run and shard artifacts written on exit.  Worker
+    processes stage artifacts under ``<shard>.a<attempt>.p<pid>.tmp``
+    (pid-qualified so a duplicate lease delivery running the same
+    attempt in two processes can never write into one staging dir) and
+    promote them with one atomic rename (see :func:`_promote_shard`);
+    the in-process serial executor writes directly (it cannot be killed
+    mid-experiment without killing the campaign).  The fault-injection
+    hooks (module docstring) fire only when ``in_process`` is false —
+    they exist to kill sacrificial workers, never the orchestrator.
     """
     if not in_process:
         crash_until = job.spec.params.get(CRASH_PARAM)
@@ -120,20 +181,36 @@ def execute_job(job: ExperimentJob,
             os._exit(CRASH_EXIT_CODE)
         hang_s = job.spec.params.get(HANG_PARAM)
         if hang_s:
-            time.sleep(float(hang_s))
+            hang_until = job.spec.params.get(HANG_UNTIL_PARAM)
+            if hang_until is None or job.attempt < int(hang_until):
+                time.sleep(float(hang_s))
 
     experiment = job.spec.materialize(seed=job.seed)
     label = f"{job.label}/{job.name}"
-    if job.artifacts_dir is not None:
-        telemetry = TelemetrySession(
-            out_dir=_artifacts.telemetry_dir(job.artifacts_dir), label=label
-        )
-        capture = CaptureSession(
-            out_dir=_artifacts.capture_dir(job.artifacts_dir), label=label
-        )
-        with telemetry, capture:
-            return experiment.run()
-    return experiment.run()
+    if job.artifacts_dir is None:
+        return experiment.run()
+
+    final = Path(job.artifacts_dir)
+    out_dir = final
+    if not in_process:
+        out_dir = final.with_name(
+            f"{final.name}.a{job.attempt}.p{os.getpid()}.tmp")
+        if out_dir.exists():
+            shutil.rmtree(out_dir)  # stale debris of a crashed attempt
+    telemetry = TelemetrySession(
+        out_dir=_artifacts.telemetry_dir(out_dir), label=label
+    )
+    capture = CaptureSession(
+        out_dir=_artifacts.capture_dir(out_dir), label=label
+    )
+    with telemetry, capture:
+        result = experiment.run()
+    if not in_process:
+        _promote_shard(out_dir, final)
+        crash_after = job.spec.params.get(CRASH_AFTER_PARAM)
+        if crash_after is not None and job.attempt < int(crash_after):
+            os._exit(CRASH_EXIT_CODE)
+    return result
 
 
 def payload_for(job: ExperimentJob,
@@ -174,3 +251,125 @@ def run_job_in_child(conn: Any, job: ExperimentJob) -> None:
         return
     conn.send(("ok", payload_for(job, result)))
     conn.close()
+
+
+# ---------------------------------------------------------------------------
+# the fabric lease protocol (filesystem-backed; see module docstring)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claimed experiment: who runs it, which attempt, until when.
+
+    ``deadline_unix`` is wall-clock (``time.time``): leases must be
+    comparable across processes — and, tomorrow, across hosts sharing
+    the queue directory — which rules out per-process monotonic clocks.
+    """
+
+    index: int
+    attempt: int
+    worker: str
+    pid: int
+    deadline_unix: float
+
+
+def lease_path(leases_dir: Union[str, Path], index: int) -> Path:
+    """The lease file of experiment ``index``."""
+    return Path(leases_dir) / f"exp-{index:03d}.lease"
+
+
+def _tombstone_path(leases_dir: Union[str, Path], index: int,
+                    generation: int) -> Path:
+    return Path(leases_dir) / f"exp-{index:03d}.forfeit-{generation}"
+
+
+def forfeit_count(leases_dir: Union[str, Path], index: int) -> int:
+    """Forfeited attempts so far == the next attempt number."""
+    count = 0
+    while _tombstone_path(leases_dir, index, count).exists():
+        count += 1
+    return count
+
+
+def claim_lease(
+    leases_dir: Union[str, Path],
+    index: int,
+    worker: str,
+    timeout_s: float,
+) -> Optional[Lease]:
+    """Atomically claim experiment ``index``; None when already held.
+
+    ``O_CREAT | O_EXCL`` makes the claim a single filesystem
+    compare-and-swap — two workers racing for the same index cannot
+    both win, whatever the shared filesystem's caching does to reads.
+    The attempt number is derived from the forfeit tombstones, so a
+    re-issued experiment automatically claims as the next attempt.
+    """
+    path = lease_path(leases_dir, index)
+    lease = Lease(
+        index=index,
+        attempt=forfeit_count(leases_dir, index),
+        worker=worker,
+        pid=os.getpid(),
+        deadline_unix=time.time() + timeout_s,
+    )
+    try:
+        handle = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return None
+    try:
+        os.write(handle, json.dumps({
+            "index": lease.index,
+            "attempt": lease.attempt,
+            "worker": lease.worker,
+            "pid": lease.pid,
+            "deadline_unix": lease.deadline_unix,
+        }, sort_keys=True).encode("utf-8"))
+    finally:
+        os.close(handle)
+    return lease
+
+
+def read_lease(path: Union[str, Path]) -> Optional[Lease]:
+    """Parse a lease file; None when missing or torn mid-write."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        return Lease(
+            index=int(doc["index"]),
+            attempt=int(doc["attempt"]),
+            worker=str(doc["worker"]),
+            pid=int(doc["pid"]),
+            deadline_unix=float(doc["deadline_unix"]),
+        )
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return None
+
+
+def release_lease(leases_dir: Union[str, Path], index: int) -> None:
+    """Drop a completed experiment's lease (missing is fine — the
+    coordinator may have forfeited it while the worker finished)."""
+    try:
+        lease_path(leases_dir, index).unlink()
+    except FileNotFoundError:
+        pass  # simlint: disable=ERR001 -- release is idempotent
+
+
+def forfeit_lease(leases_dir: Union[str, Path], index: int) -> int:
+    """Rename an expired lease to its tombstone; returns next attempt.
+
+    The rename is atomic: either the tombstone exists (forfeit
+    happened, exactly once) or the lease file is still claimable.  A
+    concurrent release by the (actually alive) worker is tolerated —
+    the experiment then completed and re-issue is a no-op because the
+    result store keeps one winner regardless.
+    """
+    generation = forfeit_count(leases_dir, index)
+    try:
+        os.rename(
+            str(lease_path(leases_dir, index)),
+            str(_tombstone_path(leases_dir, index, generation)),
+        )
+    except FileNotFoundError:
+        return generation
+    return generation + 1

@@ -15,12 +15,15 @@ Architecture — three thread roles, all buffers bounded:
 * the **asyncio loop thread** owns every socket.  Handlers never run
   simulations; the slowest thing they do is poll a bounded
   event-bus subscription between ``await asyncio.sleep`` ticks;
-* the **runner thread** executes one campaign at a time (the container
-  is 1-CPU; parallelism belongs *inside* a campaign via
-  :class:`~repro.runtime.executors.PooledExecutor`, not across
-  tenants).  It drains a bounded :class:`queue.Queue`; when that queue
-  is full, ``POST /campaigns`` answers ``429`` immediately — submission
-  never blocks on execution;
+* the **runner thread(s)** drain the pending queue.  The default is one
+  runner executing one campaign at a time; with ``runners > 1`` the
+  queue drains N campaigns concurrently, and every record then runs on
+  the :class:`~repro.runtime.fabric.FabricExecutor` — whose experiments
+  execute in *worker processes* — because the in-process telemetry and
+  capture sessions are process-wide state that two concurrent
+  in-process campaigns would corrupt.  When the bounded queue is full,
+  ``POST /campaigns`` answers ``429`` immediately — submission never
+  blocks on execution;
 * the **submitting client's** first event (``campaign_queued``) is
   published synchronously at accept time, so a follower attached right
   after the ``202`` sees the stream from seq 0 via history replay.
@@ -60,6 +63,7 @@ from repro.runtime.events import (
     TERMINAL_KINDS,
 )
 from repro.runtime.executors import PooledExecutor, SerialExecutor
+from repro.runtime.fabric import FabricExecutor
 from repro.runtime.spec import CampaignSpec
 from repro.runtime.spec_codec import spec_from_json
 from repro.scenario import compile_scenario, scenario_from_json
@@ -159,6 +163,7 @@ class MonitorServer:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         history: int = DEFAULT_HISTORY,
         timeout_s: Optional[float] = None,
+        runners: int = 1,
     ) -> None:
         self.root = Path(root)
         self.host = host
@@ -166,6 +171,10 @@ class MonitorServer:
         self.workers = max(1, workers)
         self.queue_limit = max(1, queue_limit)
         self.timeout_s = timeout_s
+        #: Concurrent campaign runner threads.  More than one forces
+        #: every campaign onto the fabric executor (process-isolated
+        #: experiments) — see the module docstring.
+        self.runners = max(1, runners)
         self.bus = EventBus(history=history)
         self.address: Optional[Tuple[str, int]] = None
 
@@ -184,7 +193,7 @@ class MonitorServer:
         #: the 429 path deterministically).
         self._gate = threading.Event()
         self._gate.set()
-        self._runner: Optional[threading.Thread] = None
+        self._runner_threads: List[threading.Thread] = []
         self._loop_thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
@@ -243,9 +252,15 @@ class MonitorServer:
             self._restore_bus()
             raise ConfigurationError(f"cannot bind server: {failure[0]}")
 
-        self._runner = threading.Thread(
-            target=self._runner_main, name="repro-server-runner", daemon=True)
-        self._runner.start()
+        self._runner_threads = [
+            threading.Thread(
+                target=self._runner_main,
+                name=f"repro-server-runner-{slot}", daemon=True,
+            )
+            for slot in range(self.runners)
+        ]
+        for thread in self._runner_threads:
+            thread.start()
         return self
 
     def stop(self) -> None:
@@ -257,9 +272,9 @@ class MonitorServer:
         if self._loop_thread is not None:
             self._loop_thread.join(timeout=5.0)
             self._loop_thread = None
-        if self._runner is not None:
-            self._runner.join(timeout=30.0)
-            self._runner = None
+        for thread in self._runner_threads:
+            thread.join(timeout=30.0)
+        self._runner_threads = []
         self._restore_bus()
 
     def _restore_bus(self) -> None:
@@ -370,8 +385,19 @@ class MonitorServer:
         record.state = "running"
         record.dir.mkdir(parents=True, exist_ok=True)
         try:
-            if record.workers > 1:
-                executor: Any = PooledExecutor(
+            if self.runners > 1:
+                # Concurrent runners: every campaign's experiments must
+                # run in worker *processes* (the fabric), because the
+                # ambient telemetry/capture sessions are process-wide —
+                # two in-process campaigns in one server process would
+                # interleave their instrumentation.
+                executor: Any = FabricExecutor(
+                    workers=record.workers,
+                    artifacts_dir=record.dir,
+                    events_label=record.id,
+                )
+            elif record.workers > 1:
+                executor = PooledExecutor(
                     workers=record.workers,
                     timeout_s=self.timeout_s,
                     journal_path=record.dir / "journal.jsonl",

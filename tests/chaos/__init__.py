@@ -1,0 +1,12 @@
+"""Chaos harness for the campaign fabric (fault-injection tests).
+
+Every test in this package injects one concrete infrastructure failure
+into a live fabric run — a killed worker, a hang past the lease
+deadline, a torn sqlite store, a duplicate lease delivery, a truncated
+work queue — and asserts the one invariant that matters: the campaign
+**converges to the serial run's digests** (table bytes, merged capture
+bytes, merged telemetry counters).
+
+``REPRO_CHAOS_ROUNDS`` (default 1) repeats each injection that many
+times with a rotating target experiment; CI runs the suite at 10.
+"""

@@ -39,8 +39,10 @@ PUBLIC_MODULES = [
     "repro.runtime", "repro.runtime.spec", "repro.runtime.seeding",
     "repro.runtime.executors", "repro.runtime.journal",
     "repro.runtime.artifacts", "repro.runtime.worker",
+    "repro.runtime.fabric", "repro.runtime.store",
     "repro.insight", "repro.insight.model", "repro.insight.correlate",
     "repro.insight.rank", "repro.insight.store",
+    "repro.insight.store_ingest",
     "repro.scenario", "repro.scenario.model", "repro.scenario.codec",
     "repro.scenario.yamlish", "repro.scenario.compile",
     "repro.scenario.library", "repro.scenario.golden",
@@ -72,7 +74,8 @@ API_V1_NAMES = {
     "scenario_from_json", "list_scenarios", "load_scenario",
     # declarative campaigns and executors
     "Campaign", "default_row", "CampaignSpec", "ExperimentSpec",
-    "PlanSpec", "SerialExecutor", "PooledExecutor", "derive_seed",
+    "PlanSpec", "SerialExecutor", "PooledExecutor", "FabricExecutor",
+    "ResultStore", "derive_seed", "spec_digest",
     "spec_to_json", "spec_from_json",
     # observation sessions and the live event bus
     "TelemetrySession", "CaptureSession", "EventBus", "EventBusSession",
